@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness: row formatting and result
+files under ``benchmarks/results/``.
+
+Every experiment writes the regenerated table rows both to stdout and to a
+results file, so ``pytest benchmarks/ --benchmark-only`` leaves the
+reproduced tables on disk next to the timing report; EXPERIMENTS.md
+references these files.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_table(name, header, rows, notes=()):
+    """Format rows as a fixed-width table; write and return the text."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    widths = [len(h) for h in header]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    for note in notes:
+        lines.append("")
+        lines.append(note)
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print()
+    print("=== %s ===" % name)
+    print(text)
+    return text

@@ -1,0 +1,77 @@
+"""Microbenchmarks for the substrates (not a paper table; engineering
+health checks for the pieces the experiments rely on)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import random
+
+from repro.bdd import BddManager
+from repro.cfront import parse_c_program
+from repro.prover import Prover
+from repro.prover.sat import SatSolver
+from repro.cfront import parse_expression
+
+
+def test_bench_sat_random_3cnf(benchmark):
+    rng = random.Random(11)
+    clauses = []
+    num_vars = 40
+    for _ in range(160):
+        clause = [
+            rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(3)
+        ]
+        clauses.append(clause)
+
+    def solve():
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    result = benchmark(solve)
+    assert result.sat in (True, False)
+
+
+def test_bench_prover_cube_query(benchmark):
+    prover = Prover(enable_cache=False)
+    antecedents = [
+        parse_expression("x == 2"),
+        parse_expression("y > x"),
+        parse_expression("p->val <= y"),
+    ]
+    goal = parse_expression("p->val < 4 || y > 2")
+
+    def query():
+        return prover.implies(antecedents, goal)
+
+    assert benchmark(query) is True
+
+
+def test_bench_bdd_exists_chain(benchmark):
+    manager = BddManager()
+
+    def build():
+        acc = manager.true
+        for index in range(0, 24, 2):
+            acc = manager.land(
+                acc, manager.iff(manager.var(index), manager.var(index + 1))
+            )
+        return manager.exists(acc, range(0, 24, 2))
+
+    result = benchmark(build)
+    assert result is manager.true
+
+
+def test_bench_parse_and_lower_partition(benchmark):
+    from repro.programs import get_program
+
+    source = get_program("partition").source
+
+    def parse():
+        return parse_c_program(source, "partition.c")
+
+    program = benchmark(parse)
+    assert "partition" in program.functions

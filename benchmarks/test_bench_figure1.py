@@ -1,0 +1,131 @@
+"""Figure 1 + Section 2.2: the partition example, end to end.
+
+Regenerates:
+
+- Figure 1(b): the boolean program for ``partition`` under the four
+  Section 2.1 predicates, asserting the paper's per-statement
+  translations;
+- the Section 2.2 Bebop invariant at label L and its alias-refinement
+  consequence ``prev != curr``.
+
+The benchmark times the C2bp abstraction (the prover-bound phase).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import write_table
+
+from repro import (
+    Bebop,
+    C2bp,
+    Prover,
+    parse_c_program,
+    parse_expression,
+    parse_predicate_file,
+)
+from repro.boolprog import BAssign, BConst, BSkip, BUnknown, BVar
+from repro.cfront import cast as C
+from repro.programs import get_program
+
+
+def _build():
+    study = get_program("partition")
+    program = parse_c_program(study.source, "partition.c")
+    predicates = parse_predicate_file(study.predicate_text, program)
+    tool = C2bp(program, predicates)
+    boolean_program = tool.run()
+    return program, predicates, tool, boolean_program
+
+
+def _find(stmts, text):
+    out = []
+
+    def visit(body):
+        for stmt in body:
+            if stmt.comment and text in stmt.comment:
+                out.append(stmt)
+            for sub in stmt.substatements():
+                visit(sub)
+
+    visit(stmts)
+    return out
+
+
+def test_figure1_boolean_program(benchmark):
+    program, predicates, tool, boolean_program = benchmark.pedantic(
+        _build, rounds=1, iterations=1
+    )
+    proc = boolean_program.procedures["partition"]
+
+    # Figure 1(b)'s statement-by-statement translations.
+    (prev_null,) = _find(proc.body, "prev = 0;")
+    updates = dict(zip(prev_null.targets, prev_null.values))
+    assert updates["prev==0"] == BConst(True)
+    assert isinstance(updates["prev->val>v"], BUnknown)
+
+    (prev_curr,) = _find(proc.body, "prev = curr;")
+    updates = dict(zip(prev_curr.targets, prev_curr.values))
+    assert updates["prev==0"] == BVar("curr==0")
+    assert updates["prev->val>v"] == BVar("curr->val>v")
+
+    (newl_null,) = _find(proc.body, "newl = 0;")
+    assert isinstance(newl_null, BSkip)
+
+    (curr_next,) = _find(proc.body, "curr = nextcurr;")
+    assert isinstance(curr_next, BAssign)
+    assert all(isinstance(v, BUnknown) for v in curr_next.values)
+
+    for text in ("prev->next = nextcurr;", "curr->next = newl;", "*l = nextcurr;"):
+        (stmt,) = _find(proc.body, text)
+        assert isinstance(stmt, BSkip), text
+
+    # Section 2.2: the invariant at L and the alias refinement.
+    result = Bebop(boolean_program, main="partition").run()
+    cubes = result.invariant_cubes("partition", label="L")
+    assert cubes
+    for cube in cubes:
+        assert cube["curr==0"] is False
+        assert cube["curr->val>v"] is True
+        assert cube.get("prev->val>v") is False or cube.get("prev==0") is True
+
+    prover = Prover()
+    name_to_expr = {p.name: p.expr for p in predicates.for_procedure("partition")}
+    goal = parse_expression("prev != curr")
+    for cube in cubes:
+        antecedents = [
+            name_to_expr[n] if value else C.negate(name_to_expr[n])
+            for n, value in cube.items()
+        ]
+        assert prover.implies(antecedents, goal)
+
+    write_table(
+        "figure1_section2",
+        ["artifact", "paper", "reproduced"],
+        [
+            ["prev = NULL", "{prev==NULL}=true; {prev->val>v}=unknown()", "same"],
+            ["prev = curr", "copy of curr predicates", "same"],
+            ["newl = NULL", "skip", "same"],
+            ["curr = nextcurr", "both predicates unknown()", "same"],
+            ["field stores", "skip", "same"],
+            [
+                "invariant at L",
+                "curr!=NULL && curr->val>v && (prev->val<=v || prev==NULL)",
+                result.invariant_string("partition", label="L"),
+            ],
+            ["invariant => prev != curr", "yes (decision procedure)", "yes"],
+            ["prover calls", "(not reported per-figure)", tool.stats.prover_calls],
+        ],
+    )
+
+
+def test_figure1_model_checking_speed(benchmark):
+    _, _, _, boolean_program = _build()
+
+    def check():
+        return Bebop(boolean_program, main="partition").run()
+
+    result = benchmark(check)
+    assert result.invariant_cubes("partition", label="L")

@@ -1,0 +1,101 @@
+"""Figure 2 / Section 4.5: signatures and call abstraction.
+
+Regenerates the paper's worked example: the signature of ``bar``
+(E_f = {*q<=y, y>=0}, E_r = {y==l1, *q<=y}), the abstraction of
+``*p = *p + x``, and the ``choose`` structure of the call ``bar(p, x)``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import write_table
+
+from repro import C2bp, parse_c_program, parse_predicate_file
+from repro.boolprog import BCall, BChoose, BConst, BVar
+from repro.boolprog.ast import expr_variables
+
+FIGURE2_SRC = r"""
+int bar(int* q, int y) {
+    int l1, l2;
+    l1 = y;
+    l2 = y - 1;
+    return l1;
+}
+
+void foo(int* p, int x) {
+    int r;
+    if (*p <= x) {
+        *p = x;
+    } else {
+        *p = *p + x;
+    }
+    r = bar(p, x);
+}
+"""
+
+FIGURE2_PREDS = """
+bar
+y >= 0, *q <= y, y == l1, y > l2
+
+foo
+*p <= 0, x == 0, r == 0
+"""
+
+
+def _flatten(stmts):
+    out = []
+    for stmt in stmts:
+        out.append(stmt)
+        for sub in stmt.substatements():
+            out.extend(_flatten(sub))
+    return out
+
+
+def _build():
+    program = parse_c_program(FIGURE2_SRC, "figure2.c")
+    predicates = parse_predicate_file(FIGURE2_PREDS, program)
+    tool = C2bp(program, predicates)
+    return tool, tool.run()
+
+
+def test_figure2_signatures_and_call(benchmark):
+    tool, boolean_program = benchmark.pedantic(_build, rounds=1, iterations=1)
+    signature = tool.signatures["bar"]
+    formal_names = {p.name for p in signature.formal_predicates}
+    return_names = {p.name for p in signature.return_predicates}
+    assert formal_names == {"y>=0", "*q<=y"}
+    assert return_names == {"y==l1", "*q<=y"}
+
+    foo = boolean_program.procedures["foo"]
+    calls = [s for s in _flatten(foo.body) if isinstance(s, BCall)]
+    assert len(calls) == 1
+    call = calls[0]
+    index = [p.name for p in signature.formal_predicates].index("y>=0")
+    arg = call.args[index]
+    assert isinstance(arg, BChoose)
+    assert arg.pos == BVar("x==0") and arg.neg == BConst(False)
+
+    flat = _flatten(foo.body)
+    update = flat[flat.index(call) + 1]
+    updates = dict(zip(update.targets, update.values))
+    assert set(updates) == {"*p<=0", "r==0"}
+    temp_names = set(call.targets)
+    for value in updates.values():
+        assert any(
+            name in temp_names for name in expr_variables(value.pos)
+        )
+
+    write_table(
+        "figure2_calls",
+        ["artifact", "paper", "reproduced"],
+        [
+            ["E_f(bar)", "{*q<=y, y>=0}", sorted(formal_names)],
+            ["E_r(bar)", "{y==l1, *q<=y}", sorted(return_names)],
+            ["actual for y>=0", "choose({x==0}, false)", "same"],
+            ["call results", "t1, t2 = bar(prm1, prm2)", "%d temps" % len(call.targets)],
+            ["post-call updates", "{*p<=0}, {r==0} from temps", sorted(updates)],
+            ["prover calls", "(not reported)", tool.stats.prover_calls],
+        ],
+    )

@@ -1,0 +1,93 @@
+"""Table 1: device drivers through the SLAM toolkit.
+
+The paper reports, per driver: lines, number of predicates, theorem prover
+calls, and C2bp runtime, for the lock-usage and IRP-handling properties.
+We regenerate the same columns over the synthetic corpus (see DESIGN.md
+for the substitution), plus the CEGAR iteration counts of the Section 6.1
+narrative.  The qualitative shape asserted:
+
+- the four exemplar drivers validate for both properties;
+- the in-development floppy driver fails IRP handling with a concrete,
+  Newton-confirmed trace;
+- the loop converges within a few iterations everywhere;
+- prover calls scale with the number of predicates, not program size.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import write_table
+
+from repro import SafetySpec, check_property, parse_c_program
+from repro.programs import all_drivers
+
+LOCK = SafetySpec.lock_discipline("KeAcquireSpinLock", "KeReleaseSpinLock")
+IRP = SafetySpec.complete_exactly_once("IoCompleteRequest")
+
+
+def _run_corpus():
+    rows = []
+    verdicts = {}
+    for driver in all_drivers():
+        lines = parse_c_program(driver.source, driver.name).statement_count()
+        for key, spec in (("lock", LOCK), ("irp", IRP)):
+            started = time.perf_counter()
+            result = check_property(
+                driver.source, spec, entry=driver.entry, max_iterations=8
+            )
+            elapsed = time.perf_counter() - started
+            verdicts[(driver.name, key)] = result
+            rows.append(
+                [
+                    driver.name,
+                    key,
+                    lines,
+                    len(result.predicates),
+                    result.cegar.total_prover_calls,
+                    "%.2f" % elapsed,
+                    result.verdict,
+                    result.iterations,
+                ]
+            )
+    return rows, verdicts
+
+
+def test_table1_drivers(benchmark):
+    rows, verdicts = benchmark.pedantic(_run_corpus, rounds=1, iterations=1)
+    write_table(
+        "table1_drivers",
+        [
+            "program",
+            "property",
+            "lines",
+            "predicates",
+            "thm. prover calls",
+            "runtime (s)",
+            "verdict",
+            "CEGAR iterations",
+        ],
+        rows,
+        notes=[
+            "Paper (Table 1) reports lines / predicates / prover calls / "
+            "runtime per DDK driver; absolute numbers are testbed- and "
+            "corpus-specific (our drivers are synthetic, see DESIGN.md). "
+            "The reproduced shape: the exemplar drivers validate for both "
+            "properties, the in-development floppy driver has a genuine "
+            "IRP-handling error, and SLAM converges in a few iterations "
+            "with no spurious error reports (Section 6.1).",
+        ],
+    )
+    for driver in all_drivers():
+        for key in ("lock", "irp"):
+            result = verdicts[(driver.name, key)]
+            assert result.verdict == driver.expected[key], (driver.name, key)
+            assert result.iterations <= 5
+    # The floppy IRP trace is concrete and shows the double completion.
+    floppy = verdicts[("floppy", "irp")]
+    completions = [
+        line for line in floppy.error_trace_lines() if "IoCompleteRequest" in line
+    ]
+    assert len(completions) >= 2

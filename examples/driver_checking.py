@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Section 6.1: checking temporal safety properties of device drivers.
+
+Runs the SLAM toolkit (C2bp + Bebop + Newton in the CEGAR loop) over the
+driver corpus for two properties:
+
+- **lock discipline**: a spin lock is never acquired twice nor released
+  without being held;
+- **IRP completion**: an I/O request packet is never completed twice.
+
+As in the paper, the exemplar drivers validate and the in-development
+``floppy`` driver is caught mishandling an IRP — with a concrete,
+non-spurious error trace.
+
+Run:  python examples/driver_checking.py
+"""
+
+from repro import SafetySpec, check_property
+from repro.programs import all_drivers
+
+
+def main():
+    lock_spec = SafetySpec.lock_discipline(
+        "KeAcquireSpinLock", "KeReleaseSpinLock"
+    )
+    irp_spec = SafetySpec.complete_exactly_once("IoCompleteRequest")
+
+    print("%-10s %-12s %-8s %-10s %s" % ("driver", "property", "verdict", "iterations", "predicates"))
+    print("-" * 60)
+    traces = {}
+    for driver in all_drivers():
+        for spec in (lock_spec, irp_spec):
+            result = check_property(
+                driver.source, spec, entry=driver.entry, max_iterations=8
+            )
+            print(
+                "%-10s %-12s %-8s %-10d %d"
+                % (
+                    driver.name,
+                    spec.name,
+                    result.verdict,
+                    result.iterations,
+                    len(result.predicates),
+                )
+            )
+            if result.verdict == "unsafe":
+                traces[(driver.name, spec.name)] = result
+
+    for (driver_name, spec_name), result in traces.items():
+        print()
+        print("=== error trace: %s violates %s ===" % (driver_name, spec_name))
+        for line in result.error_trace_lines():
+            print("   ", line)
+        print("(Newton confirmed this path is feasible: SLAM never reports")
+        print(" spurious error paths.)")
+
+
+if __name__ == "__main__":
+    main()

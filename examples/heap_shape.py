@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Section 6.2 / Figure 3: the pointer-reversal traversal (``reverse``).
+
+The ``mark`` procedure walks a list while reversing its ``next`` pointers,
+then walks back restoring them.  The paper checks the shape property "for
+every node h, h->next is the same before and after" by introducing
+auxiliary variables ``h`` (an arbitrary node) and ``hnext = h->next`` and
+abstracting over seven predicates.
+
+This example shows both what works and where the quantifier-free,
+statement-local abstraction reaches its limit (see EXPERIMENTS.md):
+
+- the abstraction is built (this is the prover-call-heavy row of Table 2 —
+  every pair of pointers may alias, defeating the cone of influence);
+- Bebop computes a nontrivial invariant at END, and on many cubes the
+  property is pinned;
+- the restoring write ``this->next = tmp`` cannot be proven to
+  re-establish ``h->next == hnext`` because no predicate relates the
+  scratch variable ``tmp`` to ``hnext`` — a precision boundary the paper's
+  Section 8 discussion of richer logics anticipates.
+
+A concrete-execution check (the soundness replayer's substrate) confirms
+the property *does* hold dynamically.
+
+Run:  python examples/heap_shape.py
+"""
+
+from repro import Bebop, C2bp, parse_c_program, parse_predicate_file
+from repro.cfront.interp import Interpreter
+from repro.programs import get_program
+
+
+def dynamic_check(program, values):
+    """Execute mark concretely and verify every node's next is restored."""
+    interp = Interpreter(program)
+    head = interp.make_list(values, value_field="mark", next_field="next")
+    # Clear the mark fields (make_list set them to the values).
+    node, nodes = head, []
+    while node != 0:
+        node.value.field_cell("mark").value = 0
+        nodes.append(node)
+        node = node.value.field_cell("next").value
+    before = [n.value.field_cell("next").value for n in nodes]
+    h = nodes[len(nodes) // 2] if nodes else 0
+    if h == 0:
+        return True
+    interp.run("mark", [head, h])
+    after = [n.value.field_cell("next").value for n in nodes]
+    return before == after
+
+
+def main():
+    study = get_program("reverse")
+    program = parse_c_program(study.source, study.name)
+    predicates = parse_predicate_file(study.predicate_text, program)
+
+    print("abstracting mark() over %d predicates ..." % len(predicates))
+    tool = C2bp(program, predicates)
+    boolean_program = tool.run()
+    print(
+        "  %d prover calls (the expensive Table 2 row: all-pairs aliasing)"
+        % tool.stats.prover_calls
+    )
+
+    result = Bebop(boolean_program, main="mark").run()
+    cubes = result.invariant_cubes("mark", label="END")
+    pinned = sum(1 for cube in cubes if cube.get("h->next==hnext") is True)
+    print("  invariant at END has %d cubes; %d pin h->next == hnext" % (len(cubes), pinned))
+    print("  (see EXPERIMENTS.md for why the remaining cubes are out of")
+    print("   reach for statement-local quantifier-free abstraction)")
+
+    for values in ([1, 2, 3], [5], [1, 2, 3, 4, 5, 6]):
+        fresh = parse_c_program(study.source, study.name)
+        ok = dynamic_check(fresh, values)
+        print("  dynamic check on a %d-node list: next pointers restored = %s" % (len(values), ok))
+
+
+if __name__ == "__main__":
+    main()

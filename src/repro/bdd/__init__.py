@@ -1,0 +1,12 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+Bebop [5] represents sets of boolean-program states and statement transfer
+functions implicitly with BDDs; this package is the stand-in for the BDD
+library it builds on.  Hash-consed nodes, memoized ``ite``, quantification,
+order-safe renaming via quantified equivalences, model iteration, and cube
+enumeration are provided.
+"""
+
+from repro.bdd.manager import BddManager, BddNode
+
+__all__ = ["BddManager", "BddNode"]

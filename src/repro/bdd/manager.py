@@ -1,0 +1,321 @@
+"""Hash-consed ROBDD manager.
+
+Nodes are interned so that structural equality is identity, making set
+operations memoizable by id.  Variables are small integers; the variable
+order is the natural integer order.  The manager exposes:
+
+- constants ``true``/``false`` and single-variable BDDs;
+- ``ite`` and the derived boolean connectives;
+- ``restrict`` (cofactor), ``exists``/``forall`` over variable sets;
+- ``rename`` via quantified equivalences (safe for any ordering);
+- model extraction (``pick_assignment``), full model iteration
+  (``assignments``), cube enumeration (``cubes``), and model counting.
+"""
+
+import itertools
+
+
+class BddNode:
+    """An internal decision node: ``if var then high else low``."""
+
+    __slots__ = ("var", "low", "high", "_id")
+
+    def __init__(self, var, low, high, node_id):
+        self.var = var
+        self.low = low
+        self.high = high
+        self._id = node_id
+
+    def __repr__(self):
+        return "BddNode(x%d, id=%d)" % (self.var, self._id)
+
+
+class _Terminal:
+    __slots__ = ("value", "_id")
+
+    def __init__(self, value, node_id):
+        self.value = value
+        self._id = node_id
+
+    def __repr__(self):
+        return "BddTerminal(%r)" % self.value
+
+
+class BddManager:
+    def __init__(self):
+        self.false = _Terminal(False, 0)
+        self.true = _Terminal(True, 1)
+        self._next_id = 2
+        self._unique = {}  # (var, low id, high id) -> node
+        self._ite_cache = {}
+        self._quant_cache = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def _mk(self, var, low, high):
+        if low is high:
+            return low
+        key = (var, low._id, high._id)
+        node = self._unique.get(key)
+        if node is None:
+            node = BddNode(var, low, high, self._next_id)
+            self._next_id += 1
+            self._unique[key] = node
+        return node
+
+    def var(self, index):
+        """The BDD of the single variable ``index``."""
+        return self._mk(index, self.false, self.true)
+
+    def nvar(self, index):
+        return self._mk(index, self.true, self.false)
+
+    def constant(self, value):
+        return self.true if value else self.false
+
+    # -- core: if-then-else -----------------------------------------------------
+
+    def ite(self, f, g, h):
+        """The BDD of ``(f and g) or (not f and h)``."""
+        if f is self.true:
+            return g
+        if f is self.false:
+            return h
+        if g is h:
+            return g
+        if g is self.true and h is self.false:
+            return f
+        key = (f._id, g._id, h._id)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(node.var for node in (f, g, h) if isinstance(node, BddNode))
+        f_low, f_high = self._cofactors(f, top)
+        g_low, g_high = self._cofactors(g, top)
+        h_low, h_high = self._cofactors(h, top)
+        low = self.ite(f_low, g_low, h_low)
+        high = self.ite(f_high, g_high, h_high)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    @staticmethod
+    def _cofactors(node, var):
+        if isinstance(node, BddNode) and node.var == var:
+            return node.low, node.high
+        return node, node
+
+    # -- boolean connectives -----------------------------------------------------
+
+    def land(self, f, g):
+        return self.ite(f, g, self.false)
+
+    def lor(self, f, g):
+        return self.ite(f, self.true, g)
+
+    def lnot(self, f):
+        return self.ite(f, self.false, self.true)
+
+    def implies(self, f, g):
+        return self.ite(f, g, self.true)
+
+    def iff(self, f, g):
+        return self.ite(f, g, self.lnot(g))
+
+    def xor(self, f, g):
+        return self.ite(f, self.lnot(g), g)
+
+    def conjoin(self, bdds):
+        result = self.true
+        for bdd in bdds:
+            result = self.land(result, bdd)
+        return result
+
+    def disjoin(self, bdds):
+        result = self.false
+        for bdd in bdds:
+            result = self.lor(result, bdd)
+        return result
+
+    # -- cofactor / quantification --------------------------------------------------
+
+    def restrict(self, f, var, value):
+        """Cofactor of ``f`` with ``var`` fixed to ``value``."""
+        if isinstance(f, _Terminal):
+            return f
+        key = ("restrict", f._id, var, value)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        if f.var == var:
+            result = f.high if value else f.low
+        elif f.var > var:
+            result = f
+        else:
+            result = self._mk(
+                f.var,
+                self.restrict(f.low, var, value),
+                self.restrict(f.high, var, value),
+            )
+        self._quant_cache[key] = result
+        return result
+
+    def exists(self, f, variables):
+        """Existential quantification over an iterable of variables."""
+        for var in sorted(set(variables), reverse=True):
+            f = self._exists_one(f, var)
+        return f
+
+    def _exists_one(self, f, var):
+        if isinstance(f, _Terminal):
+            return f
+        key = ("exists", f._id, var)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        if f.var == var:
+            result = self.lor(f.low, f.high)
+        elif f.var > var:
+            result = f
+        else:
+            result = self._mk(
+                f.var, self._exists_one(f.low, var), self._exists_one(f.high, var)
+            )
+        self._quant_cache[key] = result
+        return result
+
+    def forall(self, f, variables):
+        return self.lnot(self.exists(self.lnot(f), variables))
+
+    # -- renaming -----------------------------------------------------------------
+
+    def rename(self, f, mapping):
+        """Rename variables per ``mapping`` (old -> new).
+
+        Implemented as ``exists old (f and (old <-> new))`` pair by pair,
+        which is correct for any variable order provided each ``new`` is not
+        constrained by ``f`` and the mapping is injective.
+        """
+        for old, new in mapping.items():
+            if old == new:
+                continue
+            f = self._exists_one(self.land(f, self.iff(self.var(old), self.var(new))), old)
+        return f
+
+    # -- inspection ------------------------------------------------------------------
+
+    def is_false(self, f):
+        return f is self.false
+
+    def is_true(self, f):
+        return f is self.true
+
+    def evaluate(self, f, assignment):
+        """Evaluate under a {var: bool} assignment (must cover f's support)."""
+        while isinstance(f, BddNode):
+            f = f.high if assignment[f.var] else f.low
+        return f.value
+
+    def support(self, f):
+        """The set of variables ``f`` depends on."""
+        seen = set()
+        result = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Terminal) or node._id in seen:
+                continue
+            seen.add(node._id)
+            result.add(node.var)
+            stack.append(node.low)
+            stack.append(node.high)
+        return result
+
+    def pick_assignment(self, f, variables=()):
+        """One satisfying assignment as a dict, or None if unsatisfiable.
+
+        Variables listed in ``variables`` but not in the BDD's support are
+        assigned False.
+        """
+        if f is self.false:
+            return None
+        assignment = {}
+        node = f
+        while isinstance(node, BddNode):
+            if node.low is not self.false:
+                assignment[node.var] = False
+                node = node.low
+            else:
+                assignment[node.var] = True
+                node = node.high
+        for var in variables:
+            assignment.setdefault(var, False)
+        return assignment
+
+    def assignments(self, f, variables):
+        """Iterate all satisfying assignments over exactly ``variables``."""
+        variables = sorted(set(variables))
+        for cube in self.cubes(f):
+            free = [v for v in variables if v not in cube]
+            missing = [v for v in cube if v not in variables]
+            if missing:
+                raise ValueError("cube mentions variables outside the domain")
+            for values in itertools.product([False, True], repeat=len(free)):
+                assignment = dict(cube)
+                assignment.update(zip(free, values))
+                yield assignment
+
+    def cubes(self, f):
+        """Iterate the cubes (partial assignments) of ``f``'s DNF, as dicts."""
+
+        def walk(node, partial):
+            if node is self.false:
+                return
+            if node is self.true:
+                yield dict(partial)
+                return
+            partial[node.var] = False
+            yield from walk(node.low, partial)
+            partial[node.var] = True
+            yield from walk(node.high, partial)
+            del partial[node.var]
+
+        yield from walk(f, {})
+
+    def count_assignments(self, f, num_vars_domain):
+        """Number of satisfying assignments over a domain of variables
+        (given as an iterable)."""
+        domain = sorted(set(num_vars_domain))
+        index = {var: i for i, var in enumerate(domain)}
+        cache = {}
+
+        def count(node, depth):
+            if node is self.false:
+                return 0
+            if node is self.true:
+                return 2 ** (len(domain) - depth)
+            key = (node._id, depth)
+            if key in cache:
+                return cache[key]
+            node_depth = index[node.var]
+            scale = 2 ** (node_depth - depth)
+            result = scale * (count(node.low, node_depth + 1) + count(node.high, node_depth + 1))
+            cache[key] = result
+            return result
+
+        return count(f, 0)
+
+    def size(self, f):
+        """Number of internal nodes in ``f``."""
+        seen = set()
+        stack = [f]
+        total = 0
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Terminal) or node._id in seen:
+                continue
+            seen.add(node._id)
+            total += 1
+            stack.append(node.low)
+            stack.append(node.high)
+        return total

@@ -1,0 +1,470 @@
+"""The symbolic (BDD-based) interprocedural reachability engine.
+
+For every node ``v`` of every procedure ``P`` the engine computes a *path
+edge* relation ``PE(v)``: a BDD over ``entry-bank(P) ∪ current-vars``
+relating the values of globals and formals at P's entry to the values of
+the variables in scope at ``v`` (the Reps-Horwitz-Sagiv formulation of
+Sharir-Pnueli's functional approach).  Procedure behaviour is captured by
+*summaries*: relations over dedicated input slots (globals and formals at
+entry) and output slots (globals at exit plus returned values).  Call sites
+compose the caller's path edge with the callee's summary; newly reached
+entry contexts seed the callee; summary growth re-triggers the call sites.
+
+Variable banks are realized by giving every logical slot two BDD variables
+(current = ``2*slot``, shadow = ``2*slot+1``); shadows carry post-state
+values during assignment relations and are renamed back.
+"""
+
+from repro.boolprog import ast as B
+from repro.bdd import BddManager
+from repro.bebop.graph import BRANCH, ENTRY, EXIT, STMT, build_bool_graph
+
+
+class BebopError(Exception):
+    pass
+
+
+class BebopResult:
+    """Reachability facts computed by a run."""
+
+    def __init__(self, checker):
+        self._checker = checker
+        self.assertion_failures = checker.assertion_failures
+        self.steps = checker.steps
+
+    def reachable_states(self, proc_name, label=None, node=None):
+        """BDD of reachable states (over current vars) at a node or label."""
+        return self._checker.reachable_states(proc_name, label=label, node=node)
+
+    def is_label_reachable(self, proc_name, label):
+        bdd = self.reachable_states(proc_name, label=label)
+        return not self._checker.manager.is_false(bdd)
+
+    def invariant_cubes(self, proc_name, label=None, node=None):
+        """The reachable-state set at a program point as a list of cubes,
+        each a dict mapping variable names to True/False."""
+        return self._checker.invariant_cubes(proc_name, label=label, node=node)
+
+    def invariant_string(self, proc_name, label=None, node=None):
+        cubes = self.invariant_cubes(proc_name, label=label, node=node)
+        if not cubes:
+            return "false"
+        parts = []
+        for cube in cubes:
+            lits = [
+                ("" if value else "!") + "{%s}" % name
+                for name, value in sorted(cube.items())
+            ]
+            parts.append(" && ".join(lits) if lits else "true")
+        return " || ".join("(%s)" % p if len(parts) > 1 else p for p in parts)
+
+    @property
+    def error_reached(self):
+        return bool(self.assertion_failures)
+
+    def labels(self, proc_name):
+        """All goto labels of a procedure's graph."""
+        return sorted(self._checker.graphs[proc_name].labels)
+
+    def all_invariants(self):
+        """Mapping (procedure, label) -> invariant string, for every label
+        of every procedure — Bebop "computes the set of reachable states
+        for each statement"; labels are the addressable ones."""
+        result = {}
+        for proc_name in self._checker.graphs:
+            for label in self.labels(proc_name):
+                result[(proc_name, label)] = self.invariant_string(
+                    proc_name, label=label
+                )
+        return result
+
+    def statistics(self):
+        """Engine statistics: worklist steps, BDD nodes allocated, summary
+        sizes (in BDD nodes) per procedure."""
+        manager = self._checker.manager
+        return {
+            "worklist_steps": self.steps,
+            "bdd_nodes": manager._next_id,
+            "procedures": len(self._checker.graphs),
+            "summary_nodes": {
+                name: manager.size(summary)
+                for name, summary in self._checker.summaries.items()
+            },
+        }
+
+    def format_report(self):
+        """A human-readable dump of every labelled invariant."""
+        lines = []
+        for (proc_name, label), text in sorted(self.all_invariants().items()):
+            lines.append("%s/%s:" % (proc_name, label))
+            lines.append("    %s" % text)
+        stats = self.statistics()
+        lines.append(
+            "(%d worklist steps, %d BDD nodes)"
+            % (stats["worklist_steps"], stats["bdd_nodes"])
+        )
+        return "\n".join(lines)
+
+
+class Bebop:
+    """One model-checking run over a boolean program."""
+
+    def __init__(self, program, main="main"):
+        if main not in program.procedures:
+            raise BebopError("boolean program has no %r procedure" % main)
+        self.program = program
+        self.main = main
+        self.manager = BddManager()
+        self.graphs = {
+            name: build_bool_graph(proc) for name, proc in program.procedures.items()
+        }
+        self._slots = {}
+        self._pe = {}  # (proc, node uid) -> BDD
+        self.summaries = {}  # proc -> BDD over in/out slots
+        self.call_sites = {}  # callee -> set of (caller proc, node)
+        self.assertion_failures = []  # (proc, node, states bdd)
+        self._enforce_bdd = {}
+        self.steps = 0
+
+    # -- slots and variables ---------------------------------------------------
+
+    def _slot(self, key):
+        if key not in self._slots:
+            self._slots[key] = len(self._slots)
+        return self._slots[key]
+
+    def _cur(self, key):
+        return 2 * self._slot(key)
+
+    def _shadow(self, key):
+        return 2 * self._slot(key) + 1
+
+    def _var_key(self, proc_name, name):
+        """The slot key for variable ``name`` in ``proc_name``'s scope."""
+        proc = self.program.procedures[proc_name]
+        if name in proc.formals or name in proc.locals:
+            return ("l", proc_name, name)
+        if name in self.program.globals:
+            return ("g", name)
+        raise BebopError("variable %r not in scope in %s" % (name, proc_name))
+
+    def _entry_names(self, proc_name):
+        """Names visible in a procedure's entry context: globals + formals."""
+        proc = self.program.procedures[proc_name]
+        return list(self.program.globals) + list(proc.formals)
+
+    def _scope_keys(self, proc_name):
+        proc = self.program.procedures[proc_name]
+        keys = [("g", g) for g in self.program.globals]
+        keys += [("l", proc_name, v) for v in proc.formals + proc.locals]
+        return keys
+
+    # -- expression compilation ----------------------------------------------------
+
+    def expr_bdd(self, expr, proc_name):
+        m = self.manager
+        if isinstance(expr, B.BConst):
+            return m.constant(expr.value)
+        if isinstance(expr, B.BVar):
+            return m.var(self._cur(self._var_key(proc_name, expr.name)))
+        if isinstance(expr, B.BNot):
+            return m.lnot(self.expr_bdd(expr.operand, proc_name))
+        if isinstance(expr, B.BAnd):
+            return m.land(
+                self.expr_bdd(expr.left, proc_name), self.expr_bdd(expr.right, proc_name)
+            )
+        if isinstance(expr, B.BOr):
+            return m.lor(
+                self.expr_bdd(expr.left, proc_name), self.expr_bdd(expr.right, proc_name)
+            )
+        if isinstance(expr, B.BImplies):
+            return m.implies(
+                self.expr_bdd(expr.left, proc_name), self.expr_bdd(expr.right, proc_name)
+            )
+        if isinstance(expr, (B.BNondet, B.BUnknown, B.BChoose)):
+            raise BebopError(
+                "nondeterministic expression in a deterministic position"
+            )
+        raise AssertionError("unhandled expression %r" % type(expr).__name__)
+
+    def _enforce(self, proc_name):
+        if proc_name not in self._enforce_bdd:
+            proc = self.program.procedures[proc_name]
+            if proc.enforce is None:
+                self._enforce_bdd[proc_name] = self.manager.true
+            else:
+                self._enforce_bdd[proc_name] = self.expr_bdd(proc.enforce, proc_name)
+        return self._enforce_bdd[proc_name]
+
+    # -- the fixpoint -----------------------------------------------------------
+
+    def run(self):
+        m = self.manager
+        # Seed main: identity between entry bank and current values, all
+        # contexts allowed (initial values are unconstrained).
+        main_graph = self.graphs[self.main]
+        identity = m.true
+        for name in self._entry_names(self.main):
+            key = self._var_key(self.main, name)
+            identity = m.land(
+                identity,
+                m.iff(m.var(self._cur(("ent", self.main, name))), m.var(self._cur(key))),
+            )
+        worklist = []
+        self._join(self.main, main_graph.entry, identity, worklist)
+        while worklist:
+            proc_name, node = worklist.pop()
+            self.steps += 1
+            self._process(proc_name, node, worklist)
+        return BebopResult(self)
+
+    def _pe_at(self, proc_name, node):
+        return self._pe.get((proc_name, node.uid), self.manager.false)
+
+    def _join(self, proc_name, node, pe, worklist):
+        pe = self.manager.land(pe, self._enforce(proc_name))
+        old = self._pe_at(proc_name, node)
+        new = self.manager.lor(old, pe)
+        if new is not old:
+            self._pe[(proc_name, node.uid)] = new
+            worklist.append((proc_name, node))
+
+    def _process(self, proc_name, node, worklist):
+        m = self.manager
+        pe = self._pe_at(proc_name, node)
+        if m.is_false(pe):
+            return
+        graph = self.graphs[proc_name]
+        if node.kind == ENTRY:
+            for target, _ in node.edges:
+                self._join(proc_name, target, pe, worklist)
+            return
+        if node.kind == EXIT:
+            self._update_summary(proc_name, pe, worklist)
+            return
+        if node.kind == BRANCH:
+            cond = node.cond
+            if isinstance(cond, B.BNondet):
+                for target, _ in node.edges:
+                    self._join(proc_name, target, pe, worklist)
+                return
+            cond_bdd = self.expr_bdd(cond, proc_name)
+            for target, assume in node.edges:
+                guard = cond_bdd if assume else m.lnot(cond_bdd)
+                self._join(proc_name, target, m.land(pe, guard), worklist)
+            return
+        stmt = node.stmt
+        if isinstance(stmt, (B.BSkip, B.BGoto)):
+            out = pe
+        elif isinstance(stmt, B.BAssume):
+            out = m.land(pe, self.expr_bdd(stmt.cond, proc_name))
+        elif isinstance(stmt, B.BAssert):
+            cond_bdd = self.expr_bdd(stmt.cond, proc_name)
+            violating = m.land(pe, m.lnot(cond_bdd))
+            if not m.is_false(violating):
+                self._record_failure(proc_name, node, violating)
+            out = m.land(pe, cond_bdd)
+        elif isinstance(stmt, B.BAssign):
+            out = self._apply_assign(proc_name, pe, stmt)
+        elif isinstance(stmt, B.BReturn):
+            out = self._apply_return(proc_name, pe, stmt)
+        elif isinstance(stmt, B.BCall):
+            out = self._apply_call(proc_name, node, pe, stmt, worklist)
+        else:
+            raise AssertionError("unhandled statement %r" % type(stmt).__name__)
+        for target, _ in node.edges:
+            self._join(proc_name, target, out, worklist)
+
+    def _record_failure(self, proc_name, node, states):
+        for i, (p, n, old) in enumerate(self.assertion_failures):
+            if p == proc_name and n is node:
+                self.assertion_failures[i] = (p, n, self.manager.lor(old, states))
+                return
+        self.assertion_failures.append((proc_name, node, states))
+
+    # -- transfer functions ---------------------------------------------------------
+
+    def _apply_assign(self, proc_name, pe, stmt):
+        """Parallel assignment through shadow variables."""
+        m = self.manager
+        constraint = m.true
+        target_keys = []
+        for target, value in zip(stmt.targets, stmt.values):
+            key = self._var_key(proc_name, target)
+            target_keys.append(key)
+            shadow = m.var(self._shadow(key))
+            if isinstance(value, B.BUnknown) or isinstance(value, B.BNondet):
+                continue  # unconstrained
+            if isinstance(value, B.BChoose):
+                # choose(pos, neg): true if pos, else false if neg, else
+                # nondeterministic — pos takes priority when both hold.
+                pos = self.expr_bdd(value.pos, proc_name)
+                neg = self.expr_bdd(value.neg, proc_name)
+                constraint = m.land(constraint, m.implies(pos, shadow))
+                constraint = m.land(
+                    constraint,
+                    m.implies(m.land(m.lnot(pos), neg), m.lnot(shadow)),
+                )
+            else:
+                constraint = m.land(
+                    constraint, m.iff(shadow, self.expr_bdd(value, proc_name))
+                )
+        combined = m.land(pe, constraint)
+        combined = m.exists(combined, [self._cur(k) for k in target_keys])
+        return m.rename(
+            combined, {self._shadow(k): self._cur(k) for k in target_keys}
+        )
+
+    def _apply_return(self, proc_name, pe, stmt):
+        """Bind returned values to the procedure's output slots."""
+        m = self.manager
+        out = pe
+        for index, value in enumerate(stmt.values):
+            out_var = m.var(self._cur(("out", proc_name, ("r", index))))
+            out = m.land(out, m.iff(out_var, self.expr_bdd(value, proc_name)))
+        return out
+
+    def _update_summary(self, proc_name, exit_pe, worklist):
+        """Project the exit path edge onto the summary in/out slots."""
+        m = self.manager
+        proc = self.program.procedures[proc_name]
+        # Rename entry bank -> in slots; current globals -> out slots.
+        mapping = {}
+        for name in self._entry_names(proc_name):
+            mapping[self._cur(("ent", proc_name, name))] = self._cur(
+                ("in", proc_name, name)
+            )
+        for g in self.program.globals:
+            mapping[self._cur(("g", g))] = self._cur(("out", proc_name, ("g", g)))
+        projected = m.exists(
+            exit_pe,
+            [self._cur(("l", proc_name, v)) for v in proc.formals + proc.locals],
+        )
+        summary_add = m.rename(projected, mapping)
+        old = self.summaries.get(proc_name, m.false)
+        new = m.lor(old, summary_add)
+        if new is not old:
+            self.summaries[proc_name] = new
+            for caller, call_node in self.call_sites.get(proc_name, ()):
+                worklist.append((caller, call_node))
+
+    def _apply_call(self, proc_name, node, pe, stmt, worklist):
+        m = self.manager
+        callee = self.program.procedures.get(stmt.name)
+        if callee is None:
+            raise BebopError("call to undefined procedure %r" % stmt.name)
+        self.call_sites.setdefault(stmt.name, set()).add((proc_name, node))
+        if len(stmt.args) != len(callee.formals):
+            raise BebopError("arity mismatch calling %r" % stmt.name)
+        if len(stmt.targets) not in (0, callee.returns):
+            raise BebopError(
+                "call to %r uses %d results of %d"
+                % (stmt.name, len(stmt.targets), callee.returns)
+            )
+        # Bind actuals (and globals) to the callee's input slots.
+        bind = m.true
+        for formal, arg in zip(callee.formals, stmt.args):
+            in_var = m.var(self._cur(("in", stmt.name, formal)))
+            if isinstance(arg, (B.BUnknown, B.BNondet)):
+                continue  # unconstrained actual
+            if isinstance(arg, B.BChoose):
+                pos = self.expr_bdd(arg.pos, proc_name)
+                neg = self.expr_bdd(arg.neg, proc_name)
+                bind = m.land(bind, m.implies(pos, in_var))
+                bind = m.land(
+                    bind, m.implies(m.land(m.lnot(pos), neg), m.lnot(in_var))
+                )
+            else:
+                bind = m.land(bind, m.iff(in_var, self.expr_bdd(arg, proc_name)))
+        for g in self.program.globals:
+            bind = m.land(
+                bind,
+                m.iff(m.var(self._cur(("in", stmt.name, g))), m.var(self._cur(("g", g)))),
+            )
+        bound = m.land(pe, bind)
+        # Seed the callee's entry with the newly reached contexts.
+        in_vars = [
+            self._cur(("in", stmt.name, name)) for name in self._entry_names(stmt.name)
+        ]
+        everything_else = [
+            v
+            for v in m.support(bound)
+            if v not in in_vars
+        ]
+        contexts = m.exists(bound, everything_else)
+        entry_identity = m.true
+        mapping = {}
+        for name in self._entry_names(stmt.name):
+            ent = self._cur(("ent", stmt.name, name))
+            cur = self._cur(self._var_key(stmt.name, name))
+            mapping[self._cur(("in", stmt.name, name))] = ent
+            entry_identity = m.land(entry_identity, m.iff(m.var(ent), m.var(cur)))
+        callee_entry_pe = m.land(m.rename(contexts, mapping), entry_identity)
+        self._join(stmt.name, self.graphs[stmt.name].entry, callee_entry_pe, worklist)
+        # Compose with the callee's summary, if any yet.
+        summary = self.summaries.get(stmt.name, m.false)
+        if m.is_false(summary):
+            return m.false
+        composed = m.land(bound, summary)
+        # Old values of globals and call targets die; inputs are consumed.
+        dead = set(in_vars)
+        dead.update(self._cur(("g", g)) for g in self.program.globals)
+        target_keys = [self._var_key(proc_name, t) for t in stmt.targets]
+        dead.update(self._cur(k) for k in target_keys)
+        composed = m.exists(composed, dead)
+        # Rebind callee outputs to caller variables.
+        out_mapping = {}
+        for g in self.program.globals:
+            out_mapping[self._cur(("out", stmt.name, ("g", g)))] = self._cur(("g", g))
+        for index, key in enumerate(target_keys):
+            out_mapping[self._cur(("out", stmt.name, ("r", index)))] = self._cur(key)
+        composed = m.rename(composed, out_mapping)
+        # Unused return values are dropped.
+        if not stmt.targets and callee.returns:
+            composed = m.exists(
+                composed,
+                [
+                    self._cur(("out", stmt.name, ("r", i)))
+                    for i in range(callee.returns)
+                ],
+            )
+        return composed
+
+    # -- queries ------------------------------------------------------------------
+
+    def _node_for(self, proc_name, label=None, node=None):
+        graph = self.graphs[proc_name]
+        if node is not None:
+            return node
+        if label is not None:
+            found = graph.node_for_label(label)
+            if found is None:
+                raise BebopError("no label %r in %s" % (label, proc_name))
+            return found
+        return graph.exit
+
+    def reachable_states(self, proc_name, label=None, node=None):
+        m = self.manager
+        target = self._node_for(proc_name, label, node)
+        pe = self._pe_at(proc_name, target)
+        ent_vars = [
+            self._cur(("ent", proc_name, name))
+            for name in self._entry_names(proc_name)
+        ]
+        return m.exists(pe, ent_vars)
+
+    def invariant_cubes(self, proc_name, label=None, node=None):
+        m = self.manager
+        states = self.reachable_states(proc_name, label=label, node=node)
+        index_to_name = {}
+        for key in self._scope_keys(proc_name):
+            name = key[1] if key[0] == "g" else key[2]
+            index_to_name[self._cur(key)] = name
+        cubes = []
+        for cube in m.cubes(states):
+            named = {}
+            for var, value in cube.items():
+                if var in index_to_name:
+                    named[index_to_name[var]] = value
+            cubes.append(named)
+        return cubes

@@ -1,0 +1,127 @@
+"""Explicit control-flow graphs for boolean procedures.
+
+Mirrors :mod:`repro.cfront.cfg` for the boolean program AST.  Node kinds:
+``entry``, ``exit``, ``stmt`` (Skip/Assign/Assume/Assert/Call/Goto/Return)
+and ``branch`` (If/While conditions, with True/False edge labels).
+"""
+
+from repro.boolprog import ast as B
+
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+BRANCH = "branch"
+
+
+class BNode:
+    __slots__ = ("uid", "kind", "stmt", "cond", "edges", "preds")
+
+    def __init__(self, uid, kind, stmt=None, cond=None):
+        self.uid = uid
+        self.kind = kind
+        self.stmt = stmt
+        self.cond = cond
+        self.edges = []  # list of (target, assume) with assume in {None, True, False}
+        self.preds = []  # list of (source, assume)
+
+    def successor(self, assume=None):
+        for target, label in self.edges:
+            if label == assume:
+                return target
+        return None
+
+    def __repr__(self):
+        return "BNode(%d, %s)" % (self.uid, self.kind)
+
+
+class BGraph:
+    def __init__(self, procedure):
+        self.procedure = procedure
+        self.nodes = []
+        self.entry = None
+        self.exit = None
+        self.labels = {}
+
+    def new_node(self, kind, stmt=None, cond=None):
+        node = BNode(len(self.nodes), kind, stmt, cond)
+        self.nodes.append(node)
+        return node
+
+    def add_edge(self, source, target, assume=None):
+        source.edges.append((target, assume))
+        target.preds.append((source, assume))
+
+    def node_for_label(self, label):
+        return self.labels.get(label)
+
+    def statement_nodes(self):
+        return [n for n in self.nodes if n.kind == STMT]
+
+
+class _Builder:
+    def __init__(self, procedure):
+        self.graph = BGraph(procedure)
+        self._pending_gotos = []
+
+    def build(self):
+        graph = self.graph
+        graph.entry = graph.new_node(ENTRY)
+        graph.exit = graph.new_node(EXIT)
+        head = self._build_body(graph.procedure.body, graph.exit)
+        graph.add_edge(graph.entry, head)
+        for node, label in self._pending_gotos:
+            target = graph.labels.get(label)
+            if target is None:
+                raise ValueError(
+                    "goto to unknown label %r in %s" % (label, graph.procedure.name)
+                )
+            graph.add_edge(node, target)
+        return graph
+
+    def _register_labels(self, stmt, node):
+        for label in stmt.labels:
+            self.graph.labels[label] = node
+
+    def _build_body(self, stmts, follow):
+        head = follow
+        for stmt in reversed(stmts):
+            head = self._build_stmt(stmt, head)
+        return head
+
+    def _build_stmt(self, stmt, follow):
+        graph = self.graph
+        if isinstance(stmt, B.BIf):
+            node = graph.new_node(BRANCH, stmt, stmt.cond)
+            self._register_labels(stmt, node)
+            then_head = self._build_body(stmt.then_body, follow)
+            else_head = self._build_body(stmt.else_body, follow)
+            graph.add_edge(node, then_head, assume=True)
+            graph.add_edge(node, else_head, assume=False)
+            return node
+        if isinstance(stmt, B.BWhile):
+            node = graph.new_node(BRANCH, stmt, stmt.cond)
+            self._register_labels(stmt, node)
+            body_head = self._build_body(stmt.body, node)
+            graph.add_edge(node, body_head, assume=True)
+            graph.add_edge(node, follow, assume=False)
+            return node
+        if isinstance(stmt, B.BGoto):
+            node = graph.new_node(STMT, stmt)
+            self._register_labels(stmt, node)
+            self._pending_gotos.append((node, stmt.label))
+            return node
+        if isinstance(stmt, B.BReturn):
+            node = graph.new_node(STMT, stmt)
+            self._register_labels(stmt, node)
+            graph.add_edge(node, graph.exit)
+            return node
+        if isinstance(stmt, (B.BSkip, B.BAssign, B.BAssume, B.BAssert, B.BCall)):
+            node = graph.new_node(STMT, stmt)
+            self._register_labels(stmt, node)
+            graph.add_edge(node, follow)
+            return node
+        raise AssertionError("unhandled boolean statement %r" % type(stmt).__name__)
+
+
+def build_bool_graph(procedure):
+    return _Builder(procedure).build()

@@ -1,0 +1,77 @@
+"""Boolean programs — the target language of C2bp.
+
+A boolean program (Ball & Rajamani [5]) is a C-like program whose only type
+is ``bool``.  It has global variables, procedures with call-by-value
+parameters, *multiple* return values, parallel assignment, nondeterministic
+choice ``*``, ``assume``/``assert``, the ``enforce`` data-invariant
+construct of Section 5.1, and the ``choose``/``unknown`` idioms of
+Section 4.3:
+
+    bool choose(bool pos, bool neg) {
+        if (pos) { return 1; }
+        if (neg) { return 0; }
+        return unknown();
+    }
+
+Variable identifiers are either C identifiers or arbitrary strings enclosed
+in ``{`` ``}`` (the printed form of predicates, e.g. ``{curr==NULL}``).
+
+This package provides the AST, a printer and parser for a concrete syntax
+matching the paper's Figure 1(b), and a reference interpreter used by the
+soundness tests to replay C traces in the abstraction.
+"""
+
+from repro.boolprog.ast import (
+    BAnd,
+    BAssert,
+    BAssign,
+    BAssume,
+    BCall,
+    BChoose,
+    BConst,
+    BGoto,
+    BIf,
+    BImplies,
+    BNondet,
+    BNot,
+    BOr,
+    BProcedure,
+    BProgram,
+    BReturn,
+    BSkip,
+    BUnknown,
+    BVar,
+    BWhile,
+)
+from repro.boolprog.parser import parse_bool_program
+from repro.boolprog.printer import print_bool_program
+from repro.boolprog.interp import BoolProgramInterpreter
+from repro.boolprog.validate import ValidationError, validate_bool_program
+
+__all__ = [
+    "BAnd",
+    "BAssert",
+    "BAssign",
+    "BAssume",
+    "BCall",
+    "BChoose",
+    "BConst",
+    "BGoto",
+    "BIf",
+    "BImplies",
+    "BNondet",
+    "BNot",
+    "BOr",
+    "BProcedure",
+    "BProgram",
+    "BReturn",
+    "BSkip",
+    "BUnknown",
+    "BVar",
+    "BWhile",
+    "BoolProgramInterpreter",
+    "ValidationError",
+    "parse_bool_program",
+    "print_bool_program",
+    "validate_bool_program",
+]

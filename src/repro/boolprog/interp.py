@@ -1,0 +1,272 @@
+"""A reference interpreter for boolean programs.
+
+Nondeterminism (``*``, ``unknown()``, and the fall-through case of
+``choose``) is resolved by a pluggable *chooser*.  The soundness tests use
+this to replay a concrete C trace inside ``BP(P, E)``: the chooser follows
+the C execution's branch outcomes and concrete predicate values, and the
+replay must never get stuck on an ``assume`` (Section 4.6 soundness).
+"""
+
+import random
+
+from repro.boolprog import ast as B
+
+
+class BoolInterpError(Exception):
+    pass
+
+
+class BoolAssertionFailure(BoolInterpError):
+    def __init__(self, stmt):
+        super().__init__("boolean program assertion failed")
+        self.stmt = stmt
+
+
+class AssumeBlocked(Exception):
+    """An ``assume`` condition was false: this execution does not exist."""
+
+    def __init__(self, stmt):
+        super().__init__("assume blocked")
+        self.stmt = stmt
+
+
+class RandomChooser:
+    """Resolves nondeterminism with a seeded RNG (for fuzz-style tests)."""
+
+    def __init__(self, seed=0):
+        self._rng = random.Random(seed)
+
+    def choose(self, stmt, what):
+        return self._rng.choice([False, True])
+
+
+class BoolProgramInterpreter:
+    def __init__(
+        self,
+        program,
+        chooser=None,
+        max_steps=200_000,
+        stop_on_assert=True,
+        listener=None,
+    ):
+        self.program = program
+        self.chooser = chooser or RandomChooser()
+        self.max_steps = max_steps
+        self.stop_on_assert = stop_on_assert
+        self.listener = listener
+        self.assert_failures = []
+        self._steps = 0
+        self.globals = {}
+        self.trace = []
+        for name in program.globals:
+            self.globals[name] = self._choose_initial(name)
+
+    def _choose_initial(self, name):
+        # Boolean program variables start unconstrained (Section 2.1).
+        return self.chooser.choose(None, ("initial", name))
+
+    # -- expression evaluation --------------------------------------------------
+
+    def eval_expr(self, expr, env, stmt=None, hint=None):
+        if isinstance(expr, B.BConst):
+            return expr.value
+        if isinstance(expr, B.BVar):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self.globals:
+                return self.globals[expr.name]
+            raise BoolInterpError("unbound boolean variable %r" % expr.name)
+        if isinstance(expr, B.BNot):
+            return not self.eval_expr(expr.operand, env, stmt)
+        if isinstance(expr, B.BAnd):
+            return self.eval_expr(expr.left, env, stmt) and self.eval_expr(
+                expr.right, env, stmt
+            )
+        if isinstance(expr, B.BOr):
+            return self.eval_expr(expr.left, env, stmt) or self.eval_expr(
+                expr.right, env, stmt
+            )
+        if isinstance(expr, B.BImplies):
+            return (not self.eval_expr(expr.left, env, stmt)) or self.eval_expr(
+                expr.right, env, stmt
+            )
+        if isinstance(expr, B.BNondet):
+            return self.chooser.choose(stmt, ("nondet", hint))
+        if isinstance(expr, B.BUnknown):
+            return self.chooser.choose(stmt, ("unknown", hint))
+        if isinstance(expr, B.BChoose):
+            if self.eval_expr(expr.pos, env, stmt):
+                return True
+            if self.eval_expr(expr.neg, env, stmt):
+                return False
+            return self.chooser.choose(stmt, ("choose", hint))
+        raise AssertionError("unhandled boolean expression %r" % type(expr).__name__)
+
+    # -- execution ----------------------------------------------------------------
+
+    def call(self, name, args=()):
+        proc = self.program.procedures.get(name)
+        if proc is None:
+            raise BoolInterpError("call to undefined procedure %r" % name)
+        if len(args) != len(proc.formals):
+            raise BoolInterpError("arity mismatch calling %r" % name)
+        env = dict(zip(proc.formals, args))
+        for local in proc.locals:
+            env[local] = self.chooser.choose(None, ("local", name, local))
+        self._check_enforce(proc, env)
+        outcome = self._run_slice(proc, proc.body, 0, env)
+        if isinstance(outcome, _Return):
+            return outcome.values
+        if proc.returns:
+            raise BoolInterpError(
+                "procedure %r fell off the end without returning values" % name
+            )
+        return []
+
+    def _check_enforce(self, proc, env):
+        if proc.enforce is not None and not self.eval_expr(proc.enforce, env):
+            # The enforce invariant filters states like an assume would.
+            raise AssumeBlocked(None)
+
+    def _resume_along(self, proc, body, path, env):
+        """Resume execution at the statement addressed by ``path`` (a list
+        alternating statement index and substatement-list index), then
+        continue normally to the end of ``body``."""
+        index = path[0]
+        if len(path) > 1:
+            stmt = body[index]
+            sub_lists = stmt.substatements()
+            outcome = self._resume_along(proc, sub_lists[path[1]], path[2:], env)
+            if outcome is not _FELL_THROUGH:
+                return outcome
+            if isinstance(stmt, B.BWhile):
+                # Completed an iteration of the loop body: re-test the loop
+                # by re-running the While statement itself.
+                return self._run_slice(proc, body, index, env)
+            index += 1
+        return self._run_slice(proc, body, index, env)
+
+    def _run_slice(self, proc, body, start, env):
+        index = start
+        while index < len(body):
+            stmt = body[index]
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise BoolInterpError("step limit exceeded")
+            self.trace.append(stmt)
+            outcome = self._exec_stmt(proc, stmt, env)
+            if self.listener is not None and not isinstance(stmt, (B.BIf, B.BWhile)):
+                # Atomic statements report their post-state; compound ones
+                # are covered by their inner statements.
+                self.listener(proc.name, stmt, env, self.globals)
+            if isinstance(outcome, _Return) or outcome is _FINISHED:
+                return outcome
+            if isinstance(outcome, _Jump):
+                path = _path_to_label(proc.body, outcome.label)
+                if path is None:
+                    raise BoolInterpError("goto to unknown label %r" % outcome.label)
+                resumed = self._resume_along(proc, proc.body, path, env)
+                if isinstance(resumed, _Return):
+                    return resumed
+                # The continuation ran to the end of the procedure.
+                return _FINISHED
+            index += 1
+        return _FELL_THROUGH
+
+    def _exec_stmt(self, proc, stmt, env):
+        if isinstance(stmt, B.BSkip):
+            return None
+        if isinstance(stmt, B.BAssign):
+            values = [
+                self.eval_expr(value, env, stmt, hint=target)
+                for target, value in zip(stmt.targets, stmt.values)
+            ]
+            for target, value in zip(stmt.targets, values):
+                self._store(target, value, env)
+            self._check_enforce(proc, env)
+            return None
+        if isinstance(stmt, B.BAssume):
+            if not self.eval_expr(stmt.cond, env, stmt):
+                raise AssumeBlocked(stmt)
+            return None
+        if isinstance(stmt, B.BAssert):
+            if not self.eval_expr(stmt.cond, env, stmt):
+                if self.stop_on_assert:
+                    raise BoolAssertionFailure(stmt)
+                self.assert_failures.append(stmt)
+            return None
+        if isinstance(stmt, B.BIf):
+            if self.eval_expr(stmt.cond, env, stmt):
+                outcome = self._run_slice(proc, stmt.then_body, 0, env)
+            else:
+                outcome = self._run_slice(proc, stmt.else_body, 0, env)
+            return None if outcome is _FELL_THROUGH else outcome
+        if isinstance(stmt, B.BWhile):
+            while self.eval_expr(stmt.cond, env, stmt):
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise BoolInterpError("step limit exceeded")
+                outcome = self._run_slice(proc, stmt.body, 0, env)
+                if outcome is not _FELL_THROUGH:
+                    return outcome  # _Return, _Jump never escapes, _FINISHED
+            return None
+        if isinstance(stmt, B.BGoto):
+            return _Jump(stmt.label)
+        if isinstance(stmt, B.BReturn):
+            return _Return([self.eval_expr(v, env, stmt) for v in stmt.values])
+        if isinstance(stmt, B.BCall):
+            args = [
+                self.eval_expr(arg, env, stmt, hint=("arg", stmt.name, index))
+                for index, arg in enumerate(stmt.args)
+            ]
+            results = self.call(stmt.name, args)
+            if stmt.targets:
+                if len(results) != len(stmt.targets):
+                    raise BoolInterpError(
+                        "call to %r returned %d values for %d targets"
+                        % (stmt.name, len(results), len(stmt.targets))
+                    )
+                for target, value in zip(stmt.targets, results):
+                    self._store(target, value, env)
+            self._check_enforce(proc, env)
+            return None
+        raise AssertionError("unhandled statement %r" % type(stmt).__name__)
+
+    def _store(self, name, value, env):
+        if name in env:
+            env[name] = value
+        elif name in self.globals:
+            self.globals[name] = value
+        else:
+            raise BoolInterpError("assignment to unbound variable %r" % name)
+
+
+class _Return:
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        self.values = values
+
+
+class _Jump:
+    __slots__ = ("label",)
+
+    def __init__(self, label):
+        self.label = label
+
+
+_FELL_THROUGH = object()
+_FINISHED = object()
+
+
+def _path_to_label(body, label):
+    """The index path (alternating statement index, substatement-list index)
+    leading to the statement carrying ``label``, or None."""
+    for index, stmt in enumerate(body):
+        if label in stmt.labels:
+            return [index]
+        for sub_index, sub in enumerate(stmt.substatements()):
+            sub_path = _path_to_label(sub, label)
+            if sub_path is not None:
+                return [index, sub_index] + sub_path
+    return None

@@ -1,0 +1,304 @@
+"""Parser for the boolean program concrete syntax.
+
+The syntax is the one the printer emits (Figure 1(b) style).  The only
+lexical subtlety is ``{``: it either opens a block or quotes an arbitrary
+variable name (``{curr==NULL}``).  A ``{`` is treated as a quoted name when
+its matching ``}`` appears before any ``;``, ``{`` or ``}`` and the text
+between is non-empty — which cannot hold for a statement block (every
+non-empty block contains a ``;``, and an empty block's braces are adjacent).
+"""
+
+import re
+
+from repro.boolprog import ast as B
+
+
+class BoolParseError(Exception):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<braced>\{[^;{}]*[^;{}\s][^;{}]*\})
+  | (?P<punct><=|=>|&&|\|\||<|>|[(){};,=!*:])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>[0-9]+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    ["decl", "void", "bool", "enforce", "skip", "assume", "assert", "if", "else", "while", "goto", "return", "choose", "unknown"]
+)
+
+
+def _tokenize(source):
+    tokens = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise BoolParseError(
+                "unexpected character %r at offset %d" % (source[index], index)
+            )
+        index = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "braced":
+            tokens.append(("name", text[1:-1].strip()))
+        elif match.lastgroup == "ident":
+            if text in _KEYWORDS:
+                tokens.append(("kw", text))
+            else:
+                tokens.append(("name", text))
+        elif match.lastgroup == "number":
+            tokens.append(("num", int(text)))
+        else:
+            tokens.append(("punct", text))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source):
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    def _peek(self, ahead=0):
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _next(self):
+        token = self._peek()
+        if token[0] != "eof":
+            self._index += 1
+        return token
+
+    def _expect(self, kind, value=None):
+        token = self._next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise BoolParseError("expected %s %r, found %r" % (kind, value, (token,)))
+        return token
+
+    def _accept(self, kind, value=None):
+        token = self._peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            return self._next()
+        return None
+
+    # -- program -----------------------------------------------------------
+
+    def parse(self):
+        program = B.BProgram()
+        while self._peek()[0] != "eof":
+            if self._accept("kw", "decl"):
+                program.globals.extend(self._name_list())
+                self._expect("punct", ";")
+            else:
+                program.add_procedure(self._parse_procedure())
+        return program
+
+    def _name_list(self):
+        names = [self._expect("name")[1]]
+        while self._accept("punct", ","):
+            names.append(self._expect("name")[1])
+        return names
+
+    def _parse_procedure(self):
+        returns = 0
+        if self._accept("kw", "void"):
+            returns = 0
+        elif self._accept("kw", "bool"):
+            returns = 1
+            if self._accept("punct", "<"):
+                returns = self._expect("num")[1]
+                self._expect("punct", ">")
+        else:
+            raise BoolParseError("expected procedure header, found %r" % (self._peek(),))
+        name = self._expect("name")[1]
+        self._expect("punct", "(")
+        formals = []
+        if not self._peek() == ("punct", ")"):
+            if self._peek()[0] == "name":
+                formals = self._name_list()
+        self._expect("punct", ")")
+        self._expect("punct", "{")
+        locals_ = []
+        while self._accept("kw", "decl"):
+            locals_.extend(self._name_list())
+            self._expect("punct", ";")
+        enforce = None
+        if self._accept("kw", "enforce"):
+            enforce = self._parse_expr()
+            self._expect("punct", ";")
+        body = self._parse_body()
+        return B.BProcedure(name, formals, locals_, returns, body, enforce)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_body(self):
+        """Statements until the closing '}' (consumed)."""
+        stmts = []
+        while not self._accept("punct", "}"):
+            stmts.extend(self._parse_statement())
+        return stmts
+
+    def _parse_statement(self):
+        token = self._peek()
+        # Label: name ':'
+        if token[0] == "name" and self._peek(1) == ("punct", ":"):
+            label = self._next()[1]
+            self._expect("punct", ":")
+            if self._peek() == ("punct", "}"):
+                stmt = B.BSkip()
+                stmt.labels.append(label)
+                return [stmt]
+            inner = self._parse_statement()
+            inner[0].labels.insert(0, label)
+            return inner
+        if self._accept("kw", "skip"):
+            self._expect("punct", ";")
+            return [B.BSkip()]
+        if self._accept("kw", "assume"):
+            self._expect("punct", "(")
+            cond = self._parse_expr()
+            self._expect("punct", ")")
+            self._expect("punct", ";")
+            return [B.BAssume(cond)]
+        if self._accept("kw", "assert"):
+            self._expect("punct", "(")
+            cond = self._parse_expr()
+            self._expect("punct", ")")
+            self._expect("punct", ";")
+            return [B.BAssert(cond)]
+        if self._accept("kw", "goto"):
+            label = self._expect("name")[1]
+            self._expect("punct", ";")
+            return [B.BGoto(label)]
+        if self._accept("kw", "return"):
+            values = []
+            if not self._peek() == ("punct", ";"):
+                values.append(self._parse_expr())
+                while self._accept("punct", ","):
+                    values.append(self._parse_expr())
+            self._expect("punct", ";")
+            return [B.BReturn(values)]
+        if self._accept("kw", "if"):
+            self._expect("punct", "(")
+            cond = self._parse_expr()
+            self._expect("punct", ")")
+            self._expect("punct", "{")
+            then_body = self._parse_body()
+            else_body = []
+            if self._accept("kw", "else"):
+                self._expect("punct", "{")
+                else_body = self._parse_body()
+            return [B.BIf(cond, then_body, else_body)]
+        if self._accept("kw", "while"):
+            self._expect("punct", "(")
+            cond = self._parse_expr()
+            self._expect("punct", ")")
+            self._expect("punct", "{")
+            body = self._parse_body()
+            return [B.BWhile(cond, body)]
+        # Assignment or call: starts with a name.
+        if token[0] == "name":
+            # A void call: name '(' ... ')' ';'
+            if self._peek(1) == ("punct", "("):
+                name = self._next()[1]
+                args = self._parse_args()
+                self._expect("punct", ";")
+                return [B.BCall([], name, args)]
+            targets = self._name_list()
+            self._expect("punct", "=")
+            # Call with results?
+            if (
+                self._peek()[0] == "name"
+                and self._peek(1) == ("punct", "(")
+            ):
+                name = self._next()[1]
+                args = self._parse_args()
+                self._expect("punct", ";")
+                return [B.BCall(targets, name, args)]
+            values = [self._parse_rhs()]
+            while self._accept("punct", ","):
+                values.append(self._parse_rhs())
+            self._expect("punct", ";")
+            if len(values) != len(targets):
+                raise BoolParseError(
+                    "parallel assignment arity mismatch (%d targets, %d values)"
+                    % (len(targets), len(values))
+                )
+            return [B.BAssign(targets, values)]
+        raise BoolParseError("unexpected token %r" % (token,))
+
+    def _parse_args(self):
+        self._expect("punct", "(")
+        args = []
+        if not self._peek() == ("punct", ")"):
+            args.append(self._parse_rhs())
+            while self._accept("punct", ","):
+                args.append(self._parse_rhs())
+        self._expect("punct", ")")
+        return args
+
+    def _parse_rhs(self):
+        """An assignment RHS / call argument: expression, choose, unknown."""
+        if self._peek() == ("kw", "choose"):
+            self._next()
+            self._expect("punct", "(")
+            pos = self._parse_expr()
+            self._expect("punct", ",")
+            neg = self._parse_expr()
+            self._expect("punct", ")")
+            return B.BChoose(pos, neg)
+        if self._peek() == ("kw", "unknown"):
+            self._next()
+            self._expect("punct", "(")
+            self._expect("punct", ")")
+            return B.BUnknown()
+        return self._parse_expr()
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self):
+        left = self._parse_or()
+        if self._accept("punct", "=>"):
+            right = self._parse_expr()
+            return B.BImplies(left, right)
+        return left
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._accept("punct", "||"):
+            left = B.BOr(left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_unary()
+        while self._accept("punct", "&&"):
+            left = B.BAnd(left, self._parse_unary())
+        return left
+
+    def _parse_unary(self):
+        if self._accept("punct", "!"):
+            return B.BNot(self._parse_unary())
+        token = self._next()
+        if token == ("punct", "*"):
+            return B.BNondet()
+        if token[0] == "num":
+            if token[1] in (0, 1):
+                return B.BConst(token[1] == 1)
+            raise BoolParseError("boolean constant must be 0 or 1")
+        if token[0] == "name":
+            return B.BVar(token[1])
+        if token == ("punct", "("):
+            expr = self._parse_expr()
+            self._expect("punct", ")")
+            return expr
+        raise BoolParseError("unexpected token %r in expression" % (token,))
+
+
+def parse_bool_program(source):
+    return _Parser(source).parse()

@@ -1,0 +1,158 @@
+"""Concrete syntax printer for boolean programs (Figure 1(b) style)."""
+
+import re
+
+from repro.boolprog import ast as B
+
+_PLAIN_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _name(name):
+    """Names that are not C identifiers are brace-quoted, as in the paper."""
+    if _PLAIN_IDENT.match(name):
+        return name
+    return "{%s}" % name
+
+
+_PREC = {"or": 1, "implies": 1, "and": 2}
+
+
+def print_bool_expr(expr, parent_prec=0):
+    if isinstance(expr, B.BConst):
+        return "1" if expr.value else "0"
+    if isinstance(expr, B.BVar):
+        return _name(expr.name)
+    if isinstance(expr, B.BNondet):
+        return "*"
+    if isinstance(expr, B.BUnknown):
+        return "unknown()"
+    if isinstance(expr, B.BChoose):
+        return "choose(%s, %s)" % (
+            print_bool_expr(expr.pos),
+            print_bool_expr(expr.neg),
+        )
+    if isinstance(expr, B.BNot):
+        return "!%s" % print_bool_expr(expr.operand, 3)
+    if isinstance(expr, B.BAnd):
+        text = "%s && %s" % (
+            print_bool_expr(expr.left, _PREC["and"]),
+            print_bool_expr(expr.right, _PREC["and"] + 1),
+        )
+        return "(%s)" % text if _PREC["and"] < parent_prec else text
+    if isinstance(expr, B.BOr):
+        text = "%s || %s" % (
+            print_bool_expr(expr.left, _PREC["or"]),
+            print_bool_expr(expr.right, _PREC["or"] + 1),
+        )
+        return "(%s)" % text if _PREC["or"] < parent_prec else text
+    if isinstance(expr, B.BImplies):
+        text = "%s => %s" % (
+            print_bool_expr(expr.left, _PREC["implies"] + 1),
+            print_bool_expr(expr.right, _PREC["implies"]),
+        )
+        return "(%s)" % text if _PREC["implies"] < parent_prec else text
+    raise AssertionError("unhandled boolean expression %r" % type(expr).__name__)
+
+
+def _indent(depth):
+    return "    " * depth
+
+
+def print_bool_stmt(stmt, depth=0):
+    pad = _indent(depth)
+    prefix = "".join("%s%s:\n" % (pad, label) for label in stmt.labels)
+    comment = "  // %s" % stmt.comment if stmt.comment else ""
+
+    if isinstance(stmt, B.BSkip):
+        body = "%sskip;%s\n" % (pad, comment)
+    elif isinstance(stmt, B.BAssign):
+        body = "%s%s = %s;%s\n" % (
+            pad,
+            ", ".join(_name(t) for t in stmt.targets),
+            ", ".join(print_bool_expr(v) for v in stmt.values),
+            comment,
+        )
+    elif isinstance(stmt, B.BAssume):
+        body = "%sassume(%s);%s\n" % (pad, print_bool_expr(stmt.cond), comment)
+    elif isinstance(stmt, B.BAssert):
+        body = "%sassert(%s);%s\n" % (pad, print_bool_expr(stmt.cond), comment)
+    elif isinstance(stmt, B.BIf):
+        body = "%sif (%s) {%s\n%s%s}" % (
+            pad,
+            print_bool_expr(stmt.cond),
+            comment,
+            print_bool_body(stmt.then_body, depth + 1),
+            pad,
+        )
+        if stmt.else_body:
+            body += " else {\n%s%s}" % (print_bool_body(stmt.else_body, depth + 1), pad)
+        body += "\n"
+    elif isinstance(stmt, B.BWhile):
+        body = "%swhile (%s) {%s\n%s%s}\n" % (
+            pad,
+            print_bool_expr(stmt.cond),
+            comment,
+            print_bool_body(stmt.body, depth + 1),
+            pad,
+        )
+    elif isinstance(stmt, B.BGoto):
+        body = "%sgoto %s;%s\n" % (pad, stmt.label, comment)
+    elif isinstance(stmt, B.BReturn):
+        if stmt.values:
+            body = "%sreturn %s;%s\n" % (
+                pad,
+                ", ".join(print_bool_expr(v) for v in stmt.values),
+                comment,
+            )
+        else:
+            body = "%sreturn;%s\n" % (pad, comment)
+    elif isinstance(stmt, B.BCall):
+        call = "%s(%s)" % (stmt.name, ", ".join(print_bool_expr(a) for a in stmt.args))
+        if stmt.targets:
+            body = "%s%s = %s;%s\n" % (
+                pad,
+                ", ".join(_name(t) for t in stmt.targets),
+                call,
+                comment,
+            )
+        else:
+            body = "%s%s;%s\n" % (pad, call, comment)
+    else:
+        raise AssertionError("unhandled statement %r" % type(stmt).__name__)
+    return prefix + body
+
+
+def print_bool_body(stmts, depth):
+    return "".join(print_bool_stmt(stmt, depth) for stmt in stmts)
+
+
+def print_bool_program(program):
+    parts = []
+    if program.globals:
+        parts.append("decl %s;\n" % ", ".join(_name(g) for g in program.globals))
+    for proc in program.procedures.values():
+        if proc.returns == 0:
+            header = "void %s(%s)" % (
+                proc.name,
+                ", ".join(_name(f) for f in proc.formals),
+            )
+        elif proc.returns == 1:
+            header = "bool %s(%s)" % (
+                proc.name,
+                ", ".join(_name(f) for f in proc.formals),
+            )
+        else:
+            header = "bool<%d> %s(%s)" % (
+                proc.returns,
+                proc.name,
+                ", ".join(_name(f) for f in proc.formals),
+            )
+        lines = ["%s {" % header]
+        if proc.locals:
+            lines.append("    decl %s;" % ", ".join(_name(v) for v in proc.locals))
+        if proc.enforce is not None:
+            lines.append("    enforce %s;" % print_bool_expr(proc.enforce))
+        lines.append(print_bool_body(proc.body, 1).rstrip("\n"))
+        lines.append("}\n")
+        parts.append("\n".join(lines))
+    return "\n".join(parts)

@@ -1,0 +1,186 @@
+"""Well-formedness checking for boolean programs.
+
+C2bp's output is correct by construction, but hand-written ``.bp`` files
+(and programs produced by other front ends) benefit from a validator.
+Checked properties:
+
+- every variable read or written is a global, formal, or local in scope;
+- ``choose``/``unknown()``/``*`` appear only where they are meaningful
+  (assignment right-hand sides, call arguments, and — for ``*`` — branch
+  conditions), never nested inside boolean operators;
+- parallel assignments have matching arities and distinct targets;
+- every ``goto`` targets an existing label, and labels are unique within
+  a procedure;
+- calls name existing procedures with matching argument/result arities;
+- every ``return`` carries exactly the procedure's declared number of
+  values;
+- the ``enforce`` expression is deterministic and in scope.
+"""
+
+from repro.boolprog import ast as B
+
+
+class ValidationError(Exception):
+    """Carries the full list of problems found."""
+
+    def __init__(self, problems):
+        super().__init__("; ".join(problems))
+        self.problems = list(problems)
+
+
+class _Validator:
+    def __init__(self, program):
+        self.program = program
+        self.problems = []
+
+    def problem(self, text):
+        self.problems.append(text)
+
+    def run(self):
+        seen_globals = set()
+        for name in self.program.globals:
+            if name in seen_globals:
+                self.problem("duplicate global %r" % name)
+            seen_globals.add(name)
+        for proc in self.program.procedures.values():
+            self._check_procedure(proc)
+        if self.problems:
+            raise ValidationError(self.problems)
+        return True
+
+    # -- procedures -----------------------------------------------------------
+
+    def _check_procedure(self, proc):
+        scope = set(self.program.globals)
+        for name in proc.formals + proc.locals:
+            if name in proc.formals and name in proc.locals:
+                self.problem("%s: %r is both formal and local" % (proc.name, name))
+            scope.add(name)
+        if len(set(proc.formals)) != len(proc.formals):
+            self.problem("%s: duplicate formals" % proc.name)
+        if len(set(proc.locals)) != len(proc.locals):
+            self.problem("%s: duplicate locals" % proc.name)
+        labels = self._collect_labels(proc)
+        if proc.enforce is not None:
+            self._check_expr(proc, proc.enforce, scope, allow_nondet=False)
+        self._check_body(proc, proc.body, scope, labels)
+
+    def _collect_labels(self, proc):
+        labels = set()
+
+        def visit(stmts):
+            for stmt in stmts:
+                for label in stmt.labels:
+                    if label in labels:
+                        self.problem(
+                            "%s: duplicate label %r" % (proc.name, label)
+                        )
+                    labels.add(label)
+                for sub in stmt.substatements():
+                    visit(sub)
+
+        visit(proc.body)
+        return labels
+
+    # -- statements --------------------------------------------------------------
+
+    def _check_body(self, proc, stmts, scope, labels):
+        for stmt in stmts:
+            self._check_stmt(proc, stmt, scope, labels)
+
+    def _check_stmt(self, proc, stmt, scope, labels):
+        where = proc.name
+        if isinstance(stmt, B.BSkip):
+            return
+        if isinstance(stmt, B.BAssign):
+            if len(stmt.targets) != len(stmt.values):
+                self.problem("%s: assignment arity mismatch" % where)
+            if len(set(stmt.targets)) != len(stmt.targets):
+                self.problem("%s: repeated target in parallel assignment" % where)
+            for target in stmt.targets:
+                if target not in scope:
+                    self.problem("%s: assignment to unknown %r" % (where, target))
+            for value in stmt.values:
+                self._check_rhs(proc, value, scope)
+            return
+        if isinstance(stmt, (B.BAssume, B.BAssert)):
+            self._check_expr(proc, stmt.cond, scope, allow_nondet=False)
+            return
+        if isinstance(stmt, (B.BIf, B.BWhile)):
+            cond = stmt.cond
+            if not isinstance(cond, B.BNondet):
+                self._check_expr(proc, cond, scope, allow_nondet=False)
+            for sub in stmt.substatements():
+                self._check_body(proc, sub, scope, labels)
+            return
+        if isinstance(stmt, B.BGoto):
+            if stmt.label not in labels:
+                self.problem("%s: goto unknown label %r" % (where, stmt.label))
+            return
+        if isinstance(stmt, B.BReturn):
+            if len(stmt.values) != proc.returns:
+                self.problem(
+                    "%s: return carries %d values, procedure declares %d"
+                    % (where, len(stmt.values), proc.returns)
+                )
+            for value in stmt.values:
+                self._check_expr(proc, value, scope, allow_nondet=False)
+            return
+        if isinstance(stmt, B.BCall):
+            callee = self.program.procedures.get(stmt.name)
+            if callee is None:
+                self.problem("%s: call to unknown procedure %r" % (where, stmt.name))
+            else:
+                if len(stmt.args) != len(callee.formals):
+                    self.problem(
+                        "%s: call to %s with %d args, expected %d"
+                        % (where, stmt.name, len(stmt.args), len(callee.formals))
+                    )
+                if stmt.targets and len(stmt.targets) != callee.returns:
+                    self.problem(
+                        "%s: call to %s binds %d results, procedure returns %d"
+                        % (where, stmt.name, len(stmt.targets), callee.returns)
+                    )
+            for target in stmt.targets:
+                if target not in scope:
+                    self.problem("%s: call result into unknown %r" % (where, target))
+            for arg in stmt.args:
+                self._check_rhs(proc, arg, scope)
+            return
+        self.problem("%s: unknown statement %r" % (where, type(stmt).__name__))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _check_rhs(self, proc, value, scope):
+        """Assignment RHS / call argument: choose/unknown allowed at top."""
+        if isinstance(value, B.BUnknown) or isinstance(value, B.BNondet):
+            return
+        if isinstance(value, B.BChoose):
+            self._check_expr(proc, value.pos, scope, allow_nondet=False)
+            self._check_expr(proc, value.neg, scope, allow_nondet=False)
+            return
+        self._check_expr(proc, value, scope, allow_nondet=False)
+
+    def _check_expr(self, proc, expr, scope, allow_nondet):
+        if isinstance(expr, B.BConst):
+            return
+        if isinstance(expr, B.BVar):
+            if expr.name not in scope:
+                self.problem(
+                    "%s: reference to unknown variable %r" % (proc.name, expr.name)
+                )
+            return
+        if isinstance(expr, (B.BNondet, B.BUnknown, B.BChoose)):
+            if not allow_nondet:
+                self.problem(
+                    "%s: nondeterministic expression in deterministic position"
+                    % proc.name
+                )
+            return
+        for child in expr.children():
+            self._check_expr(proc, child, scope, allow_nondet=False)
+
+
+def validate_bool_program(program):
+    """Raise :class:`ValidationError` unless ``program`` is well formed."""
+    return _Validator(program).run()

@@ -1,0 +1,56 @@
+"""C front end for the predicate-abstraction toolkit.
+
+This package implements the substrate the paper obtains from the Microsoft
+AST toolkit: a lexer, parser, type checker, and lowering pass for a
+substantial subset of C, producing the simple intermediate form that C2bp
+consumes (side-effect-free expressions, function calls only at statement
+level, no multiple pointer dereferences, if/goto + while control flow).
+"""
+
+from repro.cfront.errors import CFrontError, LexError, ParseError, TypeError_
+from repro.cfront.lexer import Lexer, tokenize
+from repro.cfront.parser import Parser, parse_program, parse_expression
+from repro.cfront.simplify import simplify_program
+from repro.cfront.typecheck import TypeChecker, typecheck_program
+from repro.cfront.cfg import ControlFlowGraph, build_cfg
+from repro.cfront.pretty import pretty_program, pretty_expr, pretty_stmt
+
+
+def parse_c_program(source, name="<program>"):
+    """Parse, type check, and lower C source into the intermediate form.
+
+    This is the front door used by C2bp, Newton, and SLAM: the returned
+    ``Program`` is in the simple intermediate form of Section 4 of the paper.
+    """
+    program = parse_program(source, name=name)
+    typecheck_program(program)
+    lowered = simplify_program(program)
+    typecheck_program(lowered)
+    # Stamp globally unique statement ids now, so every downstream phase
+    # (C2bp, Bebop trace correspondence, Newton) sees the same numbering.
+    from repro.cfront.cfg import build_program_cfgs
+
+    build_program_cfgs(lowered)
+    return lowered
+
+
+__all__ = [
+    "CFrontError",
+    "ControlFlowGraph",
+    "LexError",
+    "Lexer",
+    "ParseError",
+    "Parser",
+    "TypeChecker",
+    "TypeError_",
+    "build_cfg",
+    "parse_c_program",
+    "parse_expression",
+    "parse_program",
+    "pretty_expr",
+    "pretty_program",
+    "pretty_stmt",
+    "simplify_program",
+    "tokenize",
+    "typecheck_program",
+]

@@ -1,0 +1,673 @@
+"""Abstract syntax for the C subset.
+
+Expressions are immutable values with structural equality and hashing; the
+predicate-abstraction core relies on this to use expressions as dictionary
+keys (prover cache, predicate maps) and to perform syntactic substitution
+for weakest preconditions.
+
+Statements are mutable nodes; the lowering pass rewrites them in place or
+replaces them wholesale.  Every statement carries a source position and,
+after CFG construction, a stable integer id.
+"""
+
+from repro.cfront.errors import UNKNOWN_POS
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+ARITH_OPS = frozenset(["+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"])
+REL_OPS = frozenset(["<", "<=", ">", ">=", "==", "!="])
+LOGIC_OPS = frozenset(["&&", "||"])
+BINARY_OPS = ARITH_OPS | REL_OPS | LOGIC_OPS
+UNARY_OPS = frozenset(["-", "+", "!", "~"])
+
+NEGATED_REL = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+SWAPPED_REL = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+class Expr:
+    """Base class for expressions; subclasses define ``_key()``."""
+
+    __slots__ = ("_hash", "type", "pos")
+
+    def __init__(self, pos=None):
+        self._hash = None
+        self.type = None  # filled in by the type checker
+        self.pos = pos or UNKNOWN_POS
+
+    def _key(self):
+        raise NotImplementedError
+
+    def children(self):
+        """Direct sub-expressions, left to right."""
+        return ()
+
+    def rebuild(self, children):
+        """A copy of this node with ``children`` as its sub-expressions.
+
+        The static type annotation is preserved, since substitution and
+        lowering never change a node's type.
+        """
+        node = self._rebuild(children)
+        if node is not self and node.type is None:
+            node.type = self.type
+        return node
+
+    def _rebuild(self, children):
+        raise NotImplementedError
+
+    def is_lvalue(self):
+        return False
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self):
+        from repro.cfront.pretty import pretty_expr
+
+        return "<%s %s>" % (type(self).__name__, pretty_expr(self))
+
+
+class Id(Expr):
+    """A variable reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name, pos=None):
+        super().__init__(pos)
+        self.name = name
+
+    def _key(self):
+        return ("Id", self.name)
+
+    def _rebuild(self, children):
+        return self
+
+    def is_lvalue(self):
+        return True
+
+
+class IntLit(Expr):
+    """An integer constant; NULL is represented as ``IntLit(0)``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, pos=None):
+        super().__init__(pos)
+        self.value = value
+
+    def _key(self):
+        return ("IntLit", self.value)
+
+    def _rebuild(self, children):
+        return self
+
+
+class BinOp(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, pos=None):
+        assert op in BINARY_OPS, op
+        super().__init__(pos)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _key(self):
+        return ("BinOp", self.op, self.left._key(), self.right._key())
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _rebuild(self, children):
+        left, right = children
+        return BinOp(self.op, left, right, self.pos)
+
+
+class UnOp(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, pos=None):
+        assert op in UNARY_OPS, op
+        super().__init__(pos)
+        self.op = op
+        self.operand = operand
+
+    def _key(self):
+        return ("UnOp", self.op, self.operand._key())
+
+    def children(self):
+        return (self.operand,)
+
+    def _rebuild(self, children):
+        (operand,) = children
+        return UnOp(self.op, operand, self.pos)
+
+
+class Deref(Expr):
+    """``*e``.  ``e->f`` is normalized to ``FieldAccess(Deref(e), f)``."""
+
+    __slots__ = ("pointer",)
+
+    def __init__(self, pointer, pos=None):
+        super().__init__(pos)
+        self.pointer = pointer
+
+    def _key(self):
+        return ("Deref", self.pointer._key())
+
+    def children(self):
+        return (self.pointer,)
+
+    def _rebuild(self, children):
+        (pointer,) = children
+        return Deref(pointer, self.pos)
+
+    def is_lvalue(self):
+        return True
+
+
+class AddrOf(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand, pos=None):
+        super().__init__(pos)
+        self.operand = operand
+
+    def _key(self):
+        return ("AddrOf", self.operand._key())
+
+    def children(self):
+        return (self.operand,)
+
+    def _rebuild(self, children):
+        (operand,) = children
+        return AddrOf(operand, self.pos)
+
+
+class FieldAccess(Expr):
+    """``base.field`` where ``base`` has struct type."""
+
+    __slots__ = ("base", "field")
+
+    def __init__(self, base, field, pos=None):
+        super().__init__(pos)
+        self.base = base
+        self.field = field
+
+    def _key(self):
+        return ("FieldAccess", self.base._key(), self.field)
+
+    def children(self):
+        return (self.base,)
+
+    def _rebuild(self, children):
+        (base,) = children
+        return FieldAccess(base, self.field, self.pos)
+
+    def is_lvalue(self):
+        return True
+
+
+class Index(Expr):
+    """``base[index]``; under the logical memory model the element object."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index, pos=None):
+        super().__init__(pos)
+        self.base = base
+        self.index = index
+
+    def _key(self):
+        return ("Index", self.base._key(), self.index._key())
+
+    def children(self):
+        return (self.base, self.index)
+
+    def _rebuild(self, children):
+        base, index = children
+        return Index(base, index, self.pos)
+
+    def is_lvalue(self):
+        return True
+
+
+class Call(Expr):
+    """A function call.  After lowering, calls appear only at statement level."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args, pos=None):
+        super().__init__(pos)
+        self.name = name
+        self.args = tuple(args)
+
+    def _key(self):
+        return ("Call", self.name) + tuple(a._key() for a in self.args)
+
+    def children(self):
+        return self.args
+
+    def _rebuild(self, children):
+        return Call(self.name, children, self.pos)
+
+
+class Cond(Expr):
+    """The ternary ``c ? t : f``; eliminated by lowering."""
+
+    __slots__ = ("cond", "then_expr", "else_expr")
+
+    def __init__(self, cond, then_expr, else_expr, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+    def _key(self):
+        return ("Cond", self.cond._key(), self.then_expr._key(), self.else_expr._key())
+
+    def children(self):
+        return (self.cond, self.then_expr, self.else_expr)
+
+    def _rebuild(self, children):
+        cond, then_expr, else_expr = children
+        return Cond(cond, then_expr, else_expr, self.pos)
+
+
+class Cast(Expr):
+    """An explicit cast; a no-op under the logical memory model."""
+
+    __slots__ = ("to_type", "operand")
+
+    def __init__(self, to_type, operand, pos=None):
+        super().__init__(pos)
+        self.to_type = to_type
+        self.operand = operand
+
+    def _key(self):
+        return ("Cast", str(self.to_type), self.operand._key())
+
+    def children(self):
+        return (self.operand,)
+
+    def _rebuild(self, children):
+        (operand,) = children
+        return Cast(self.to_type, operand, self.pos)
+
+    def is_lvalue(self):
+        return self.operand.is_lvalue()
+
+
+class Unknown(Expr):
+    """A nondeterministic value, written ``*`` in conditions.
+
+    Produced by SLAM instrumentation and by the corpus of driver-like
+    programs to model environment input (e.g. results of reading hardware
+    registers).  ``unknowns`` are distinguished by an id so that two
+    occurrences are not considered equal.
+    """
+
+    __slots__ = ("uid",)
+
+    def __init__(self, uid=0, pos=None):
+        super().__init__(pos)
+        self.uid = uid
+
+    def _key(self):
+        return ("Unknown", self.uid)
+
+    def _rebuild(self, children):
+        return self
+
+
+NULL = IntLit(0)
+TRUE = IntLit(1)
+FALSE = IntLit(0)
+
+
+def arrow(base, field, pos=None):
+    """Build ``base->field`` in its normalized ``(*base).field`` form."""
+    return FieldAccess(Deref(base, pos), field, pos)
+
+
+def negate(expr):
+    """Logical negation with relational-operator folding.
+
+    ``negate(x < y)`` yields ``x >= y`` rather than ``!(x < y)`` so that
+    negated predicates stay inside the prover's atom language.
+    """
+    if isinstance(expr, UnOp) and expr.op == "!":
+        return expr.operand
+    if isinstance(expr, BinOp) and expr.op in NEGATED_REL:
+        return BinOp(NEGATED_REL[expr.op], expr.left, expr.right, expr.pos)
+    if isinstance(expr, BinOp) and expr.op == "&&":
+        return BinOp("||", negate(expr.left), negate(expr.right), expr.pos)
+    if isinstance(expr, BinOp) and expr.op == "||":
+        return BinOp("&&", negate(expr.left), negate(expr.right), expr.pos)
+    if isinstance(expr, IntLit):
+        return IntLit(0 if expr.value else 1, expr.pos)
+    return UnOp("!", expr, expr.pos)
+
+
+def conjoin(exprs):
+    """Conjunction of a sequence of expressions (``1`` if empty)."""
+    exprs = list(exprs)
+    if not exprs:
+        return IntLit(1)
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = BinOp("&&", result, expr)
+    return result
+
+
+def disjoin(exprs):
+    """Disjunction of a sequence of expressions (``0`` if empty)."""
+    exprs = list(exprs)
+    if not exprs:
+        return IntLit(0)
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = BinOp("||", result, expr)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statements in the intermediate form."""
+
+    __slots__ = ("pos", "sid", "labels")
+
+    def __init__(self, pos=None):
+        self.pos = pos or UNKNOWN_POS
+        self.sid = None  # assigned by the CFG builder
+        self.labels = []  # goto labels attached to this statement
+
+    def substatements(self):
+        """Nested statement lists (for If/While); flat statements return ()."""
+        return ()
+
+    def __repr__(self):
+        from repro.cfront.pretty import pretty_stmt
+
+        return "<%s %s>" % (type(self).__name__, pretty_stmt(self).strip())
+
+
+class Skip(Stmt):
+    """The no-op statement (also the target of bare labels)."""
+
+    __slots__ = ()
+
+
+class Assign(Stmt):
+    """``lhs = rhs;`` where ``rhs`` contains no calls (after lowering)."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs, rhs, pos=None):
+        super().__init__(pos)
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class CallStmt(Stmt):
+    """``lhs = name(args);`` or ``name(args);`` (``lhs`` may be None)."""
+
+    __slots__ = ("lhs", "name", "args")
+
+    def __init__(self, lhs, name, args, pos=None):
+        super().__init__(pos)
+        self.lhs = lhs
+        self.name = name
+        self.args = list(args)
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond, then_body, else_body=None, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.then_body = list(then_body)
+        self.else_body = list(else_body or [])
+
+    def substatements(self):
+        return (self.then_body, self.else_body)
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.body = list(body)
+
+    def substatements(self):
+        return (self.body,)
+
+
+class DoWhile(Stmt):
+    """Parsed form only; lowering rewrites it into While + duplicate body."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.body = list(body)
+
+    def substatements(self):
+        return (self.body,)
+
+
+class For(Stmt):
+    """Parsed form only; lowering rewrites it into init + While."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, pos=None):
+        super().__init__(pos)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = list(body)
+
+    def substatements(self):
+        return (self.body,)
+
+
+class Goto(Stmt):
+    __slots__ = ("label",)
+
+    def __init__(self, label, pos=None):
+        super().__init__(pos)
+        self.label = label
+
+
+class Break(Stmt):
+    """Parsed form only; lowered to a goto."""
+
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    """Parsed form only; lowered to a goto."""
+
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value=None, pos=None):
+        super().__init__(pos)
+        self.value = value
+
+
+class Assert(Stmt):
+    """``assert(e);`` — SLAM checks whether a failing assert is reachable."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+
+
+class Assume(Stmt):
+    """``assume(e);`` — executions where ``e`` is false are ignored."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+
+
+class ExprStmt(Stmt):
+    """An expression evaluated for side effects; eliminated by lowering."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, pos=None):
+        super().__init__(pos)
+        self.expr = expr
+
+
+# ---------------------------------------------------------------------------
+# Declarations / program structure
+# ---------------------------------------------------------------------------
+
+
+class VarDecl:
+    """A global or local variable declaration."""
+
+    __slots__ = ("name", "type", "init", "pos", "address_taken")
+
+    def __init__(self, name, ctype, init=None, pos=None):
+        self.name = name
+        self.type = ctype
+        self.init = init
+        self.pos = pos or UNKNOWN_POS
+        self.address_taken = False  # filled in by the points-to analysis
+
+    def __repr__(self):
+        return "VarDecl(%r, %s)" % (self.name, self.type)
+
+
+class Function:
+    """A function definition (or extern declaration when ``body`` is None)."""
+
+    __slots__ = ("name", "ret_type", "params", "locals", "body", "pos", "return_var")
+
+    def __init__(self, name, ret_type, params, locals_, body, pos=None):
+        self.name = name
+        self.ret_type = ret_type
+        self.params = list(params)
+        self.locals = list(locals_)
+        self.body = body  # list of Stmt, or None for extern declarations
+        self.pos = pos or UNKNOWN_POS
+        # After lowering: the canonical single return variable's name, or
+        # None for void functions.
+        self.return_var = None
+
+    @property
+    def is_defined(self):
+        return self.body is not None
+
+    def param_names(self):
+        return [p.name for p in self.params]
+
+    def local_names(self):
+        return [v.name for v in self.locals]
+
+    def lookup_var(self, name):
+        """The VarDecl for a parameter or local, or None."""
+        for decl in self.params:
+            if decl.name == name:
+                return decl
+        for decl in self.locals:
+            if decl.name == name:
+                return decl
+        return None
+
+    def __repr__(self):
+        return "Function(%r)" % self.name
+
+
+class Program:
+    """A complete translation unit in (or before) the intermediate form."""
+
+    __slots__ = ("name", "structs", "globals", "functions", "typedefs", "protected_globals")
+
+    def __init__(self, name="<program>"):
+        self.name = name
+        self.structs = {}  # tag -> StructType
+        self.globals = []  # list of VarDecl
+        self.functions = {}  # name -> Function (insertion ordered)
+        self.typedefs = {}  # name -> CType
+        # Globals no extern call can reach (SLAM instrumentation state);
+        # extern-call havoc in C2bp leaves predicates over these alone.
+        self.protected_globals = set()
+
+    def global_names(self):
+        return [decl.name for decl in self.globals]
+
+    def lookup_global(self, name):
+        for decl in self.globals:
+            if decl.name == name:
+                return decl
+        return None
+
+    def lookup_var(self, func_name, var_name):
+        """Resolve a variable name in a function's scope (locals shadow
+        globals), returning its VarDecl or None."""
+        func = self.functions.get(func_name)
+        if func is not None:
+            decl = func.lookup_var(var_name)
+            if decl is not None:
+                return decl
+        return self.lookup_global(var_name)
+
+    def defined_functions(self):
+        return [f for f in self.functions.values() if f.is_defined]
+
+    def statement_count(self):
+        """Number of statements in all defined functions (a proxy for the
+        paper's 'lines' column)."""
+        total = 0
+
+        def count(stmts):
+            nonlocal total
+            for stmt in stmts:
+                total += 1
+                for sub in stmt.substatements():
+                    count(sub)
+
+        for func in self.defined_functions():
+            count(func.body)
+        return total
+
+    def __repr__(self):
+        return "Program(%r, functions=%r)" % (self.name, list(self.functions))

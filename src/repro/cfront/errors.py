@@ -1,0 +1,65 @@
+"""Diagnostics for the C front end.
+
+All front-end errors carry a source position so that tools built on top
+(C2bp, SLAM) can report problems against the original C text.
+"""
+
+
+class SourcePos:
+    """A (line, column) position in a named source buffer."""
+
+    __slots__ = ("source_name", "line", "column")
+
+    def __init__(self, source_name, line, column):
+        self.source_name = source_name
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return "SourcePos(%r, %d, %d)" % (self.source_name, self.line, self.column)
+
+    def __str__(self):
+        return "%s:%d:%d" % (self.source_name, self.line, self.column)
+
+    def __eq__(self, other):
+        if not isinstance(other, SourcePos):
+            return NotImplemented
+        return (
+            self.source_name == other.source_name
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self):
+        return hash((self.source_name, self.line, self.column))
+
+
+UNKNOWN_POS = SourcePos("<unknown>", 0, 0)
+
+
+class CFrontError(Exception):
+    """Base class for all front-end diagnostics."""
+
+    def __init__(self, message, pos=None):
+        self.message = message
+        self.pos = pos or UNKNOWN_POS
+        super().__init__("%s: %s" % (self.pos, message))
+
+
+class LexError(CFrontError):
+    """Raised on malformed input at the token level."""
+
+
+class ParseError(CFrontError):
+    """Raised on syntactically invalid programs."""
+
+
+class TypeError_(CFrontError):
+    """Raised on ill-typed programs.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class LoweringError(CFrontError):
+    """Raised when a construct cannot be lowered to the intermediate form."""

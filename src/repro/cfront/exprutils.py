@@ -1,0 +1,262 @@
+"""Expression traversal, substitution, and syntactic analyses.
+
+These helpers implement the syntactic notions the paper relies on:
+``vars(e)`` and ``drfs(e)`` for signature computation (Section 4.5.2),
+*locations* for Morris' axiom of assignment (Section 4.2), and capture-free
+syntactic substitution for weakest preconditions.
+"""
+
+from repro.cfront import cast as C
+
+
+def walk(expr):
+    """Yield ``expr`` and all sub-expressions, preorder."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def substitute(expr, mapping):
+    """Replace maximal sub-expressions of ``expr`` per ``mapping``.
+
+    ``mapping`` maps expressions (matched structurally) to replacement
+    expressions.  A matched node is replaced wholesale and its replacement is
+    not rescanned, which gives the standard simultaneous substitution
+    ``φ[e/x]`` used in weakest preconditions.
+    """
+    if not mapping:
+        return expr
+    hit = mapping.get(expr)
+    if hit is not None:
+        return hit
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = tuple(substitute(child, mapping) for child in children)
+    if all(a is b for a, b in zip(children, new_children)):
+        return expr
+    return expr.rebuild(new_children)
+
+
+def variables(expr):
+    """``vars(e)``: the set of variable names referenced in ``expr``."""
+    return {node.name for node in walk(expr) if isinstance(node, C.Id)}
+
+
+def derefs(expr):
+    """``drfs(e)``: variable names dereferenced (via ``*``, ``->``, ``[]``)."""
+    result = set()
+    for node in walk(expr):
+        if isinstance(node, C.Deref):
+            result |= variables(node.pointer)
+        elif isinstance(node, C.Index):
+            result |= variables(node.base)
+    return result
+
+
+def locations(expr):
+    """The set of *locations read* by ``expr``.
+
+    A location (Section 4.2) is a variable, a structure field access from a
+    location, or a dereference of a location.  Array elements are treated as
+    dereferences of the array object under the logical memory model.
+
+    An lvalue under ``&`` is *not* read — ``&x`` uses only x's (immutable)
+    address — but the sub-expressions that compute the address are: ``&p->f``
+    reads ``p``, ``&a[i]`` reads ``a`` (decayed) and ``i``.
+    """
+    result = set()
+
+    def collect(node, address_only):
+        if isinstance(node, C.AddrOf):
+            collect(node.operand, True)
+            return
+        if isinstance(node, C.Cast):
+            collect(node.operand, address_only)
+            return
+        if node.is_lvalue() and not address_only:
+            result.add(node)
+        if address_only:
+            # Walk the lvalue spine: the outer accesses contribute no
+            # reads, but the base pointer / index values do.
+            if isinstance(node, C.FieldAccess):
+                collect(node.base, True)
+                return
+            if isinstance(node, C.Deref):
+                collect(node.pointer, False)
+                return
+            if isinstance(node, C.Index):
+                collect(node.base, False)
+                collect(node.index, False)
+                return
+            return  # a bare Id under &: no read
+        for child in node.children():
+            collect(child, False)
+
+    collect(expr, False)
+    return result
+
+
+def max_locations(expr):
+    """Locations of ``expr`` that are not sub-expressions of other locations.
+
+    For ``p->val`` this is ``{p->val}`` rather than ``{p->val, p}``: Morris'
+    axiom only needs the outermost read locations, since an alias of an inner
+    location changes the *identity* of the outer one, which the full
+    location-by-location expansion already covers via the inner location's
+    occurrence inside the outer's address computation.
+    """
+    locs = locations(expr)
+    result = set()
+    for loc in locs:
+        inside_other = any(
+            other is not loc and loc in set(walk(other)) for other in locs
+        )
+        if not inside_other:
+            result.add(loc)
+    return result
+
+
+def contains_call(expr):
+    return any(isinstance(node, C.Call) for node in walk(expr))
+
+
+def contains_unknown(expr):
+    return any(isinstance(node, C.Unknown) for node in walk(expr))
+
+
+def is_pure_predicate(expr):
+    """Whether ``expr`` is a legal C2bp predicate: a pure boolean C
+    expression with no function calls and no nondeterminism."""
+    return not contains_call(expr) and not contains_unknown(expr)
+
+
+def multi_deref_depth(expr):
+    """The maximum number of nested ``Deref``/``Index`` nodes along any path;
+    the intermediate form requires this to be at most 1 per *chain*.
+
+    Note ``p->next->val`` has chain depth 2 (``*(*(p).next).val``... i.e. two
+    dereferences of pointers reached from one another) and must be hoisted.
+    """
+
+    def depth(node):
+        base = 0
+        if isinstance(node, (C.Deref, C.Index)):
+            base = 1
+        child_depth = max((depth(child) for child in node.children()), default=0)
+        return base + child_depth
+
+    return depth(expr)
+
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _c_div(a, b):
+    """C semantics: division truncates toward zero."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a, b):
+    return a - _c_div(a, b) * b
+
+
+def fold_constants(expr):
+    """Bottom-up constant folding plus address simplification
+    (``*&x`` folds to ``x`` and ``&*p`` to ``p``).  Division by a constant
+    zero is left unfolded (the prover treats it as uninterpreted)."""
+    children = expr.children()
+    if children:
+        expr = expr.rebuild(tuple(fold_constants(child) for child in children))
+    if isinstance(expr, C.Deref) and isinstance(expr.pointer, C.AddrOf):
+        return expr.pointer.operand
+    if isinstance(expr, C.AddrOf) and isinstance(expr.operand, C.Deref):
+        return expr.operand.pointer
+    if isinstance(expr, C.UnOp) and isinstance(expr.operand, C.IntLit):
+        v = expr.operand.value
+        if expr.op == "-":
+            return C.IntLit(-v, expr.pos)
+        if expr.op == "+":
+            return expr.operand
+        if expr.op == "!":
+            return C.IntLit(0 if v else 1, expr.pos)
+        if expr.op == "~":
+            return C.IntLit(~v, expr.pos)
+    if (
+        isinstance(expr, C.BinOp)
+        and isinstance(expr.left, C.IntLit)
+        and isinstance(expr.right, C.IntLit)
+    ):
+        a, b = expr.left.value, expr.right.value
+        op = expr.op
+        if op == "+":
+            return C.IntLit(a + b, expr.pos)
+        if op == "-":
+            return C.IntLit(a - b, expr.pos)
+        if op == "*":
+            return C.IntLit(a * b, expr.pos)
+        if op == "/" and b != 0:
+            return C.IntLit(_c_div(a, b), expr.pos)
+        if op == "%" and b != 0:
+            return C.IntLit(_c_mod(a, b), expr.pos)
+        if op == "<<" and b >= 0:
+            return C.IntLit(a << b, expr.pos)
+        if op == ">>" and b >= 0:
+            return C.IntLit(a >> b, expr.pos)
+        if op == "&":
+            return C.IntLit(a & b, expr.pos)
+        if op == "|":
+            return C.IntLit(a | b, expr.pos)
+        if op == "^":
+            return C.IntLit(a ^ b, expr.pos)
+        if op in _COMPARISONS:
+            return C.IntLit(1 if _COMPARISONS[op](a, b) else 0, expr.pos)
+        if op == "&&":
+            return C.IntLit(1 if (a and b) else 0, expr.pos)
+        if op == "||":
+            return C.IntLit(1 if (a or b) else 0, expr.pos)
+    # Short-circuit folds with one constant side (expressions are pure, so
+    # dropping the other side is sound).  The remaining operand must be
+    # *normalized to a boolean*: `a && 1` is `a != 0`, not `a`.
+    if isinstance(expr, C.BinOp) and expr.op in ("&&", "||"):
+        for lit, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            if isinstance(lit, C.IntLit):
+                if expr.op == "&&":
+                    if not lit.value:
+                        return C.IntLit(0, expr.pos)
+                    return _as_boolean(other, expr.pos)
+                if lit.value:
+                    return C.IntLit(1, expr.pos)
+                return _as_boolean(other, expr.pos)
+    return expr
+
+
+def _as_boolean(expr, pos):
+    """The 0/1-valued form of a truth-valued use of ``expr``."""
+    if isinstance(expr, C.BinOp) and (expr.op in C.REL_OPS or expr.op in C.LOGIC_OPS):
+        return expr
+    if isinstance(expr, C.UnOp) and expr.op == "!":
+        return expr
+    if isinstance(expr, C.IntLit):
+        return C.IntLit(1 if expr.value else 0, pos)
+    return C.BinOp("!=", expr, C.IntLit(0), pos)
+
+
+def is_trivially_true(expr):
+    folded = fold_constants(expr)
+    return isinstance(folded, C.IntLit) and folded.value != 0
+
+
+def is_trivially_false(expr):
+    folded = fold_constants(expr)
+    return isinstance(folded, C.IntLit) and folded.value == 0

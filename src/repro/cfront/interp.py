@@ -1,0 +1,394 @@
+"""A concrete interpreter for the lowered C subset.
+
+The interpreter exists to *test* the toolkit, not to run programs fast:
+
+- the soundness property tests execute a C program concretely, record its
+  trace, and replay the trace in the abstracted boolean program (Section 4.6
+  of the paper: every feasible C path must be feasible in ``BP(P, E)``);
+- Newton's infeasibility verdicts are cross-checked against concrete
+  execution on small inputs.
+
+Memory follows the paper's logical model: cells hold mathematical integers,
+pointers (references to other cells), structs (field maps), or arrays.
+Pointer arithmetic ``p + i`` yields ``p``.
+"""
+
+from repro.cfront import cast as C
+from repro.cfront.cfg import BRANCH, ENTRY, EXIT, STMT, build_program_cfgs
+
+
+class InterpError(Exception):
+    """An execution error (null dereference, missing function, ...)."""
+
+
+class AssertionFailure(InterpError):
+    """A failing ``assert`` was reached; carries the trace so far."""
+
+    def __init__(self, stmt, trace):
+        super().__init__("assertion failed at %s" % (stmt.pos,))
+        self.stmt = stmt
+        self.trace = trace
+
+
+class StepLimitExceeded(InterpError):
+    """The step budget ran out (used to bound possibly-diverging tests)."""
+
+
+class AssumeViolated(Exception):
+    """Raised internally when an ``assume`` condition is false: the current
+    execution is simply not a trace of the program."""
+
+
+class Cell:
+    """One mutable storage location."""
+
+    __slots__ = ("value", "name")
+
+    def __init__(self, value=0, name=None):
+        self.value = value
+        self.name = name
+
+    def __repr__(self):
+        return "Cell(%r)" % (self.value,)
+
+
+class StructVal:
+    """A struct object; field cells are created lazily so heap objects can
+    be allocated without static type information."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self):
+        self.fields = {}
+
+    def field_cell(self, name):
+        if name not in self.fields:
+            self.fields[name] = Cell(0, name)
+        return self.fields[name]
+
+    def __repr__(self):
+        return "StructVal(%r)" % ({k: v.value for k, v in self.fields.items()},)
+
+
+class ArrayVal:
+    """An array object with lazily-created element cells."""
+
+    __slots__ = ("cells", "length")
+
+    def __init__(self, length=None):
+        self.cells = {}
+        self.length = length
+
+    def element_cell(self, index):
+        if index not in self.cells:
+            self.cells[index] = Cell(0, "[%d]" % index)
+        return self.cells[index]
+
+    def __repr__(self):
+        return "ArrayVal(%r)" % ({k: v.value for k, v in self.cells.items()},)
+
+
+class TraceEvent:
+    """One executed statement (or decided branch) on a trace."""
+
+    __slots__ = ("func_name", "stmt", "kind", "outcome")
+
+    def __init__(self, func_name, stmt, kind, outcome=None):
+        self.func_name = func_name
+        self.stmt = stmt
+        self.kind = kind  # "stmt" or "branch"
+        self.outcome = outcome  # True/False for branches
+
+    def __repr__(self):
+        extra = "" if self.outcome is None else " %s" % self.outcome
+        return "<%s sid=%s%s>" % (self.kind, self.stmt.sid, extra)
+
+
+def truthy(value):
+    """C truth: nonzero integers and non-null pointers are true."""
+    if isinstance(value, int):
+        return value != 0
+    return value is not None  # cells / objects are non-null
+
+
+class Interpreter:
+    """Executes one call into a lowered program."""
+
+    def __init__(self, program, extern_oracle=None, max_steps=100_000, observer=None):
+        self.program = program
+        self.cfgs = build_program_cfgs(program)
+        self.max_steps = max_steps
+        # extern_oracle(name, args) supplies results for undefined functions
+        # and for Unknown expressions (called with name "*").
+        self.extern_oracle = extern_oracle or (lambda name, args: 0)
+        # observer(phase, func_name, stmt, env) is called with phase "entry"
+        # once per activation, and "pre"/"post" around each executed
+        # statement or branch (the soundness harness snapshots states here).
+        self.observer = observer
+        self.globals = {}
+        self.trace = []
+        self._steps = 0
+        for decl in program.globals:
+            self.globals[decl.name] = self._fresh_cell(decl.type, decl.name)
+        for decl in program.globals:
+            if decl.init is not None:
+                self.globals[decl.name].value = self.eval_expr(decl.init, {})
+
+    # -- storage ------------------------------------------------------------
+
+    def _fresh_cell(self, ctype, name):
+        if ctype.is_struct():
+            return Cell(StructVal(), name)
+        if ctype.is_array():
+            return Cell(ArrayVal(ctype.length), name)
+        return Cell(0, name)
+
+    def alloc_struct(self):
+        """Allocate a heap struct object; returns a pointer (its cell)."""
+        return Cell(StructVal(), "<heap>")
+
+    def make_list(self, values, value_field="val", next_field="next"):
+        """Build a singly linked list of struct cells; returns the head
+        pointer value (a Cell or 0 for the empty list)."""
+        head = 0
+        for value in reversed(values):
+            node = self.alloc_struct()
+            node.value.field_cell(value_field).value = value
+            node.value.field_cell(next_field).value = head
+            head = node
+        return head
+
+    def read_list(self, head, value_field="val", next_field="next", limit=10_000):
+        """Read back a linked list built with :meth:`make_list`."""
+        values = []
+        seen = set()
+        while isinstance(head, Cell):
+            if id(head) in seen or len(values) > limit:
+                raise InterpError("cyclic or overlong list")
+            seen.add(id(head))
+            struct = head.value
+            values.append(struct.field_cell(value_field).value)
+            head = struct.field_cell(next_field).value
+        return values
+
+    # -- lvalue / rvalue evaluation -------------------------------------------
+
+    def lvalue_cell(self, expr, env):
+        """The cell denoted by an lvalue expression."""
+        if isinstance(expr, C.Id):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self.globals:
+                return self.globals[expr.name]
+            raise InterpError("unbound variable %r" % expr.name)
+        if isinstance(expr, C.Deref):
+            pointer = self.eval_expr(expr.pointer, env)
+            if not isinstance(pointer, Cell):
+                raise InterpError("null or invalid pointer dereference at %s" % (expr.pos,))
+            return pointer
+        if isinstance(expr, C.FieldAccess):
+            base_cell = self.lvalue_cell(expr.base, env)
+            struct = base_cell.value
+            if not isinstance(struct, StructVal):
+                if struct == 0:
+                    struct = StructVal()
+                    base_cell.value = struct
+                else:
+                    raise InterpError("field access into non-struct at %s" % (expr.pos,))
+            return struct.field_cell(expr.field)
+        if isinstance(expr, C.Index):
+            base = self.eval_expr(expr.base, env)
+            index = self.eval_expr(expr.index, env)
+            if isinstance(base, Cell):
+                array = base.value
+                if not isinstance(array, ArrayVal):
+                    if array == 0:
+                        array = ArrayVal()
+                        base.value = array
+                    else:
+                        raise InterpError("indexing a non-array at %s" % (expr.pos,))
+                return array.element_cell(index)
+            raise InterpError("indexing through a null pointer at %s" % (expr.pos,))
+        if isinstance(expr, C.Cast):
+            return self.lvalue_cell(expr.operand, env)
+        raise InterpError("not an lvalue: %r" % (expr,))
+
+    def eval_expr(self, expr, env):
+        if isinstance(expr, C.IntLit):
+            return expr.value
+        if isinstance(expr, C.Unknown):
+            return self.extern_oracle("*", [])
+        if isinstance(expr, C.Id):
+            cell = self.lvalue_cell(expr, env)
+            # Arrays decay to a pointer to the array object.
+            if isinstance(cell.value, ArrayVal):
+                return cell
+            return cell.value
+        if isinstance(expr, C.AddrOf):
+            return self.lvalue_cell(expr.operand, env)
+        if isinstance(expr, (C.Deref, C.FieldAccess, C.Index)):
+            cell = self.lvalue_cell(expr, env)
+            if isinstance(cell.value, (ArrayVal, StructVal)):
+                return cell
+            return cell.value
+        if isinstance(expr, C.Cast):
+            return self.eval_expr(expr.operand, env)
+        if isinstance(expr, C.UnOp):
+            value = self.eval_expr(expr.operand, env)
+            if expr.op == "!":
+                return 0 if truthy(value) else 1
+            if not isinstance(value, int):
+                raise InterpError("arithmetic on a pointer at %s" % (expr.pos,))
+            if expr.op == "-":
+                return -value
+            if expr.op == "+":
+                return value
+            if expr.op == "~":
+                return ~value
+            raise AssertionError(expr.op)
+        if isinstance(expr, C.BinOp):
+            return self._eval_binop(expr, env)
+        if isinstance(expr, C.Cond):
+            if truthy(self.eval_expr(expr.cond, env)):
+                return self.eval_expr(expr.then_expr, env)
+            return self.eval_expr(expr.else_expr, env)
+        if isinstance(expr, C.Call):
+            return self.call_function(expr.name, [self.eval_expr(a, env) for a in expr.args])
+        raise AssertionError("unhandled expression %r" % type(expr).__name__)
+
+    def _eval_binop(self, expr, env):
+        op = expr.op
+        if op == "&&":
+            if not truthy(self.eval_expr(expr.left, env)):
+                return 0
+            return 1 if truthy(self.eval_expr(expr.right, env)) else 0
+        if op == "||":
+            if truthy(self.eval_expr(expr.left, env)):
+                return 1
+            return 1 if truthy(self.eval_expr(expr.right, env)) else 0
+        left = self.eval_expr(expr.left, env)
+        right = self.eval_expr(expr.right, env)
+        if op in ("==", "!="):
+            if isinstance(left, Cell) or isinstance(right, Cell):
+                equal = left is right
+            else:
+                equal = left == right
+            return (1 if equal else 0) if op == "==" else (0 if equal else 1)
+        if op in ("+", "-") and (isinstance(left, Cell) or isinstance(right, Cell)):
+            # Logical memory model: pointer arithmetic stays on the object.
+            return left if isinstance(left, Cell) else right
+        if isinstance(left, Cell) or isinstance(right, Cell):
+            raise InterpError("unsupported pointer operation %r at %s" % (op, expr.pos))
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise InterpError("division by zero at %s" % (expr.pos,))
+            q = abs(left) // abs(right)
+            return q if (left >= 0) == (right >= 0) else -q
+        if op == "%":
+            if right == 0:
+                raise InterpError("modulo by zero at %s" % (expr.pos,))
+            return left - self._c_div(left, right) * right
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        raise AssertionError(op)
+
+    @staticmethod
+    def _c_div(a, b):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+
+    # -- execution -------------------------------------------------------------
+
+    def call_function(self, name, args):
+        func = self.program.functions.get(name)
+        if func is None or not func.is_defined:
+            return self.extern_oracle(name, args)
+        cfg = self.cfgs[name]
+        env = {}
+        for param, arg in zip(func.params, args):
+            env[param.name] = Cell(arg, param.name)
+        for decl in func.locals:
+            env[decl.name] = self._fresh_cell(decl.type, decl.name)
+        if self.observer is not None:
+            self.observer("entry", name, None, env)
+        node = cfg.entry
+        return_value = 0
+        while True:
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise StepLimitExceeded("exceeded %d steps" % self.max_steps)
+            if node.kind == ENTRY:
+                node = node.edges[0].target
+                continue
+            if node.kind == EXIT:
+                return return_value
+            if node.kind == BRANCH:
+                if self.observer is not None:
+                    self.observer("pre", name, node.stmt, env)
+                outcome = truthy(self.eval_expr(node.cond, env))
+                self.trace.append(TraceEvent(name, node.stmt, "branch", outcome))
+                if self.observer is not None:
+                    self.observer("post", name, node.stmt, env)
+                node = node.successor(assume=outcome)
+                continue
+            stmt = node.stmt
+            if self.observer is not None:
+                self.observer("pre", name, stmt, env)
+            if isinstance(stmt, C.Return):
+                self.trace.append(TraceEvent(name, stmt, "stmt"))
+                if stmt.value is not None:
+                    return_value = self.eval_expr(stmt.value, env)
+                if self.observer is not None:
+                    self.observer("post", name, stmt, env)
+                node = node.successor()
+                continue
+            self.trace.append(TraceEvent(name, stmt, "stmt"))
+            if isinstance(stmt, (C.Skip, C.Goto)):
+                pass
+            elif isinstance(stmt, C.Assign):
+                value = self.eval_expr(stmt.rhs, env)
+                self.lvalue_cell(stmt.lhs, env).value = value
+            elif isinstance(stmt, C.CallStmt):
+                result = self.call_function(
+                    stmt.name, [self.eval_expr(a, env) for a in stmt.args]
+                )
+                if stmt.lhs is not None:
+                    self.lvalue_cell(stmt.lhs, env).value = result
+            elif isinstance(stmt, C.Assert):
+                if not truthy(self.eval_expr(stmt.cond, env)):
+                    raise AssertionFailure(stmt, list(self.trace))
+            elif isinstance(stmt, C.Assume):
+                if not truthy(self.eval_expr(stmt.cond, env)):
+                    raise AssumeViolated()
+            else:
+                raise AssertionError("unhandled statement %r" % type(stmt).__name__)
+            if self.observer is not None:
+                self.observer("post", name, stmt, env)
+            node = node.successor()
+
+    def run(self, entry="main", args=()):
+        """Execute ``entry`` and return (result, trace)."""
+        result = self.call_function(entry, list(args))
+        return result, self.trace

@@ -1,0 +1,214 @@
+"""Pretty printer for the C subset, producing re-parseable source."""
+
+from repro.cfront import cast as C
+
+# Precedence table used to decide where parentheses are needed.
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PREC = 11
+_POSTFIX_PREC = 12
+
+
+def pretty_expr(expr, parent_prec=0):
+    """Render ``expr`` as C source text."""
+    if isinstance(expr, C.Id):
+        return expr.name
+    if isinstance(expr, C.IntLit):
+        return str(expr.value)
+    if isinstance(expr, C.Unknown):
+        return "*"
+    if isinstance(expr, C.BinOp):
+        prec = _PREC[expr.op]
+        text = "%s %s %s" % (
+            pretty_expr(expr.left, prec),
+            expr.op,
+            pretty_expr(expr.right, prec + 1),
+        )
+        if prec < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, C.UnOp):
+        inner = pretty_expr(expr.operand, _UNARY_PREC)
+        if inner.startswith(expr.op):
+            # Avoid token fusion: "- -a" must not print as "--a".
+            inner = "(%s)" % pretty_expr(expr.operand)
+        text = "%s%s" % (expr.op, inner)
+        if _UNARY_PREC < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, C.Deref):
+        text = "*%s" % pretty_expr(expr.pointer, _UNARY_PREC)
+        if _UNARY_PREC < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, C.AddrOf):
+        inner = pretty_expr(expr.operand, _UNARY_PREC)
+        if inner.startswith("&"):
+            inner = "(%s)" % pretty_expr(expr.operand)
+        text = "&%s" % inner
+        if _UNARY_PREC < parent_prec:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, C.FieldAccess):
+        # Prefer the arrow form for (*p).f.
+        if isinstance(expr.base, C.Deref):
+            return "%s->%s" % (pretty_expr(expr.base.pointer, _POSTFIX_PREC), expr.field)
+        return "%s.%s" % (pretty_expr(expr.base, _POSTFIX_PREC), expr.field)
+    if isinstance(expr, C.Index):
+        return "%s[%s]" % (pretty_expr(expr.base, _POSTFIX_PREC), pretty_expr(expr.index))
+    if isinstance(expr, C.Call):
+        return "%s(%s)" % (expr.name, ", ".join(pretty_expr(a) for a in expr.args))
+    if isinstance(expr, C.Cond):
+        text = "%s ? %s : %s" % (
+            pretty_expr(expr.cond, 1),
+            pretty_expr(expr.then_expr),
+            pretty_expr(expr.else_expr),
+        )
+        if parent_prec > 0:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, C.Cast):
+        return "(%s)%s" % (expr.to_type, pretty_expr(expr.operand, _UNARY_PREC))
+    raise AssertionError("unhandled expression node %r" % type(expr).__name__)
+
+
+def _indent(depth):
+    return "    " * depth
+
+
+def pretty_stmt(stmt, depth=0):
+    """Render one statement (with trailing newline)."""
+    pad = _indent(depth)
+    prefix = "".join("%s%s:\n" % (pad, label) for label in stmt.labels)
+
+    if isinstance(stmt, C.Skip):
+        body = "%s;\n" % pad
+    elif isinstance(stmt, C.Assign):
+        body = "%s%s = %s;\n" % (pad, pretty_expr(stmt.lhs), pretty_expr(stmt.rhs))
+    elif isinstance(stmt, C.CallStmt):
+        call = "%s(%s)" % (stmt.name, ", ".join(pretty_expr(a) for a in stmt.args))
+        if stmt.lhs is not None:
+            body = "%s%s = %s;\n" % (pad, pretty_expr(stmt.lhs), call)
+        else:
+            body = "%s%s;\n" % (pad, call)
+    elif isinstance(stmt, C.If):
+        body = "%sif (%s) {\n%s%s}" % (
+            pad,
+            pretty_expr(stmt.cond),
+            pretty_body(stmt.then_body, depth + 1),
+            pad,
+        )
+        if stmt.else_body:
+            body += " else {\n%s%s}" % (pretty_body(stmt.else_body, depth + 1), pad)
+        body += "\n"
+    elif isinstance(stmt, C.While):
+        body = "%swhile (%s) {\n%s%s}\n" % (
+            pad,
+            pretty_expr(stmt.cond),
+            pretty_body(stmt.body, depth + 1),
+            pad,
+        )
+    elif isinstance(stmt, C.DoWhile):
+        body = "%sdo {\n%s%s} while (%s);\n" % (
+            pad,
+            pretty_body(stmt.body, depth + 1),
+            pad,
+            pretty_expr(stmt.cond),
+        )
+    elif isinstance(stmt, C.For):
+        init = "; ".join(pretty_stmt(s, 0).strip().rstrip(";") for s in stmt.init)
+        step = "; ".join(pretty_stmt(s, 0).strip().rstrip(";") for s in stmt.step)
+        cond = pretty_expr(stmt.cond) if stmt.cond is not None else ""
+        body = "%sfor (%s; %s; %s) {\n%s%s}\n" % (
+            pad,
+            init,
+            cond,
+            step,
+            pretty_body(stmt.body, depth + 1),
+            pad,
+        )
+    elif isinstance(stmt, C.Goto):
+        body = "%sgoto %s;\n" % (pad, stmt.label)
+    elif isinstance(stmt, C.Break):
+        body = "%sbreak;\n" % pad
+    elif isinstance(stmt, C.Continue):
+        body = "%scontinue;\n" % pad
+    elif isinstance(stmt, C.Return):
+        if stmt.value is None:
+            body = "%sreturn;\n" % pad
+        else:
+            body = "%sreturn %s;\n" % (pad, pretty_expr(stmt.value))
+    elif isinstance(stmt, C.Assert):
+        body = "%sassert(%s);\n" % (pad, pretty_expr(stmt.cond))
+    elif isinstance(stmt, C.Assume):
+        body = "%sassume(%s);\n" % (pad, pretty_expr(stmt.cond))
+    elif isinstance(stmt, C.ExprStmt):
+        body = "%s%s;\n" % (pad, pretty_expr(stmt.expr))
+    else:
+        raise AssertionError("unhandled statement node %r" % type(stmt).__name__)
+    return prefix + body
+
+
+def pretty_body(stmts, depth):
+    return "".join(pretty_stmt(stmt, depth) for stmt in stmts)
+
+
+def _pretty_decl(decl):
+    ctype = decl.type
+    suffix = ""
+    while ctype.is_array():
+        suffix += "[%s]" % ("" if ctype.length is None else ctype.length)
+        ctype = ctype.element
+    stars = ""
+    while ctype.is_pointer():
+        stars += "*"
+        ctype = ctype.target
+    text = "%s %s%s%s" % (ctype, stars, decl.name, suffix)
+    if decl.init is not None:
+        text += " = %s" % pretty_expr(decl.init)
+    return text
+
+
+def pretty_program(program):
+    """Render a whole program as compilable C subset source."""
+    parts = []
+    for struct in program.structs.values():
+        if struct.is_complete:
+            lines = ["struct %s {" % struct.tag]
+            for field in struct.fields:
+                lines.append("    %s;" % _pretty_decl(C.VarDecl(field.name, field.type)))
+            lines.append("};\n")
+            parts.append("\n".join(lines))
+    for decl in program.globals:
+        parts.append("%s;\n" % _pretty_decl(decl))
+    for func in program.functions.values():
+        params = ", ".join(_pretty_decl(p) for p in func.params)
+        header = "%s %s(%s)" % (func.ret_type, func.name, params or "void")
+        if not func.is_defined:
+            parts.append("%s;\n" % header)
+            continue
+        lines = ["%s {" % header]
+        for decl in func.locals:
+            lines.append("    %s;" % _pretty_decl(decl))
+        lines.append(pretty_body(func.body, 1).rstrip("\n"))
+        lines.append("}\n")
+        parts.append("\n".join(lines))
+    return "\n".join(parts)

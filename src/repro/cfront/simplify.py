@@ -1,0 +1,474 @@
+"""Lowering to the paper's simple intermediate form (Section 4).
+
+After this pass:
+
+1. all intraprocedural control flow is ``if``/``goto`` (structured ``while``
+   loops whose condition needs no hoisting are retained — they translate to
+   the same CFG and keep printed boolean programs readable, matching the
+   paper's Figure 1 output);
+2. expressions are free of side effects and short-circuit evaluation of
+   calls, and contain no nested pointer dereferences (``**p``,
+   ``p->next->val`` are hoisted through fresh temporaries);
+3. function calls occur only at the top level of a statement
+   (``z = x + f(y)`` becomes ``t = f(y); z = x + t;``);
+4. every function has at most one ``return`` statement, of the form
+   ``return r;`` for a canonical return variable ``r``.
+"""
+
+from repro.cfront import cast as C
+from repro.cfront import ctypes as CT
+from repro.cfront.errors import LoweringError
+from repro.cfront.exprutils import contains_call, fold_constants, walk
+
+
+def _contains_deref(expr):
+    return any(isinstance(node, (C.Deref, C.Index)) for node in walk(expr))
+
+
+def _needs_value_lowering(expr):
+    """Whether hoisting statements are required to evaluate ``expr``."""
+    for node in walk(expr):
+        if isinstance(node, (C.Call, C.Cond)):
+            return True
+        if isinstance(node, (C.Deref, C.Index)):
+            inner = node.pointer if isinstance(node, C.Deref) else node.base
+            if _contains_deref(inner):
+                return True
+            if isinstance(node, C.Index) and _contains_deref(node.index):
+                return True
+    return False
+
+
+class _FunctionLowerer:
+    """Lowers one function body; owns the fresh temp/label counters."""
+
+    def __init__(self, program, func):
+        self.program = program
+        self.func = func
+        self._temp_counter = 0
+        self._label_counter = 0
+        # Stack of (break_label_holder, continue_label_holder); holders are
+        # one-element lists so labels are created only on first use.
+        self._loop_stack = []
+
+    # -- fresh names -------------------------------------------------------
+
+    def _fresh_temp(self, ctype, pos):
+        name = "__t%d" % self._temp_counter
+        self._temp_counter += 1
+        self.func.locals.append(C.VarDecl(name, ctype, None, pos))
+        ident = C.Id(name, pos)
+        ident.type = CT.decay(ctype)
+        return ident
+
+    def _fresh_label(self):
+        name = "__L%d" % self._label_counter
+        self._label_counter += 1
+        return name
+
+    # -- expression lowering ------------------------------------------------
+
+    def _lower_value(self, expr, out):
+        """Lower ``expr`` for its value; emits prefix statements into ``out``
+        and returns a replacement expression that is side-effect free and has
+        no nested dereferences."""
+        if isinstance(expr, C.Cond):
+            cond = self._lower_value(expr.cond, out)
+            temp = self._fresh_temp(expr.type or CT.INT, expr.pos)
+            then_out = []
+            then_value = self._lower_value(expr.then_expr, then_out)
+            then_out.append(C.Assign(temp, then_value, expr.pos))
+            else_out = []
+            else_value = self._lower_value(expr.else_expr, else_out)
+            else_out.append(C.Assign(temp, else_value, expr.pos))
+            out.append(C.If(cond, then_out, else_out, expr.pos))
+            return temp
+        if isinstance(expr, C.BinOp) and expr.op in ("&&", "||"):
+            right_impure = any(
+                isinstance(node, (C.Call, C.Cond)) for node in walk(expr.right)
+            )
+            if right_impure:
+                # Preserve short-circuit evaluation of an impure right side.
+                left = self._lower_value(expr.left, out)
+                temp = self._fresh_temp(CT.INT, expr.pos)
+                eval_out = []
+                right = self._lower_value(expr.right, eval_out)
+                eval_out.append(
+                    C.Assign(temp, C.BinOp("!=", right, C.IntLit(0), expr.pos), expr.pos)
+                )
+                if expr.op == "&&":
+                    short_out = [C.Assign(temp, C.IntLit(0), expr.pos)]
+                    out.append(C.If(left, eval_out, short_out, expr.pos))
+                else:
+                    short_out = [C.Assign(temp, C.IntLit(1), expr.pos)]
+                    out.append(C.If(left, short_out, eval_out, expr.pos))
+                return temp
+            left = self._lower_value(expr.left, out)
+            right = self._lower_value(expr.right, out)
+            return C.BinOp(expr.op, left, right, expr.pos)
+        if isinstance(expr, C.Call):
+            args = [self._lower_value(arg, out) for arg in expr.args]
+            callee = self.program.functions.get(expr.name)
+            ret_type = callee.ret_type if callee is not None else CT.INT
+            if ret_type.is_void():
+                raise LoweringError(
+                    "void call to %s used as a value" % expr.name, expr.pos
+                )
+            temp = self._fresh_temp(ret_type, expr.pos)
+            out.append(C.CallStmt(temp, expr.name, args, expr.pos))
+            return temp
+        # Generic node: lower children, then hoist nested dereferences.
+        children = expr.children()
+        if children:
+            expr = expr.rebuild(tuple(self._lower_value(child, out) for child in children))
+        if isinstance(expr, C.Deref) and _contains_deref(expr.pointer):
+            expr = C.Deref(self._hoist_pointer(expr.pointer, out), expr.pos)
+        elif isinstance(expr, C.Index):
+            base, index = expr.base, expr.index
+            if _contains_deref(base):
+                base = self._hoist_pointer(base, out)
+            if _contains_deref(index):
+                index = self._hoist_scalar(index, out)
+            if base is not expr.base or index is not expr.index:
+                expr = C.Index(base, index, expr.pos)
+        elif isinstance(expr, C.AddrOf) and isinstance(expr.operand, C.Deref):
+            # &*e folds to e.
+            expr = expr.operand.pointer
+        return expr
+
+    def _hoist_pointer(self, expr, out):
+        temp = self._fresh_temp(expr.type or CT.VOID_PTR, expr.pos)
+        out.append(C.Assign(temp, expr, expr.pos))
+        return temp
+
+    def _hoist_scalar(self, expr, out):
+        temp = self._fresh_temp(expr.type or CT.INT, expr.pos)
+        out.append(C.Assign(temp, expr, expr.pos))
+        return temp
+
+    def _lower_lvalue(self, expr, out):
+        """Lower an assignment target, preserving lvalue-ness of the root."""
+        if isinstance(expr, C.Id):
+            return expr
+        if isinstance(expr, C.Deref):
+            pointer = self._lower_value(expr.pointer, out)
+            if _contains_deref(pointer):
+                pointer = self._hoist_pointer(pointer, out)
+            return C.Deref(pointer, expr.pos)
+        if isinstance(expr, C.FieldAccess):
+            base = self._lower_lvalue(expr.base, out)
+            return C.FieldAccess(base, expr.field, expr.pos)
+        if isinstance(expr, C.Index):
+            base = self._lower_value(expr.base, out)
+            index = self._lower_value(expr.index, out)
+            if _contains_deref(index):
+                index = self._hoist_scalar(index, out)
+            return C.Index(base, index, expr.pos)
+        if isinstance(expr, C.Cast):
+            return self._lower_lvalue(expr.operand, out)
+        raise LoweringError("unsupported assignment target", expr.pos)
+
+    # -- statement lowering --------------------------------------------------
+
+    def lower_body(self, stmts):
+        out = []
+        for stmt in stmts:
+            lowered = self._lower_stmt(stmt)
+            if stmt.labels:
+                if not lowered:
+                    lowered = [C.Skip(stmt.pos)]
+                lowered[0].labels = list(stmt.labels) + list(lowered[0].labels)
+            out.extend(lowered)
+        return out
+
+    def _lower_stmt(self, stmt):
+        if isinstance(stmt, C.Skip):
+            return [self._copy_plain(stmt)]
+        if isinstance(stmt, C.Goto):
+            new = C.Goto(stmt.label, stmt.pos)
+            return [new]
+        if isinstance(stmt, C.Assign):
+            out = []
+            rhs = self._lower_value(stmt.rhs, out)
+            lhs = self._lower_lvalue(stmt.lhs, out)
+            out.append(C.Assign(lhs, rhs, stmt.pos))
+            return out
+        if isinstance(stmt, C.CallStmt):
+            out = []
+            args = [self._lower_value(arg, out) for arg in stmt.args]
+            lhs = None
+            if stmt.lhs is not None:
+                lhs = self._lower_lvalue(stmt.lhs, out)
+            out.append(C.CallStmt(lhs, stmt.name, args, stmt.pos))
+            return out
+        if isinstance(stmt, C.ExprStmt):
+            out = []
+            value = self._lower_value(stmt.expr, out)
+            del value  # pure after lowering; its value is discarded
+            if not out:
+                return [C.Skip(stmt.pos)]
+            return out
+        if isinstance(stmt, C.If):
+            out = []
+            cond = self._lower_value(stmt.cond, out)
+            then_body = self.lower_body(stmt.then_body)
+            else_body = self.lower_body(stmt.else_body)
+            out.append(C.If(cond, then_body, else_body, stmt.pos))
+            return out
+        if isinstance(stmt, C.While):
+            return self._lower_while(stmt)
+        if isinstance(stmt, C.DoWhile):
+            return self._lower_do_while(stmt)
+        if isinstance(stmt, C.For):
+            return self._lower_for(stmt)
+        if isinstance(stmt, C.Break):
+            return [C.Goto(self._break_label(stmt.pos), stmt.pos)]
+        if isinstance(stmt, C.Continue):
+            return [C.Goto(self._continue_label(stmt.pos), stmt.pos)]
+        if isinstance(stmt, C.Return):
+            return self._lower_return(stmt)
+        if isinstance(stmt, C.Assert):
+            out = []
+            cond = self._lower_value(stmt.cond, out)
+            out.append(C.Assert(cond, stmt.pos))
+            return out
+        if isinstance(stmt, C.Assume):
+            out = []
+            cond = self._lower_value(stmt.cond, out)
+            out.append(C.Assume(cond, stmt.pos))
+            return out
+        raise AssertionError("unhandled statement node %r" % type(stmt).__name__)
+
+    def _copy_plain(self, stmt):
+        new = C.Skip(stmt.pos)
+        return new
+
+    def _break_label(self, pos):
+        if not self._loop_stack:
+            raise LoweringError("break outside of a loop", pos)
+        holder = self._loop_stack[-1][0]
+        if holder[0] is None:
+            holder[0] = self._fresh_label()
+        return holder[0]
+
+    def _continue_label(self, pos):
+        if not self._loop_stack:
+            raise LoweringError("continue outside of a loop", pos)
+        holder = self._loop_stack[-1][1]
+        if holder[0] is None:
+            holder[0] = self._fresh_label()
+        return holder[0]
+
+    def _lower_while(self, stmt):
+        cond_needs_stmts = _needs_value_lowering(stmt.cond)
+        break_holder = [None]
+        continue_holder = [None]
+        self._loop_stack.append((break_holder, continue_holder))
+        body = self.lower_body(stmt.body)
+        self._loop_stack.pop()
+        if not cond_needs_stmts:
+            # Keep the structured loop; splice in continue/break labels only
+            # if they were used.
+            if continue_holder[0] is not None:
+                tail = C.Skip(stmt.pos)
+                tail.labels.append(continue_holder[0])
+                body.append(tail)
+            result = [C.While(stmt.cond, body, stmt.pos)]
+            if break_holder[0] is not None:
+                after = C.Skip(stmt.pos)
+                after.labels.append(break_holder[0])
+                result.append(after)
+            return result
+        # Condition needs hoisted statements: expand to goto form.
+        head_label = continue_holder[0] or self._fresh_label()
+        exit_label = break_holder[0] or self._fresh_label()
+        out = []
+        head = C.Skip(stmt.pos)
+        head.labels.append(head_label)
+        out.append(head)
+        cond_out = []
+        cond = self._lower_value(stmt.cond, cond_out)
+        out.extend(cond_out)
+        exit_jump = C.If(C.negate(cond), [C.Goto(exit_label, stmt.pos)], [], stmt.pos)
+        out.append(exit_jump)
+        out.extend(body)
+        out.append(C.Goto(head_label, stmt.pos))
+        tail = C.Skip(stmt.pos)
+        tail.labels.append(exit_label)
+        out.append(tail)
+        return out
+
+    def _lower_do_while(self, stmt):
+        break_holder = [None]
+        continue_holder = [None]
+        self._loop_stack.append((break_holder, continue_holder))
+        body = self.lower_body(stmt.body)
+        self._loop_stack.pop()
+        head_label = self._fresh_label()
+        out = []
+        head = C.Skip(stmt.pos)
+        head.labels.append(head_label)
+        out.append(head)
+        out.extend(body)
+        if continue_holder[0] is not None:
+            cont = C.Skip(stmt.pos)
+            cont.labels.append(continue_holder[0])
+            out.append(cont)
+        cond_out = []
+        cond = self._lower_value(stmt.cond, cond_out)
+        out.extend(cond_out)
+        out.append(C.If(cond, [C.Goto(head_label, stmt.pos)], [], stmt.pos))
+        if break_holder[0] is not None:
+            after = C.Skip(stmt.pos)
+            after.labels.append(break_holder[0])
+            out.append(after)
+        return out
+
+    def _lower_for(self, stmt):
+        cond = stmt.cond if stmt.cond is not None else C.IntLit(1, stmt.pos)
+        # continue in a for loop must reach the step statements; model that
+        # with an explicit label before the step.
+        break_holder = [None]
+        continue_holder = [None]
+        self._loop_stack.append((break_holder, continue_holder))
+        body = self.lower_body(stmt.body)
+        self._loop_stack.pop()
+        init = self.lower_body(stmt.init)
+        step = self.lower_body(stmt.step)
+        if continue_holder[0] is not None:
+            cont = C.Skip(stmt.pos)
+            cont.labels.append(continue_holder[0])
+            body.append(cont)
+        body = body + step
+        inner_while = C.While(cond, body, stmt.pos)
+        lowered_loop = self._lower_stmt(inner_while)
+        result = init + lowered_loop
+        if break_holder[0] is not None:
+            after = C.Skip(stmt.pos)
+            after.labels.append(break_holder[0])
+            result.append(after)
+        return result
+
+    def _lower_return(self, stmt):
+        out = []
+        if stmt.value is not None:
+            value = self._lower_value(stmt.value, out)
+            ret_var = self._ensure_return_var()
+            if value != ret_var:
+                out.append(C.Assign(ret_var, value, stmt.pos))
+        out.append(C.Goto(self._exit_label, stmt.pos))
+        return out
+
+    def _pick_return_var(self):
+        """Choose the canonical return variable.
+
+        When every ``return`` in the (unlowered) body returns the same local
+        or parameter, that variable *is* the return variable — this keeps
+        user-written predicates about it attached to the return value, which
+        the signature computation of Section 4.5.2 depends on (Figure 2's
+        ``bar`` returns ``l1`` and has return predicate ``y == l1``).
+        Otherwise a fresh ``__retval`` is synthesized.
+        """
+        names = set()
+
+        def visit(stmts):
+            for stmt in stmts:
+                if isinstance(stmt, C.Return) and stmt.value is not None:
+                    if isinstance(stmt.value, C.Id):
+                        names.add(stmt.value.name)
+                    else:
+                        names.add(None)
+                for sub in stmt.substatements():
+                    visit(sub)
+
+        visit(self.func.body)
+        if len(names) == 1:
+            name = names.pop()
+            if name is not None and self.func.lookup_var(name) is not None:
+                return name
+        return None
+
+    def _ensure_return_var(self):
+        if self.func.return_var is None:
+            name = self._preferred_return_var
+            if name is None:
+                name = "__retval"
+                self.func.locals.append(
+                    C.VarDecl(name, self.func.ret_type, None, self.func.pos)
+                )
+            self.func.return_var = name
+        decl = self.func.lookup_var(self.func.return_var)
+        ident = C.Id(self.func.return_var, self.func.pos)
+        ident.type = CT.decay(decl.type if decl is not None else self.func.ret_type)
+        return ident
+
+    # -- entry point ---------------------------------------------------------
+
+    def _pick_exit_label(self):
+        """A fresh exit label (re-lowering already-lowered source must not
+        collide with its existing __exit)."""
+        used = set()
+
+        def visit(stmts):
+            for stmt in stmts:
+                used.update(stmt.labels)
+                for sub in stmt.substatements():
+                    visit(sub)
+
+        visit(self.func.body)
+        label = "__exit"
+        counter = 1
+        while label in used:
+            label = "__exit%d" % counter
+            counter += 1
+        return label
+
+    def lower(self):
+        self._preferred_return_var = self._pick_return_var()
+        self._exit_label = self._pick_exit_label()
+        body = self.lower_body(self.func.body)
+        # Canonical single exit: every return jumps to the exit label,
+        # which holds the unique `return r;`.
+        exit_stmt = C.Skip(self.func.pos)
+        exit_stmt.labels.append(self._exit_label)
+        body.append(exit_stmt)
+        if self.func.ret_type.is_void():
+            body.append(C.Return(None, self.func.pos))
+        else:
+            ret_var = self._ensure_return_var()
+            body.append(C.Return(ret_var, self.func.pos))
+        self.func.body = _simplify_trivial_gotos(body, self._exit_label)
+        return self.func
+
+
+def _simplify_trivial_gotos(stmts, exit_label):
+    """Drop the synthesized ``goto <exit>`` that immediately precedes the
+    exit label (the common case of the last ``return`` of a function).
+    User-written gotos are preserved verbatim."""
+    out = []
+    for i, stmt in enumerate(stmts):
+        if (
+            isinstance(stmt, C.Goto)
+            and stmt.label == exit_label
+            and not stmt.labels
+            and i + 1 < len(stmts)
+            and stmt.label in stmts[i + 1].labels
+        ):
+            continue
+        out.append(stmt)
+    return out
+
+
+def simplify_program(program):
+    """Lower every defined function of ``program`` in place and fold
+    constants in global initializers."""
+    for decl in program.globals:
+        if decl.init is not None:
+            decl.init = fold_constants(decl.init)
+            if contains_call(decl.init):
+                raise LoweringError(
+                    "global initializer may not call functions", decl.pos
+                )
+    for func in program.defined_functions():
+        _FunctionLowerer(program, func).lower()
+    return program

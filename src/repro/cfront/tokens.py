@@ -1,0 +1,118 @@
+"""Token kinds for the C subset accepted by the front end."""
+
+# Token kind constants.  Kept as plain strings for readable debugging output.
+IDENT = "IDENT"
+INTLIT = "INTLIT"
+CHARLIT = "CHARLIT"
+STRINGLIT = "STRINGLIT"
+KEYWORD = "KEYWORD"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    [
+        "auto",
+        "break",
+        "case",
+        "char",
+        "const",
+        "continue",
+        "default",
+        "do",
+        "else",
+        "enum",
+        "extern",
+        "for",
+        "goto",
+        "if",
+        "int",
+        "long",
+        "return",
+        "short",
+        "signed",
+        "sizeof",
+        "static",
+        "struct",
+        "switch",
+        "typedef",
+        "union",
+        "unsigned",
+        "void",
+        "while",
+        # Extensions understood by the toolkit.
+        "assert",
+        "assume",
+        "bool",
+    ]
+)
+
+# Multi-character punctuators, longest first so the lexer can use maximal munch.
+PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    ":",
+    "?",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    ".",
+]
+
+
+class Token:
+    """A single lexical token with its source position."""
+
+    __slots__ = ("kind", "text", "value", "pos")
+
+    def __init__(self, kind, text, pos, value=None):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+        self.value = value
+
+    def is_keyword(self, word):
+        return self.kind == KEYWORD and self.text == word
+
+    def is_punct(self, text):
+        return self.kind == PUNCT and self.text == text
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.text)

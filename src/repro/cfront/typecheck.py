@@ -1,0 +1,291 @@
+"""Type checker for the C subset.
+
+Annotates every expression node with its type (``expr.type``) and checks
+the usual well-formedness conditions.  Following common C tool practice —
+and because SLAM models OS entry points it has no source for — calls to
+undeclared functions are accepted and registered as extern functions whose
+parameter types are taken from the call site.
+"""
+
+from repro.cfront import cast as C
+from repro.cfront import ctypes as CT
+from repro.cfront.errors import TypeError_
+
+
+class TypeChecker:
+    def __init__(self, program):
+        self.program = program
+
+    # -- environment -------------------------------------------------------
+
+    def _var_type(self, func, name, pos):
+        decl = self.program.lookup_var(func.name if func else None, name)
+        if decl is None:
+            raise TypeError_("use of undeclared variable %r" % name, pos)
+        return decl.type
+
+    # -- expressions -------------------------------------------------------
+
+    def check_expr(self, expr, func):
+        """Type ``expr`` in the scope of ``func`` and return the type."""
+        ctype = self._check_expr(expr, func)
+        expr.type = ctype
+        return ctype
+
+    def _check_expr(self, expr, func):
+        if isinstance(expr, C.IntLit):
+            return CT.INT
+        if isinstance(expr, C.Unknown):
+            return CT.INT
+        if isinstance(expr, C.Id):
+            return CT.decay(self._var_type(func, expr.name, expr.pos))
+        if isinstance(expr, C.BinOp):
+            left = self.check_expr(expr.left, func)
+            right = self.check_expr(expr.right, func)
+            op = expr.op
+            if op in C.LOGIC_OPS:
+                self._require_scalar(left, expr.left)
+                self._require_scalar(right, expr.right)
+                return CT.INT
+            if op in C.REL_OPS:
+                if not (
+                    (left.is_integer() and right.is_integer())
+                    or (left.is_pointer() and right.is_pointer())
+                    or (left.is_pointer() and right.is_integer())
+                    or (left.is_integer() and right.is_pointer())
+                ):
+                    raise TypeError_(
+                        "cannot compare %s with %s" % (left, right), expr.pos
+                    )
+                return CT.INT
+            # Arithmetic.  Pointer arithmetic yields the pointer type under
+            # the logical memory model.
+            if op in ("+", "-"):
+                if left.is_pointer() and right.is_integer():
+                    return left
+                if left.is_integer() and right.is_pointer():
+                    return right
+                if op == "-" and left.is_pointer() and right.is_pointer():
+                    return CT.INT
+            if not (left.is_integer() and right.is_integer()):
+                raise TypeError_(
+                    "operator %r requires integers, got %s and %s" % (op, left, right),
+                    expr.pos,
+                )
+            return CT.INT
+        if isinstance(expr, C.UnOp):
+            operand = self.check_expr(expr.operand, func)
+            if expr.op == "!":
+                self._require_scalar(operand, expr.operand)
+                return CT.INT
+            if not operand.is_integer():
+                raise TypeError_(
+                    "operator %r requires an integer, got %s" % (expr.op, operand),
+                    expr.pos,
+                )
+            return CT.INT
+        if isinstance(expr, C.Deref):
+            pointer = self.check_expr(expr.pointer, func)
+            if not pointer.is_pointer():
+                raise TypeError_("cannot dereference non-pointer %s" % pointer, expr.pos)
+            if pointer.target.is_void():
+                raise TypeError_("cannot dereference void*", expr.pos)
+            return CT.decay(pointer.target)
+        if isinstance(expr, C.AddrOf):
+            operand = self._check_addressable(expr.operand, func)
+            return CT.PointerType(operand)
+        if isinstance(expr, C.FieldAccess):
+            base = self.check_expr(expr.base, func)
+            if not base.is_struct():
+                raise TypeError_("field access into non-struct %s" % base, expr.pos)
+            return CT.decay(base.field(expr.field).type)
+        if isinstance(expr, C.Index):
+            base = self.check_expr(expr.base, func)
+            index = self.check_expr(expr.index, func)
+            if not index.is_integer():
+                raise TypeError_("array index must be an integer", expr.index.pos)
+            if base.is_pointer():
+                return CT.decay(base.target)
+            raise TypeError_("cannot index non-array %s" % base, expr.pos)
+        if isinstance(expr, C.Call):
+            return self._check_call(expr.name, expr.args, func, expr.pos)
+        if isinstance(expr, C.Cond):
+            self._require_scalar(self.check_expr(expr.cond, func), expr.cond)
+            then_type = self.check_expr(expr.then_expr, func)
+            else_type = self.check_expr(expr.else_expr, func)
+            if not (CT.assignable(then_type, else_type) or CT.assignable(else_type, then_type)):
+                raise TypeError_(
+                    "incompatible branches of ?: (%s vs %s)" % (then_type, else_type),
+                    expr.pos,
+                )
+            return then_type if then_type.is_pointer() else else_type
+        if isinstance(expr, C.Cast):
+            self.check_expr(expr.operand, func)
+            return CT.decay(expr.to_type)
+        raise AssertionError("unhandled expression node %r" % type(expr).__name__)
+
+    def _check_addressable(self, expr, func):
+        """The type of an lvalue whose address is taken (no array decay)."""
+        if isinstance(expr, C.Id):
+            return self._var_type(func, expr.name, expr.pos)
+        if not expr.is_lvalue():
+            raise TypeError_("cannot take the address of a non-lvalue", expr.pos)
+        return self.check_expr(expr, func)
+
+    def _check_call(self, name, args, func, pos):
+        arg_types = [self.check_expr(arg, func) for arg in args]
+        callee = self.program.functions.get(name)
+        if callee is None:
+            # Register an extern signature inferred from the call site.
+            params = [
+                C.VarDecl("__p%d" % i, arg_type, pos=pos)
+                for i, arg_type in enumerate(arg_types)
+            ]
+            callee = C.Function(name, CT.INT, params, [], None, pos)
+            self.program.functions[name] = callee
+            return CT.INT
+        if len(args) != len(callee.params):
+            raise TypeError_(
+                "call to %s with %d arguments, expected %d"
+                % (name, len(args), len(callee.params)),
+                pos,
+            )
+        for arg, arg_type, param in zip(args, arg_types, callee.params):
+            if not CT.assignable(param.type, arg_type):
+                raise TypeError_(
+                    "argument %r of call to %s: cannot pass %s as %s"
+                    % (param.name, name, arg_type, param.type),
+                    arg.pos,
+                )
+        return CT.decay(callee.ret_type)
+
+    def _require_scalar(self, ctype, expr):
+        if not ctype.is_scalar():
+            raise TypeError_("expected a scalar value, got %s" % ctype, expr.pos)
+
+    # -- statements ----------------------------------------------------
+
+    def check_stmt(self, stmt, func):
+        if isinstance(stmt, (C.Skip, C.Goto, C.Break, C.Continue)):
+            return
+        if isinstance(stmt, C.Assign):
+            if not stmt.lhs.is_lvalue():
+                raise TypeError_("assignment to non-lvalue", stmt.pos)
+            lhs_type = self.check_expr(stmt.lhs, func)
+            rhs_type = self.check_expr(stmt.rhs, func)
+            if lhs_type.is_struct() or lhs_type.is_array():
+                raise TypeError_(
+                    "whole-aggregate assignment is not supported; "
+                    "assign members individually",
+                    stmt.pos,
+                )
+            if not CT.assignable(lhs_type, rhs_type):
+                raise TypeError_(
+                    "cannot assign %s to %s" % (rhs_type, lhs_type), stmt.pos
+                )
+            return
+        if isinstance(stmt, C.CallStmt):
+            ret_type = self._check_call(stmt.name, stmt.args, func, stmt.pos)
+            if stmt.lhs is not None:
+                if not stmt.lhs.is_lvalue():
+                    raise TypeError_("assignment to non-lvalue", stmt.pos)
+                lhs_type = self.check_expr(stmt.lhs, func)
+                if ret_type.is_void():
+                    raise TypeError_(
+                        "void value of %s used in assignment" % stmt.name, stmt.pos
+                    )
+                if not CT.assignable(lhs_type, ret_type):
+                    raise TypeError_(
+                        "cannot assign %s to %s" % (ret_type, lhs_type), stmt.pos
+                    )
+            return
+        if isinstance(stmt, C.If):
+            self._require_scalar(self.check_expr(stmt.cond, func), stmt.cond)
+            self.check_body(stmt.then_body, func)
+            self.check_body(stmt.else_body, func)
+            return
+        if isinstance(stmt, (C.While, C.DoWhile)):
+            self._require_scalar(self.check_expr(stmt.cond, func), stmt.cond)
+            self.check_body(stmt.body, func)
+            return
+        if isinstance(stmt, C.For):
+            self.check_body(stmt.init, func)
+            if stmt.cond is not None:
+                self._require_scalar(self.check_expr(stmt.cond, func), stmt.cond)
+            self.check_body(stmt.step, func)
+            self.check_body(stmt.body, func)
+            return
+        if isinstance(stmt, C.Return):
+            if stmt.value is not None:
+                value_type = self.check_expr(stmt.value, func)
+                if func.ret_type.is_void():
+                    raise TypeError_("void function returns a value", stmt.pos)
+                if not CT.assignable(func.ret_type, value_type):
+                    raise TypeError_(
+                        "cannot return %s from function returning %s"
+                        % (value_type, func.ret_type),
+                        stmt.pos,
+                    )
+            elif not func.ret_type.is_void():
+                raise TypeError_("non-void function returns no value", stmt.pos)
+            return
+        if isinstance(stmt, (C.Assert, C.Assume)):
+            self._require_scalar(self.check_expr(stmt.cond, func), stmt.cond)
+            return
+        if isinstance(stmt, C.ExprStmt):
+            self.check_expr(stmt.expr, func)
+            return
+        raise AssertionError("unhandled statement node %r" % type(stmt).__name__)
+
+    def check_body(self, stmts, func):
+        for stmt in stmts:
+            self.check_stmt(stmt, func)
+
+    # -- whole program -----------------------------------------------------
+
+    def check(self):
+        for decl in self.program.globals:
+            if decl.init is not None:
+                init_type = self.check_expr(decl.init, None)
+                if not CT.assignable(decl.type, init_type):
+                    raise TypeError_(
+                        "cannot initialize %s with %s" % (decl.type, init_type),
+                        decl.pos,
+                    )
+        self._check_goto_labels()
+        for func in list(self.program.functions.values()):
+            if func.is_defined:
+                self.check_body(func.body, func)
+
+    def _check_goto_labels(self):
+        for func in self.program.defined_functions():
+            labels = set()
+            gotos = []
+
+            def visit(stmts):
+                for stmt in stmts:
+                    for label in stmt.labels:
+                        if label in labels:
+                            raise TypeError_(
+                                "duplicate label %r in %s" % (label, func.name),
+                                stmt.pos,
+                            )
+                        labels.add(label)
+                    if isinstance(stmt, C.Goto):
+                        gotos.append(stmt)
+                    for sub in stmt.substatements():
+                        visit(sub)
+
+            visit(func.body)
+            for goto in gotos:
+                if goto.label not in labels:
+                    raise TypeError_(
+                        "goto to undefined label %r in %s" % (goto.label, func.name),
+                        goto.pos,
+                    )
+
+
+def typecheck_program(program):
+    """Type check ``program`` in place, annotating expression types."""
+    TypeChecker(program).check()
+    return program

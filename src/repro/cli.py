@@ -1,0 +1,232 @@
+"""Command-line interface: the toolkit as the paper's users saw it.
+
+Subcommands mirror the SLAM components:
+
+- ``abstract``  — run C2bp: C program + predicate file -> boolean program;
+- ``check``     — abstract then model check with Bebop; print invariants;
+- ``slam``      — check a temporal safety property with the CEGAR loop;
+- ``replay``    — soundness replay of a concrete run inside BP(P, E);
+- ``bebop``     — model check an existing boolean program (.bp) file.
+
+Examples::
+
+    python -m repro abstract partition.c partition.preds
+    python -m repro check partition.c partition.preds --entry partition --label L
+    python -m repro slam driver.c --lock KeAcquireSpinLock KeReleaseSpinLock
+    python -m repro bebop program.bp --entry main
+"""
+
+import argparse
+import sys
+
+from repro.bebop import Bebop
+from repro.boolprog import parse_bool_program, print_bool_program
+from repro.cfront import parse_c_program
+from repro.core import C2bp, C2bpOptions, parse_predicate_file
+from repro.core.replay import TraceReplayer
+from repro.slam import SafetySpec, check_property
+
+
+def _read(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _add_option_flags(parser):
+    parser.add_argument(
+        "--max-cube-length",
+        type=int,
+        default=3,
+        help="cube length bound k (default 3; 0 means unbounded)",
+    )
+    parser.add_argument(
+        "--no-cone", action="store_true", help="disable the cone of influence"
+    )
+    parser.add_argument(
+        "--no-alias", action="store_true", help="ignore the points-to analysis"
+    )
+    parser.add_argument(
+        "--no-enforce", action="store_true", help="skip the enforce invariant"
+    )
+    parser.add_argument(
+        "--distribute-f",
+        action="store_true",
+        help="distribute F through && and || (faster, may lose precision)",
+    )
+
+
+def _options_from(args):
+    return C2bpOptions(
+        max_cube_length=(args.max_cube_length or None),
+        cone_of_influence=not args.no_cone,
+        use_alias_analysis=not args.no_alias,
+        compute_enforce=not args.no_enforce,
+        distribute_f=args.distribute_f,
+    )
+
+
+def _abstract(args, out):
+    program = parse_c_program(_read(args.program), name=args.program)
+    predicates = parse_predicate_file(_read(args.predicates), program)
+    tool = C2bp(program, predicates, options=_options_from(args))
+    boolean_program = tool.run()
+    out.write(print_bool_program(boolean_program))
+    out.write(
+        "\n// %d predicates, %d theorem prover calls, %.2fs\n"
+        % (len(predicates), tool.stats.prover_calls, tool.stats.seconds)
+    )
+    return 0
+
+
+def _check(args, out):
+    program = parse_c_program(_read(args.program), name=args.program)
+    predicates = parse_predicate_file(_read(args.predicates), program)
+    tool = C2bp(program, predicates, options=_options_from(args))
+    boolean_program = tool.run()
+    result = Bebop(boolean_program, main=args.entry).run()
+    if args.label:
+        for label in args.label:
+            proc, _, name = label.rpartition(":")
+            proc = proc or args.entry
+            out.write(
+                "%s/%s: %s\n" % (proc, name, result.invariant_string(proc, label=name))
+            )
+    if result.assertion_failures:
+        out.write("%d assert(s) not discharged:\n" % len(result.assertion_failures))
+        for proc, node, _ in result.assertion_failures:
+            out.write("  %s: %s\n" % (proc, node.stmt.comment or "assert"))
+        return 1
+    out.write("all asserts discharged.\n")
+    return 0
+
+
+def _slam(args, out):
+    if args.lock:
+        acquire, release = args.lock
+        spec = SafetySpec.lock_discipline(acquire, release)
+    elif args.complete_once:
+        spec = SafetySpec.complete_exactly_once(args.complete_once)
+    else:
+        out.write("error: choose a property (--lock A R | --complete-once F)\n")
+        return 2
+    result = check_property(
+        _read(args.program),
+        spec,
+        entry=args.entry,
+        max_iterations=args.max_iterations,
+    )
+    out.write(
+        "verdict: %s (after %d iteration(s), %d predicates)\n"
+        % (result.verdict, result.iterations, len(result.predicates))
+    )
+    if result.verdict == "unsafe":
+        out.write("error trace:\n")
+        for line in result.error_trace_lines():
+            out.write("  %s\n" % line)
+    return 0 if result.verdict == "safe" else 1
+
+
+def _replay(args, out):
+    program = parse_c_program(_read(args.program), name=args.program)
+    predicates = parse_predicate_file(_read(args.predicates), program)
+    tool = C2bp(program, predicates, options=_options_from(args))
+    boolean_program = tool.run()
+    report = TraceReplayer(
+        tool, boolean_program, entry=args.entry, args=[int(a) for a in args.args]
+    ).run()
+    out.write("replayed %d events\n" % report.events_replayed)
+    if report.ok:
+        out.write("trace replays soundly in BP(P, E).\n")
+        return 0
+    if report.blocked is not None:
+        out.write("SOUNDNESS VIOLATION: blocked at %r\n" % (report.blocked,))
+    for violation in report.violations:
+        out.write("SOUNDNESS VIOLATION: %s\n" % violation.detail)
+    return 1
+
+
+def _bebop(args, out):
+    boolean_program = parse_bool_program(_read(args.program))
+    result = Bebop(boolean_program, main=args.entry).run()
+    if args.label:
+        for name in args.label:
+            proc, _, label = name.rpartition(":")
+            proc = proc or args.entry
+            out.write(
+                "%s/%s: %s\n" % (proc, label, result.invariant_string(proc, label=label))
+            )
+    if result.error_reached:
+        out.write("assertion failure reachable.\n")
+        return 1
+    out.write("no assertion failure reachable.\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C2bp / Bebop / SLAM — predicate abstraction of C programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_abstract = sub.add_parser("abstract", help="C2bp: produce BP(P, E)")
+    p_abstract.add_argument("program", help="C source file")
+    p_abstract.add_argument("predicates", help="predicate input file")
+    _add_option_flags(p_abstract)
+    p_abstract.set_defaults(func=_abstract)
+
+    p_check = sub.add_parser("check", help="abstract + model check")
+    p_check.add_argument("program")
+    p_check.add_argument("predicates")
+    p_check.add_argument("--entry", default="main")
+    p_check.add_argument(
+        "--label",
+        action="append",
+        help="print the invariant at LABEL (or PROC:LABEL); repeatable",
+    )
+    _add_option_flags(p_check)
+    p_check.set_defaults(func=_check)
+
+    p_slam = sub.add_parser("slam", help="check a temporal safety property")
+    p_slam.add_argument("program")
+    p_slam.add_argument("--entry", default="main")
+    p_slam.add_argument(
+        "--lock",
+        nargs=2,
+        metavar=("ACQUIRE", "RELEASE"),
+        help="lock-discipline property over these interface functions",
+    )
+    p_slam.add_argument(
+        "--complete-once",
+        metavar="FUNC",
+        help="FUNC must not be called twice (IRP-style completion)",
+    )
+    p_slam.add_argument("--max-iterations", type=int, default=10)
+    p_slam.set_defaults(func=_slam)
+
+    p_replay = sub.add_parser("replay", help="soundness trace replay")
+    p_replay.add_argument("program")
+    p_replay.add_argument("predicates")
+    p_replay.add_argument("--entry", default="main")
+    p_replay.add_argument("--args", nargs="*", default=[], help="integer arguments")
+    _add_option_flags(p_replay)
+    p_replay.set_defaults(func=_replay)
+
+    p_bebop = sub.add_parser("bebop", help="model check a boolean program (.bp)")
+    p_bebop.add_argument("program", help="boolean program file")
+    p_bebop.add_argument("--entry", default="main")
+    p_bebop.add_argument("--label", action="append")
+    p_bebop.set_defaults(func=_bebop)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

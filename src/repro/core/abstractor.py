@@ -1,0 +1,342 @@
+"""The C2bp translation: from a C program and predicates to a boolean
+program (Sections 4.3-4.5, 5.1, 5.2).
+
+The tool operates in two passes.  Pass one computes every procedure's
+signature (:mod:`repro.core.signatures`).  Pass two translates each
+procedure in isolation, statement by statement:
+
+- assignments become parallel assignments of
+  ``choose(F(WP(s, φ)), F(WP(s, ¬φ)))`` to the affected boolean variables;
+- conditionals become nondeterministic branches whose arms open with
+  ``assume(G(guard))`` / ``assume(G(¬guard))``;
+- gotos and labels are copied verbatim;
+- calls follow :mod:`repro.core.calls`;
+- ``assert(e)`` becomes ``assert(¬G(¬e))`` — it fails in the abstraction
+  whenever some concrete state allowed by the current predicates could
+  fail, which is the sound (may-overreport) direction SLAM refines away;
+- each procedure carries the ``enforce`` data invariant ``¬F(false)``.
+"""
+
+from repro.cfront import cast as C
+from repro.cfront.exprutils import locations, variables
+from repro.cfront.pretty import pretty_expr, pretty_stmt
+from repro.boolprog import ast as B
+from repro.pointers import PointsToAnalysis
+from repro.prover import Prover
+from repro.core.calls import abstract_call
+from repro.core.cubes import CubeSearch
+from repro.core.options import C2bpOptions
+from repro.core.signatures import compute_signatures
+from repro.core.stats import C2bpStats, Timer
+
+
+class C2bpError(Exception):
+    pass
+
+
+def _has_constant_deref(expr):
+    """Whether a WP result dereferences a constant address (e.g. ``0->val``
+    after substituting NULL into a pointer predicate)."""
+    from repro.cfront.exprutils import walk
+
+    for node in walk(expr):
+        if isinstance(node, C.Deref) and isinstance(node.pointer, C.IntLit):
+            return True
+        if isinstance(node, C.Index) and isinstance(node.base, C.IntLit):
+            return True
+    return False
+
+
+class C2bp:
+    """One abstraction run: ``BP(P, E)`` plus statistics."""
+
+    def __init__(self, program, predicates, options=None, prover=None, points_to=None):
+        self.program = program
+        self.predicates = predicates
+        self.options = options or C2bpOptions()
+        self.prover = prover or Prover(enable_cache=self.options.cache_prover)
+        self.points_to = points_to or PointsToAnalysis(program)
+        self.search = CubeSearch(self.prover, self.options)
+        self.signatures = compute_signatures(program, predicates)
+        self.stats = C2bpStats()
+        # (procedure name, temp name) -> meaning expression E(t) for the
+        # call-site temporaries of Section 4.5.3 (used by trace replay).
+        self.temp_meanings = {}
+
+    def run(self):
+        """Build and return the boolean program ``BP(P, E)``."""
+        with Timer(self.stats):
+            boolean_program = B.BProgram()
+            boolean_program.globals = [p.name for p in self.predicates.globals]
+            for func in self.program.defined_functions():
+                before = self.prover.stats.calls
+                procedure = _ProcedureAbstractor(self, func).abstract()
+                boolean_program.add_procedure(procedure)
+                self.stats.per_procedure[func.name] = (
+                    self.prover.stats.calls - before
+                )
+            self.stats.program_statements = self.program.statement_count()
+            self.stats.predicate_count = len(self.predicates)
+            self.stats.prover_calls = self.prover.stats.calls
+            self.stats.prover_queries = self.prover.stats.queries
+            self.stats.prover_cache_hits = self.prover.stats.cache_hits
+        return boolean_program
+
+    def may_alias(self, func_name):
+        """A two-location may-alias oracle bound to one procedure's scope,
+        or None (assume-everything) when alias pruning is disabled."""
+        if not self.options.use_alias_analysis:
+            return None
+        return lambda a, b: self.points_to.may_alias(a, b, func_name)
+
+
+class _ProcedureAbstractor:
+    """Pass two for a single procedure."""
+
+    def __init__(self, parent, func):
+        self.parent = parent
+        self.func = func
+        self.signature = parent.signatures[func.name]
+        # Scope = E_G followed by E_R (order is stable for output).
+        self.scope_predicates = parent.predicates.in_scope(func.name)
+        self.local_predicates = parent.predicates.for_procedure(func.name)
+        self._may_alias = parent.may_alias(func.name)
+        self._temp_counter = 0
+        self._extra_locals = []
+
+    # -- conveniences shared with the call translator --------------------------
+
+    def fresh_temp_name(self):
+        name = "__r%d" % self._temp_counter
+        self._temp_counter += 1
+        self._extra_locals.append(name)
+        return name
+
+    def f_expr(self, candidates, phi):
+        return self.parent.search.f_expr(self._cone(candidates, phi), phi)
+
+    def g_expr(self, phi):
+        candidates = self._cone(self.scope_predicates, C.negate(phi))
+        return self.parent.search.g_expr(candidates, phi)
+
+    def make_choose(self, pos, neg):
+        """``choose(pos, neg)`` with the Section 4.3 constant folds."""
+        if isinstance(pos, B.BConst) and pos.value:
+            return B.BConst(True)
+        if isinstance(neg, B.BConst) and neg.value:
+            # neg always holds, so the result is exactly pos (which, when
+            # constantly false, folds to the constant 0).
+            return pos
+        if isinstance(pos, B.BConst) and isinstance(neg, B.BConst):
+            return B.BUnknown()  # choose(false, false)
+        if neg == B.bool_not(pos):
+            # choose(e, !e) is exactly e — this is how copying assignments
+            # like prev = curr come out as {prev==NULL} = {curr==NULL}.
+            return pos
+        return B.BChoose(pos, neg)
+
+    def make_choose_for(self, phi):
+        """``choose(F(φ), F(¬φ))`` over the full scope."""
+        pos = self.f_expr(self.scope_predicates, phi)
+        neg = self.f_expr(self.scope_predicates, C.negate(phi))
+        return self.make_choose(pos, neg)
+
+    # -- cone of influence (Section 5.2, optimization three) ----------------------
+
+    def _cone(self, candidates, phi):
+        if not self.parent.options.cone_of_influence:
+            return list(candidates)
+        relevant_locations = set(locations(phi)) | {
+            C.Id(v) for v in variables(phi)
+        }
+        chosen = []
+        remaining = list(candidates)
+        changed = True
+        while changed:
+            changed = False
+            still_remaining = []
+            for candidate in remaining:
+                cand_locations = set(locations(candidate.expr)) | {
+                    C.Id(v) for v in variables(candidate.expr)
+                }
+                if self._locations_touch(cand_locations, relevant_locations):
+                    chosen.append(candidate)
+                    relevant_locations |= cand_locations
+                    changed = True
+                else:
+                    still_remaining.append(candidate)
+            remaining = still_remaining
+        # Preserve the original candidate order for deterministic output.
+        chosen_set = set(id(c) for c in chosen)
+        return [c for c in candidates if id(c) in chosen_set]
+
+    def _locations_touch(self, first, second):
+        for a in first:
+            for b in second:
+                if a == b:
+                    return True
+                if self._may_alias is not None and self._may_alias(a, b):
+                    return True
+                if self._may_alias is None:
+                    return True
+        return False
+
+    # -- statement translation ---------------------------------------------------
+
+    def abstract(self):
+        body = self._abstract_body(self.func.body)
+        enforce = None
+        if self.parent.options.compute_enforce and self.scope_predicates:
+            enforce = self.parent.search.enforce_expr(self.scope_predicates)
+        formal_names = [p.name for p in self.signature.formal_predicates]
+        local_names = [
+            p.name
+            for p in self.local_predicates
+            if p not in self.signature.formal_predicates
+        ] + self._extra_locals
+        return B.BProcedure(
+            self.func.name,
+            formal_names,
+            local_names,
+            len(self.signature.return_predicates),
+            body,
+            enforce,
+        )
+
+    def _abstract_body(self, stmts):
+        out = []
+        for stmt in stmts:
+            translated = self._abstract_stmt(stmt)
+            if stmt.labels:
+                if not translated:
+                    translated = [B.BSkip()]
+                translated[0].labels = list(stmt.labels) + list(translated[0].labels)
+            out.extend(translated)
+        return out
+
+    def _abstract_stmt(self, stmt):
+        comment = pretty_stmt(stmt).strip().split("\n")[0]
+        if isinstance(stmt, C.Skip):
+            skip = B.BSkip()
+            skip.source_sid = stmt.sid
+            return [skip]
+        if isinstance(stmt, C.Goto):
+            goto = B.BGoto(stmt.label)
+            goto.source_sid = stmt.sid
+            return [goto]
+        if isinstance(stmt, C.Assign):
+            return self._abstract_assign(stmt, comment)
+        if isinstance(stmt, C.CallStmt):
+            self.parent.stats.calls_abstracted += 1
+            return abstract_call(self, stmt)
+        if isinstance(stmt, C.If):
+            return self._abstract_if(stmt, comment)
+        if isinstance(stmt, C.While):
+            return self._abstract_while(stmt, comment)
+        if isinstance(stmt, C.Assume):
+            assume = B.BAssume(self.g_expr(stmt.cond))
+            assume.source_sid = stmt.sid
+            assume.comment = comment
+            return [assume]
+        if isinstance(stmt, C.Assert):
+            check = B.BAssert(B.bool_not(self.g_expr(C.negate(stmt.cond))))
+            check.source_sid = stmt.sid
+            check.comment = comment
+            return [check]
+        if isinstance(stmt, C.Return):
+            values = [
+                B.BVar(p.name) for p in self.signature.return_predicates
+            ]
+            ret = B.BReturn(values)
+            ret.source_sid = stmt.sid
+            ret.comment = comment
+            return [ret]
+        raise C2bpError(
+            "cannot abstract statement %r (not in intermediate form)"
+            % type(stmt).__name__
+        )
+
+    def _abstract_assign(self, stmt, comment):
+        from repro.core.wp import weakest_precondition, wp_unchanged
+
+        self.parent.stats.assignments_abstracted += 1
+        options = self.parent.options
+        targets, values = [], []
+        for predicate in self.scope_predicates:
+            if options.skip_unchanged and wp_unchanged(
+                stmt.lhs, stmt.rhs, predicate.expr, self._may_alias
+            ):
+                self.parent.stats.assignments_skipped_unchanged += 1
+                continue
+            wp_pos = weakest_precondition(
+                stmt.lhs, stmt.rhs, predicate.expr, self._may_alias
+            )
+            wp_neg = weakest_precondition(
+                stmt.lhs, stmt.rhs, C.negate(predicate.expr), self._may_alias
+            )
+            if options.invalidate_constant_derefs and (
+                _has_constant_deref(wp_pos) or _has_constant_deref(wp_neg)
+            ):
+                # The substitution produced a dereference of a constant
+                # (e.g. WP(prev = NULL, prev->val > v) mentions 0->val):
+                # the predicate's value is undefined after the statement,
+                # so it is invalidated (Section 2.1's unknown() case).
+                targets.append(predicate.name)
+                values.append(B.BUnknown())
+                continue
+            pos = self.f_expr(self.scope_predicates, wp_pos)
+            neg = self.f_expr(self.scope_predicates, wp_neg)
+            targets.append(predicate.name)
+            values.append(self.make_choose(pos, neg))
+        if not targets:
+            skip = B.BSkip()
+            skip.source_sid = stmt.sid
+            skip.comment = comment
+            return [skip]
+        assign = B.BAssign(targets, values)
+        assign.source_sid = stmt.sid
+        assign.comment = comment
+        return [assign]
+
+    def _guard_assume(self, cond, stmt, comment):
+        """``assume(G(cond))`` — omitted entirely when G gives no
+        information (the paper's figures leave those branches bare)."""
+        guard = self.g_expr(cond)
+        if isinstance(guard, B.BConst) and guard.value:
+            return []
+        assume = B.BAssume(guard)
+        assume.source_sid = stmt.sid
+        assume.comment = comment
+        return [assume]
+
+    def _abstract_if(self, stmt, comment):
+        self.parent.stats.conditionals_abstracted += 1
+        then_body = self._guard_assume(
+            stmt.cond, stmt, "then: " + comment
+        ) + self._abstract_body(stmt.then_body)
+        else_body = self._guard_assume(
+            C.negate(stmt.cond), stmt, "else: " + comment
+        ) + self._abstract_body(stmt.else_body)
+        branch = B.BIf(B.BNondet(), then_body, else_body)
+        branch.source_sid = stmt.sid
+        branch.comment = comment
+        return [branch]
+
+    def _abstract_while(self, stmt, comment):
+        self.parent.stats.conditionals_abstracted += 1
+        body = self._guard_assume(
+            stmt.cond, stmt, "loop entry: " + comment
+        ) + self._abstract_body(stmt.body)
+        loop = B.BWhile(B.BNondet(), body)
+        loop.source_sid = stmt.sid
+        loop.comment = comment
+        return [loop] + self._guard_assume(
+            C.negate(stmt.cond), stmt, "loop exit: " + comment
+        )
+
+
+def abstract_program(program, predicates, options=None, prover=None):
+    """Convenience wrapper: run C2bp and return (boolean program, stats)."""
+    tool = C2bp(program, predicates, options=options, prover=prover)
+    boolean_program = tool.run()
+    return boolean_program, tool.stats

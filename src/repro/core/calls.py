@@ -1,0 +1,189 @@
+"""Abstraction of procedure calls (Section 4.5.3).
+
+For a call ``v = R(a1, ..., aj)`` at a label of procedure ``S``:
+
+1. for each formal-parameter predicate ``e`` of ``R``, the actual passed is
+   ``choose(F(e'), F(¬e'))`` where ``e' = e[a/f]`` translates ``e`` to the
+   calling context;
+2. fresh temporaries ``t1..tp`` receive the return predicates ``E_r``; the
+   meaning of ``t_i`` is ``e_i[v/r, a/f]``;
+3. caller-local predicates whose value the call may change (they mention
+   ``v``, a global, a transitive dereference of an actual, or an alias of
+   one of those) are re-strengthened from the unaffected predicates plus
+   the temporaries; everything else is left untouched.
+
+A call to an *undefined* (extern) procedure has no summary at all:
+affected predicates — including global ones — are invalidated with
+``unknown()``.
+"""
+
+from repro.cfront import cast as C
+from repro.cfront.exprutils import fold_constants, locations, substitute, variables
+from repro.cfront.pretty import pretty_stmt
+from repro.boolprog import ast as B
+
+
+class TempPredicate:
+    """A call-site temporary carrying the meaning E(t) = translated E_r
+    predicate; participates in cube searches like a normal predicate."""
+
+    __slots__ = ("name", "expr")
+
+    def __init__(self, name, expr):
+        self.name = name
+        self.expr = expr
+
+    def __repr__(self):
+        return "TempPredicate(%s = %s)" % (self.name, self.expr)
+
+
+def translate_to_caller(expr, formals, actuals, return_var=None, result_lvalue=None):
+    """``e[v/r, a1/f1, ..., aj/fj]`` — or None if the translation needs a
+    result lvalue that does not exist."""
+    mapping = {}
+    for formal, actual in zip(formals, actuals):
+        mapping[C.Id(formal)] = actual
+    if return_var is not None:
+        if return_var in variables(expr) and result_lvalue is None:
+            return None
+        if result_lvalue is not None:
+            mapping[C.Id(return_var)] = result_lvalue
+    return fold_constants(substitute(expr, mapping))
+
+
+def abstract_call(proc_abs, stmt):
+    """Translate one CallStmt; returns a list of boolean statements."""
+    parent = proc_abs.parent
+    callee = parent.program.functions.get(stmt.name)
+    comment = pretty_stmt(stmt).strip()
+    if callee is None or not callee.is_defined:
+        return _abstract_extern_call(proc_abs, stmt, comment)
+
+    signature = parent.signatures[stmt.name]
+    formals = signature.formals
+    out = []
+
+    # 1. Actual parameters for the formal-parameter predicates.
+    args = []
+    for predicate in signature.formal_predicates:
+        translated = translate_to_caller(predicate.expr, formals, stmt.args)
+        args.append(proc_abs.make_choose_for(translated))
+
+    # 2. Temporaries for the return predicates.
+    temps = []
+    for predicate in signature.return_predicates:
+        name = proc_abs.fresh_temp_name()
+        meaning = translate_to_caller(
+            predicate.expr,
+            formals,
+            stmt.args,
+            return_var=signature.return_var,
+            result_lvalue=stmt.lhs,
+        )
+        temps.append(TempPredicate(name, meaning))
+        parent.temp_meanings[(proc_abs.func.name, name)] = meaning
+    call_stmt = B.BCall([t.name for t in temps], stmt.name, args)
+    call_stmt.source_sid = stmt.sid
+    call_stmt.comment = comment
+    out.append(call_stmt)
+
+    # 3. Update the affected caller-local predicates.
+    affected = _affected_predicates(proc_abs, stmt, include_globals=False)
+    if affected:
+        unaffected = [
+            p for p in proc_abs.scope_predicates if p not in affected
+        ]
+        candidates = unaffected + [t for t in temps if t.expr is not None]
+        targets, values = [], []
+        for predicate in affected:
+            pos = proc_abs.f_expr(candidates, predicate.expr)
+            neg = proc_abs.f_expr(candidates, C.negate(predicate.expr))
+            targets.append(predicate.name)
+            values.append(proc_abs.make_choose(pos, neg))
+        update = B.BAssign(targets, values)
+        update.source_sid = stmt.sid
+        update.comment = "update after " + comment
+        out.append(update)
+    return out
+
+
+def _abstract_extern_call(proc_abs, stmt, comment):
+    """Invalidate everything an unknown callee could touch."""
+    affected = _affected_predicates(proc_abs, stmt, include_globals=True)
+    if not affected:
+        skip = B.BSkip()
+        skip.source_sid = stmt.sid
+        skip.comment = comment + " (extern, no effect on predicates)"
+        return [skip]
+    targets = [p.name for p in affected]
+    values = [B.BUnknown() for _ in affected]
+    havoc = B.BAssign(targets, values)
+    havoc.source_sid = stmt.sid
+    havoc.comment = comment + " (extern call havocs affected predicates)"
+    return [havoc]
+
+
+def _affected_predicates(proc_abs, stmt, include_globals):
+    """E_u: predicates whose value may change across the call."""
+    parent = proc_abs.parent
+    pta = parent.points_to
+    func_name = proc_abs.func.name
+    global_names = set(parent.program.global_names())
+    reachable = pta.reachable_from_values(stmt.args, func_name)
+
+    local_predicates = [
+        p for p in proc_abs.scope_predicates if getattr(p, "scope", None) is not None
+    ]
+    global_predicates = [
+        p for p in proc_abs.scope_predicates if getattr(p, "scope", "x") is None
+    ]
+    pool = local_predicates + (global_predicates if include_globals else [])
+
+    protected = frozenset(getattr(parent.program, "protected_globals", ()) or ())
+    affected = []
+    for predicate in pool:
+        if _call_affects(
+            predicate,
+            stmt,
+            pta,
+            func_name,
+            global_names,
+            reachable,
+            include_globals,
+            protected,
+        ):
+            affected.append(predicate)
+    return affected
+
+
+def _call_affects(predicate, stmt, pta, func_name, global_names, reachable, extern, protected=frozenset()):
+    mentioned = variables(predicate.expr)
+    # Mentions a global: the callee can change it.  (For calls to defined
+    # procedures the *global* predicate variables themselves are updated by
+    # the callee's own abstraction; caller-local predicates over globals
+    # still must be re-strengthened here.)  Protected globals (SLAM
+    # instrumentation state) are invisible to extern callees.
+    touchable_globals = mentioned & global_names
+    if extern:
+        touchable_globals -= protected
+    if touchable_globals:
+        return True
+    predicate_locations = locations(predicate.expr)
+    # Mentions v (the call target) or an alias of it.
+    if stmt.lhs is not None:
+        for loc in predicate_locations:
+            if pta.may_alias(loc, stmt.lhs, func_name):
+                return True
+    # Mentions a (transitive) dereference of an actual, or an alias of one:
+    # its cell is reachable from an argument value.  (This also catches a
+    # caller variable passed by address, e.g. g(&x) affecting "x > 0".)
+    for loc in predicate_locations:
+        if pta.location_in(loc, reachable, func_name):
+            return True
+    if extern:
+        # Extern callees may also write anything address-taken that has
+        # escaped to the external world.
+        for loc in predicate_locations:
+            if pta.may_point_into_external(loc, func_name):
+                return True
+    return False

@@ -1,0 +1,166 @@
+"""The cube strengthening search: ``F_V(φ)`` and ``G_V(φ)`` (Section 4.1).
+
+A *cube* over the boolean variables ``V`` is a conjunction of literals over
+distinct variables.  ``F_V(φ)`` is the largest disjunction of cubes ``c``
+such that ``E(c)`` implies ``φ``; it is the weakest predicate over ``E(V)``
+that implies ``φ``.  ``G_V(φ) = ¬F_V(¬φ)`` is the strongest predicate over
+``E(V)`` implied by ``φ``.
+
+Each cube test is one theorem prover call.  The naive search makes
+exponentially many; the Section 5.2 optimizations implemented here are:
+
+- cubes are enumerated in increasing length, and any cube containing a
+  known implicant is pruned (so the result is a disjunction of *prime*
+  implicants only);
+- a cube that implies ``¬φ`` prunes all its supersets;
+- cube length can be bounded by ``max_cube_length`` (paper: ``k = 3``
+  usually suffices — a precision/speed tradeoff);
+- ``F`` can be distributed through ``&&`` (lossless) and ``||`` (lossy);
+- the syntactic shortcut returns the variable directly when ``φ`` (or its
+  negation) is literally a predicate of ``V``.
+"""
+
+import itertools
+
+from repro.cfront import cast as C
+from repro.cfront.exprutils import fold_constants, is_trivially_false, is_trivially_true
+from repro.boolprog import ast as B
+
+
+class Cube(tuple):
+    """A cube as a tuple of (candidate index, polarity) pairs."""
+
+    def contains(self, other):
+        return set(other).issubset(set(self))
+
+
+class CubeSearch:
+    """Shared machinery for F/G computations against one prover."""
+
+    def __init__(self, prover, options):
+        self.prover = prover
+        self.options = options
+
+    # -- core search -----------------------------------------------------------
+
+    def implicant_cubes(self, candidates, phi, max_length=None):
+        """All prime implicant cubes c over ``candidates`` with E(c) => φ.
+
+        Returns a list of :class:`Cube`; the empty cube (meaning "true
+        implies φ", i.e. φ is valid over the candidates) is returned as the
+        single result ``[Cube()]``.
+        """
+        phi = fold_constants(phi)
+        if is_trivially_true(phi):
+            return [Cube()]
+        if is_trivially_false(phi):
+            return []
+        if self.options.syntactic_heuristics:
+            shortcut = self._syntactic_shortcut(candidates, phi)
+            if shortcut is not None:
+                return shortcut
+        if self.prover.is_valid(phi):
+            return [Cube()]
+        limit = max_length
+        if limit is None:
+            limit = self.options.max_cube_length
+        if limit is None or limit > len(candidates):
+            limit = len(candidates)
+        not_phi = C.negate(phi)
+        implicants = []
+        refuted = []
+        for length in range(1, limit + 1):
+            for var_indices in itertools.combinations(range(len(candidates)), length):
+                for polarities in itertools.product([True, False], repeat=length):
+                    cube = Cube(zip(var_indices, polarities))
+                    if any(cube.contains(found) for found in implicants):
+                        continue
+                    if any(cube.contains(bad) for bad in refuted):
+                        continue
+                    antecedents = self._cube_exprs(candidates, cube)
+                    if self.prover.implies(antecedents, phi):
+                        implicants.append(cube)
+                    elif self.prover.implies(antecedents, not_phi):
+                        refuted.append(cube)
+        return implicants
+
+    def _syntactic_shortcut(self, candidates, phi):
+        for index, candidate in enumerate(candidates):
+            if candidate.expr == phi:
+                return [Cube([(index, True)])]
+            if C.negate(candidate.expr) == phi or candidate.expr == C.negate(phi):
+                return [Cube([(index, False)])]
+        return None
+
+    @staticmethod
+    def _cube_exprs(candidates, cube):
+        exprs = []
+        for index, polarity in cube:
+            expr = candidates[index].expr
+            exprs.append(expr if polarity else C.negate(expr))
+        return exprs
+
+    # -- boolean program expressions ---------------------------------------------
+
+    def cubes_to_bexpr(self, candidates, cubes):
+        """The boolean program expression for a disjunction of cubes."""
+        if not cubes:
+            return B.BConst(False)
+        disjuncts = []
+        for cube in cubes:
+            literals = []
+            for index, polarity in cube:
+                var = B.BVar(candidates[index].name)
+                literals.append(var if polarity else B.BNot(var))
+            disjuncts.append(B.bool_and(literals))
+        return B.bool_or(disjuncts)
+
+    def f_expr(self, candidates, phi):
+        """``F_V(φ)`` as a boolean program expression."""
+        phi = fold_constants(phi)
+        if self.options.distribute_f and isinstance(phi, C.BinOp):
+            # F distributes losslessly through && and lossily through ||.
+            if phi.op == "&&":
+                return B.bool_and(
+                    [self.f_expr(candidates, phi.left), self.f_expr(candidates, phi.right)]
+                )
+            if phi.op == "||":
+                return B.bool_or(
+                    [self.f_expr(candidates, phi.left), self.f_expr(candidates, phi.right)]
+                )
+        cubes = self.implicant_cubes(candidates, phi)
+        return self.cubes_to_bexpr(candidates, cubes)
+
+    def g_expr(self, candidates, phi):
+        """``G_V(φ) = ¬F_V(¬φ)`` as a boolean program expression."""
+        return B.bool_not(self.f_expr(candidates, C.negate(phi)))
+
+    # -- the enforce invariant (Section 5.1) ------------------------------------------
+
+    def inconsistent_cubes(self, candidates, max_length):
+        """Minimal cubes whose concretizations are unsatisfiable — the
+        ``F_V(false)`` computation, done directly (the constant-folding
+        shortcuts of :meth:`implicant_cubes` would collapse it)."""
+        false = C.IntLit(0)
+        found = []
+        limit = min(max_length, len(candidates))
+        for length in range(1, limit + 1):
+            for var_indices in itertools.combinations(range(len(candidates)), length):
+                for polarities in itertools.product([True, False], repeat=length):
+                    cube = Cube(zip(var_indices, polarities))
+                    if any(cube.contains(seen) for seen in found):
+                        continue
+                    antecedents = self._cube_exprs(candidates, cube)
+                    if self.prover.implies(antecedents, false):
+                        found.append(cube)
+        return found
+
+    def enforce_expr(self, candidates):
+        """``Ω = ¬F_V(false)``: rules out predicate valuations whose
+        concretizations are unsatisfiable (e.g. x==1 and x==2 both true)."""
+        cubes = self.inconsistent_cubes(
+            candidates, self.options.enforce_cube_length
+        )
+        if not cubes:
+            return None
+        return B.bool_not(self.cubes_to_bexpr(candidates, cubes))

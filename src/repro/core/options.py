@@ -1,0 +1,57 @@
+"""Configuration knobs for C2bp (the Section 5 extensions/optimizations).
+
+Every optimization can be toggled off so the ablation benchmarks can
+measure its effect on the number of theorem prover calls; defaults match
+the configuration the paper reports results with.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class C2bpOptions:
+    #: Maximum cube length considered by the F/G search.  The paper
+    #: (Section 5.2) notes that "setting k to 3 provides the needed
+    #: precision in most cases"; ``None`` means unbounded (exponential).
+    max_cube_length: int = 3
+
+    #: Syntactic cone-of-influence restriction of the candidate variable
+    #: set before cube enumeration (optimization three).
+    cone_of_influence: bool = True
+
+    #: Skip updating variables whose weakest precondition is syntactically
+    #: unchanged (optimization two).
+    skip_unchanged: bool = True
+
+    #: Return the variable directly when the query is (the negation of) a
+    #: predicate in E, without prover calls (optimization four).
+    syntactic_heuristics: bool = True
+
+    #: Cache theorem prover and alias queries (optimization five).
+    cache_prover: bool = True
+
+    #: Recursively distribute F over && and || (precision-losing through
+    #: ||, Section 5.2 last paragraph).
+    distribute_f: bool = False
+
+    #: Compute and attach the per-procedure ``enforce`` invariant
+    #: Omega = not F(false) (Section 5.1).
+    compute_enforce: bool = True
+
+    #: Maximum cube length used for the enforce computation.  Must keep
+    #: pace with the predicate correlations the abstraction relies on (the
+    #: syntactic shortcut "b stands for phi" is exact only below Omega);
+    #: the paper computes Omega = not F(false) with the same k as F.
+    enforce_cube_length: int = 3
+
+    #: Use the points-to analysis to prune Morris disjuncts (Section 4.2).
+    use_alias_analysis: bool = True
+
+    #: Invalidate (rather than strengthen) a predicate whose weakest
+    #: precondition dereferences a constant address — e.g. after
+    #: ``prev = NULL`` the predicate ``prev->val > v`` mentions ``0->val``
+    #: and is "undefined ... and thus invalidated" (Section 2.1).
+    invalidate_constant_derefs: bool = True
+
+    def copy(self, **overrides):
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,111 @@
+"""Procedure signatures (Section 4.5.2).
+
+The abstraction is modular: each procedure is abstracted given only the
+*signatures* of its callees, and a signature is computed from the procedure
+and its local predicate set alone.  The signature of ``R`` is the tuple
+``(F_R, r, E_f, E_r)``:
+
+- ``F_R`` — formal parameters;
+- ``r`` — the (canonical) return variable;
+- ``E_f`` — formal-parameter predicates: predicates of ``E_R`` that do not
+  mention any local of ``R`` (they become formals of the boolean procedure);
+- ``E_r`` — return predicates: predicates providing callers with
+  information about the return value, the globals, and call-by-reference
+  parameters:
+
+      { e in E_R | (r in vars(e) and (vars(e) \\ {r}) ∩ L_R = ∅)
+                 or (e in E_f and (vars(e) ∩ G_P != ∅ or drfs(e) ∩ F_R != ∅)) }
+
+A formal-parameter predicate is only returned if the formal still refers to
+its actual's value at exit — a formal reassigned inside ``R`` invalidates
+that (the paper's footnote 4); we check this with a syntactic modification
+analysis.
+"""
+
+from repro.cfront import cast as C
+from repro.cfront.exprutils import derefs, variables
+
+
+class Signature:
+    __slots__ = ("func", "formals", "return_var", "formal_predicates", "return_predicates")
+
+    def __init__(self, func, formal_predicates, return_predicates):
+        self.func = func
+        self.formals = func.param_names()
+        self.return_var = func.return_var
+        self.formal_predicates = formal_predicates  # E_f, ordered
+        self.return_predicates = return_predicates  # E_r, ordered
+
+    def __repr__(self):
+        return "Signature(%s, E_f=%r, E_r=%r)" % (
+            self.func.name,
+            [p.name for p in self.formal_predicates],
+            [p.name for p in self.return_predicates],
+        )
+
+
+def modified_formals(func):
+    """Formal parameters the procedure may reassign (syntactically)."""
+    formals = set(func.param_names())
+    modified = set()
+
+    def visit(stmts):
+        for stmt in stmts:
+            target = None
+            if isinstance(stmt, C.Assign):
+                target = stmt.lhs
+            elif isinstance(stmt, C.CallStmt):
+                target = stmt.lhs
+            if isinstance(target, C.Id) and target.name in formals:
+                modified.add(target.name)
+            for sub in stmt.substatements():
+                visit(sub)
+
+    if func.body:
+        visit(func.body)
+    return modified
+
+
+def compute_signature(program, func, local_predicates):
+    """The signature of ``func`` with respect to its predicate set E_R."""
+    formals = set(func.param_names())
+    # L_R: locals proper (formals are not locals in the paper's notation).
+    locals_only = set(func.local_names())
+    globals_ = set(program.global_names())
+    return_var = func.return_var
+    unstable_formals = modified_formals(func)
+
+    formal_predicates = []
+    for predicate in local_predicates:
+        mentioned = predicate.variables()
+        if not (mentioned & locals_only):
+            formal_predicates.append(predicate)
+
+    return_predicates = []
+    for predicate in local_predicates:
+        mentioned = predicate.variables()
+        about_return = (
+            return_var is not None
+            and return_var in mentioned
+            and not ((mentioned - {return_var}) & locals_only)
+        )
+        about_side_effects = predicate in formal_predicates and (
+            bool(mentioned & globals_) or bool(derefs(predicate.expr) & formals)
+        )
+        if about_return or about_side_effects:
+            # Footnote 4: a predicate mentioning a formal whose value may
+            # have changed inside R cannot be translated back to the caller.
+            if mentioned & unstable_formals:
+                continue
+            return_predicates.append(predicate)
+    return Signature(func, formal_predicates, return_predicates)
+
+
+def compute_signatures(program, predicate_set):
+    """Pass one of C2bp: the signature of every defined procedure."""
+    return {
+        func.name: compute_signature(
+            program, func, predicate_set.for_procedure(func.name)
+        )
+        for func in program.defined_functions()
+    }

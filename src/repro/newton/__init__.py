@@ -1,0 +1,25 @@
+"""Newton — predicate discovery from infeasible counterexample paths.
+
+The PLDI 2001 paper uses Newton as a black box ("the subject of a future
+paper"): given an error path reported by Bebop over ``BP(P, E)``, Newton
+decides whether the path is feasible in the C program ``P``; if it is not,
+it produces new predicates that refine the abstraction so the spurious path
+disappears.  This package implements that interface:
+
+- :mod:`repro.newton.pathsym` — forward symbolic simulation of a C path,
+  producing path constraints with provenance;
+- :mod:`repro.newton.discover` — feasibility checking (via the prover),
+  greedy minimization of the inconsistent constraint set, and predicate
+  extraction from the minimized core.
+"""
+
+from repro.newton.discover import NewtonResult, analyze_path
+from repro.newton.pathsym import CPathStep, PathSimulator, path_from_boolean_steps
+
+__all__ = [
+    "CPathStep",
+    "NewtonResult",
+    "PathSimulator",
+    "analyze_path",
+    "path_from_boolean_steps",
+]

@@ -1,0 +1,14 @@
+"""Flow-insensitive may-alias analysis.
+
+The paper uses Das's one-level-flow points-to analysis [12] as a black-box
+may-alias oracle to (a) prune the alias disjuncts of Morris' axiom in the
+weakest-precondition computation and (b) bound the side effects of procedure
+calls.  We provide the same oracle interface backed by a unification-based
+(Steensgaard-style) analysis with field sensitivity; see DESIGN.md for why
+this substitution preserves the behaviour C2bp depends on.
+"""
+
+from repro.pointers.steensgaard import PointsToAnalysis
+from repro.pointers.unionfind import UnionFind
+
+__all__ = ["PointsToAnalysis", "UnionFind"]

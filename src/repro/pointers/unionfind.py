@@ -1,0 +1,53 @@
+"""Union-find with path compression and union by rank."""
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable elements.
+
+    Elements are added implicitly on first use.  ``union`` returns the
+    representative that survived, which callers use to migrate satellite
+    data from the absorbed representative.
+    """
+
+    def __init__(self):
+        self._parent = {}
+        self._rank = {}
+
+    def find(self, item):
+        """The canonical representative of ``item``'s set."""
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._rank[item] = 0
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b):
+        """Merge the sets of ``a`` and ``b``; returns (survivor, absorbed).
+
+        If the two are already in the same set, returns (root, None).
+        """
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return root_a, None
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a, root_b
+
+    def same(self, a, b):
+        return self.find(a) == self.find(b)
+
+    def __contains__(self, item):
+        return item in self._parent
+
+    def __len__(self):
+        return len(self._parent)

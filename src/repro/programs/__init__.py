@@ -1,0 +1,33 @@
+"""The experiment corpus.
+
+Two families, matching the paper's Section 6:
+
+- :mod:`repro.programs.heap` and :mod:`repro.programs.arrays` — the array
+  bounds checking and heap-invariant programs of Table 2 (kmp, qsort,
+  partition, listfind, reverse);
+- :mod:`repro.programs.drivers` — five synthetic Windows-NT-style device
+  drivers standing in for the (closed-source) DDK drivers of Table 1:
+  ``floppy`` (in development, containing a genuine IRP-handling bug),
+  ``ioctl``, ``openclos``, ``srdriver``, and ``log``.
+
+Every case study carries its C source, the predicate input file used for
+the C2bp runs, and (for drivers) the safety properties checked by SLAM.
+"""
+
+from repro.programs.registry import (
+    CaseStudy,
+    DriverStudy,
+    all_drivers,
+    all_table2_programs,
+    get_driver,
+    get_program,
+)
+
+__all__ = [
+    "CaseStudy",
+    "DriverStudy",
+    "all_drivers",
+    "all_table2_programs",
+    "get_driver",
+    "get_program",
+]

@@ -1,0 +1,142 @@
+"""Array-bounds case studies (Table 2: kmp, qsort).
+
+These follow Necula's proof-carrying-code examples [26]: the predicates are
+the array-index bounds (``index >= 0`` and ``index <= length``) whose
+conjunction is the loop invariant the PCC compiler had to generate; C2bp +
+Bebop discover it automatically (Section 6.2: "we simply had to model the
+bounds ... to produce the appropriate loop invariant").
+"""
+
+from repro.programs.registry import CaseStudy
+
+KMP = CaseStudy(
+    name="kmp",
+    description=(
+        "Knuth-Morris-Pratt string matcher over int arrays; bounds "
+        "invariants for the pattern index j and text index i"
+    ),
+    source=r"""
+int fail[100];
+
+/* The failure function satisfies 0 <= fail[x] < x for 1 <= x <= m; that
+   data-structure invariant (established by kmp_failure and proved by
+   Necula's PCC separately) is modeled with an assume after each read. */
+
+void kmp_failure(int p[], int m) {
+    int k, q;
+    fail[1] = 0;
+    k = 0;
+    q = 2;
+    while (q <= m) {
+INV_F:  ;
+        assert(k >= 0);
+        assert(k < m);
+        while (k > 0 && p[k + 1] != p[q]) {
+            k = fail[k];
+            assume(k >= 0 && k < q);
+        }
+        if (p[k + 1] == p[q]) {
+            k = k + 1;
+        }
+        fail[q] = k;
+        q = q + 1;
+    }
+}
+
+int kmp_match(int t[], int n, int p[], int m) {
+    int i, q, found;
+    assume(m >= 1);
+    kmp_failure(p, m);
+    q = 0;
+    i = 1;
+    found = 0;
+    while (i <= n) {
+INV_M:  ;
+        assert(q >= 0);
+        assert(q <= m);
+        while (q > 0 && p[q + 1] != t[i]) {
+            q = fail[q];
+            assume(q >= 0 && q < m);
+        }
+        if (p[q + 1] == t[i]) {
+            q = q + 1;
+        }
+        if (q == m) {
+            found = 1;
+            q = fail[q];
+            assume(q >= 0 && q < m);
+        }
+        i = i + 1;
+    }
+    return found;
+}
+""",
+    predicate_text="""
+kmp_failure
+k >= 0, k == 0, k < m, k < q, k <= q, q >= 2, q <= m
+
+kmp_match
+m >= 1, q >= 0, q < m, q <= m, i >= 1, i <= n
+""",
+    entry="kmp_match",
+    labels=[("kmp_match", "INV_M"), ("kmp_failure", "INV_F")],
+)
+
+
+QSORT = CaseStudy(
+    name="qsort",
+    description=(
+        "array quicksort (Necula's PCC example): partition indices stay "
+        "inside [lo, hi] and the recursive calls narrow the range"
+    ),
+    source=r"""
+int data[100];
+
+int split(int lo, int hi) {
+    int pivot, i, j, tmp;
+    pivot = data[lo];
+    i = lo;
+    j = hi + 1;
+    while (i < j) {
+INV_S:  ;
+        assert(i >= lo);
+        assert(j <= hi + 1);
+        i = i + 1;
+        while (i < hi && data[i] < pivot) {
+            i = i + 1;
+        }
+        j = j - 1;
+        while (j > lo && data[j] > pivot) {
+            j = j - 1;
+        }
+        if (i < j) {
+            tmp = data[i];
+            data[i] = data[j];
+            data[j] = tmp;
+        }
+    }
+    tmp = data[lo];
+    data[lo] = data[j];
+    data[j] = tmp;
+    return j;
+}
+
+void qsort_range(int lo, int hi) {
+    int mid;
+    if (lo < hi) {
+        mid = split(lo, hi);
+        qsort_range(lo, mid - 1);
+        qsort_range(mid + 1, hi);
+    }
+}
+""",
+    predicate_text="""
+split
+i >= lo, i <= hi + 1, j <= hi + 1, j >= lo, i < j, lo < hi
+
+qsort_range
+lo < hi
+""",
+    entry="qsort_range",
+    labels=[("split", "INV_S")],
+)

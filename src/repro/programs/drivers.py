@@ -1,0 +1,633 @@
+"""Synthetic NT-style device drivers (the Table 1 corpus).
+
+The paper ran SLAM over four exemplar drivers from the Windows 2000 Driver
+Development Kit plus an internally developed floppy driver, checking
+"proper usage of locks and proper handling of interrupt request packets".
+The DDK sources cannot be shipped, so these five drivers reproduce the
+*shapes* that matter: dispatch routines selected by a nondeterministic
+harness (the OS), spin-lock discipline around shared state, and IRP
+completion protocols.  As in the paper, the four exemplar drivers validate
+for both properties, and the in-development ``floppy`` driver contains a
+genuine IRP-handling error (a path that completes the same request twice).
+
+Interface functions (``KeAcquireSpinLock``, ``KeReleaseSpinLock``,
+``IoCompleteRequest``, ``IoMarkIrpPending`` and friends) are externs; SLAM
+instruments them with the property automata.
+"""
+
+from repro.programs.registry import DriverStudy
+
+# The paper's SLAM runs link drivers against *models* of the kernel APIs
+# rather than havocking them as unknown externs; these stubs are our OS
+# model (see DESIGN.md).  SLAM's instrumentation keeps calls to defined
+# functions and inserts the property-automaton probe in front of them.
+OS_MODEL = r"""
+/* --- OS model stubs --- */
+void KeAcquireSpinLock(void) {
+}
+
+void KeReleaseSpinLock(void) {
+}
+
+int IoCompleteRequest(void) {
+    int r;
+    r = *;
+    return r;
+}
+
+void HalWritePort(int port, int value) {
+}
+"""
+
+FLOPPY = DriverStudy(
+    name="floppy",
+    description=(
+        "in-development floppy driver; read path completes the IRP and the "
+        "shared error path completes it again (the bug SLAM found)"
+    ),
+    source=OS_MODEL + r"""
+int pending_count;
+int motor_on;
+
+void floppy_start_motor(void) {
+    motor_on = 1;
+    HalWritePort(42, 1);
+}
+
+int floppy_read(int length) {
+    int status;
+    status = 0;
+    KeAcquireSpinLock();
+    if (motor_on == 0) {
+        floppy_start_motor();
+    }
+    pending_count = pending_count + 1;
+    KeReleaseSpinLock();
+    if (length < 0) {
+        status = -1;
+    }
+    if (status < 0) {
+        /* error path: complete with failure... */
+        IoCompleteRequest();
+        goto finish;
+    }
+    IoCompleteRequest();
+finish:
+    /* BUG: the error path falls through here and completes again. */
+    if (status < 0) {
+        IoCompleteRequest();
+    }
+    return status;
+}
+
+int floppy_dispatch(int major, int length) {
+    int status;
+    if (major == 3) {
+        status = floppy_read(length);
+    } else {
+        status = 0;
+        IoCompleteRequest();
+    }
+    return status;
+}
+
+void main(void) {
+    int major, length, status;
+    major = *;
+    length = *;
+    pending_count = 0;
+    motor_on = 0;
+    status = floppy_dispatch(major, length);
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "unsafe"},
+)
+
+
+IOCTL = DriverStudy(
+    name="ioctl",
+    description=(
+        "device-control dispatch: an if-chain over IOCTL codes, each arm "
+        "acquiring and releasing the device lock correctly"
+    ),
+    source=OS_MODEL + r"""
+int device_state;
+int query_count;
+
+int ioctl_get_state(void) {
+    int snapshot;
+    KeAcquireSpinLock();
+    snapshot = device_state;
+    query_count = query_count + 1;
+    KeReleaseSpinLock();
+    return snapshot;
+}
+
+int ioctl_set_state(int value) {
+    KeAcquireSpinLock();
+    if (value >= 0) {
+        device_state = value;
+    }
+    KeReleaseSpinLock();
+    return 0;
+}
+
+int ioctl_reset(void) {
+    KeAcquireSpinLock();
+    device_state = 0;
+    query_count = 0;
+    KeReleaseSpinLock();
+    return 0;
+}
+
+int ioctl_dispatch(int code, int value) {
+    int status;
+    if (code == 1) {
+        status = ioctl_get_state();
+    } else if (code == 2) {
+        status = ioctl_set_state(value);
+    } else if (code == 3) {
+        status = ioctl_reset();
+    } else {
+        status = -1;
+    }
+    IoCompleteRequest();
+    return status;
+}
+
+void main(void) {
+    int code, value, status;
+    code = *;
+    value = *;
+    device_state = 0;
+    query_count = 0;
+    status = ioctl_dispatch(code, value);
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "safe"},
+)
+
+
+OPENCLOS = DriverStudy(
+    name="openclos",
+    description=(
+        "open/close reference counting under a spin lock; create and close "
+        "dispatch routines complete their IRPs exactly once"
+    ),
+    source=OS_MODEL + r"""
+int open_count;
+int accepting;
+
+int do_create(void) {
+    int status;
+    KeAcquireSpinLock();
+    if (accepting == 1) {
+        open_count = open_count + 1;
+        status = 0;
+    } else {
+        status = -1;
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+int do_close(void) {
+    int status;
+    KeAcquireSpinLock();
+    if (open_count > 0) {
+        open_count = open_count - 1;
+        status = 0;
+    } else {
+        status = -1;
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+int do_cleanup(void) {
+    KeAcquireSpinLock();
+    open_count = 0;
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return 0;
+}
+
+void main(void) {
+    int op, status;
+    op = *;
+    open_count = 0;
+    accepting = 1;
+    if (op == 0) {
+        status = do_create();
+    } else if (op == 1) {
+        status = do_close();
+    } else {
+        status = do_cleanup();
+    }
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "safe"},
+)
+
+
+SRDRIVER = DriverStudy(
+    name="srdriver",
+    description=(
+        "start/reset controller: nested helpers share the lock correctly "
+        "by splitting locked and unlocked entry points"
+    ),
+    source=OS_MODEL + r"""
+int hw_ready;
+int resets;
+
+void reset_hardware_locked(void) {
+    /* caller holds the lock */
+    HalWritePort(7, 0);
+    resets = resets + 1;
+    hw_ready = 0;
+}
+
+int sr_start(void) {
+    int status;
+    KeAcquireSpinLock();
+    if (hw_ready == 0) {
+        HalWritePort(7, 1);
+        hw_ready = 1;
+    }
+    status = 0;
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+int sr_reset(int force) {
+    int status;
+    status = 0;
+    KeAcquireSpinLock();
+    if (force > 0) {
+        reset_hardware_locked();
+    } else {
+        if (hw_ready == 1) {
+            reset_hardware_locked();
+        } else {
+            status = -1;
+        }
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+void main(void) {
+    int op, force, status;
+    op = *;
+    force = *;
+    hw_ready = 0;
+    resets = 0;
+    if (op == 0) {
+        status = sr_start();
+    } else {
+        status = sr_reset(force);
+    }
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "safe"},
+)
+
+
+LOG = DriverStudy(
+    name="log",
+    description=(
+        "logging driver: a ring buffer guarded by the lock; flush loops "
+        "while holding the lock and releases on every exit path"
+    ),
+    source=OS_MODEL + r"""
+int buffer[64];
+int head;
+int count;
+
+void log_append(int value) {
+    KeAcquireSpinLock();
+    if (count < 64) {
+        buffer[head] = value;
+        head = head + 1;
+        if (head == 64) {
+            head = 0;
+        }
+        count = count + 1;
+    }
+    KeReleaseSpinLock();
+}
+
+int log_flush(void) {
+    int flushed;
+    flushed = 0;
+    KeAcquireSpinLock();
+    while (count > 0) {
+        HalWritePort(9, buffer[head]);
+        count = count - 1;
+        flushed = flushed + 1;
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return flushed;
+}
+
+void main(void) {
+    int op, value, status;
+    op = *;
+    value = *;
+    head = 0;
+    count = 0;
+    if (op == 0) {
+        log_append(value);
+        IoCompleteRequest();
+        status = 0;
+    } else {
+        status = log_flush();
+    }
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "safe"},
+)
+
+SERIAL = DriverStudy(
+    name="serial",
+    description=(
+        "serial port driver: transmit loop under the lock, status-dependent "
+        "completion paths that each complete the IRP exactly once (needs "
+        "data refinement to validate)"
+    ),
+    source=OS_MODEL + r"""
+int tx_busy;
+int tx_count;
+int line_errors;
+
+void serial_enable_fifo(void) {
+    HalWritePort(11, 1);
+}
+
+int serial_write(int count) {
+    int status, sent;
+    status = 0;
+    if (count < 0) {
+        status = -1;
+    }
+    if (count > 4096) {
+        status = -2;
+    }
+    if (status == 0) {
+        KeAcquireSpinLock();
+        if (tx_busy == 1) {
+            status = -3;
+        } else {
+            tx_busy = 1;
+            sent = 0;
+            while (sent < count) {
+                HalWritePort(12, sent);
+                sent = sent + 1;
+            }
+            tx_count = tx_count + sent;
+            tx_busy = 0;
+        }
+        KeReleaseSpinLock();
+    }
+    if (status == 0) {
+        IoCompleteRequest();
+        return 0;
+    }
+    IoCompleteRequest();
+    return status;
+}
+
+int serial_read(int max) {
+    int status, got;
+    status = 0;
+    got = 0;
+    KeAcquireSpinLock();
+    while (got < max && status == 0) {
+        got = got + 1;
+        if (got > 4096) {
+            status = -1;
+        }
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    if (status == 0) {
+        return got;
+    }
+    return status;
+}
+
+void main(void) {
+    int op, amount, status;
+    op = *;
+    amount = *;
+    tx_busy = 0;
+    tx_count = 0;
+    line_errors = 0;
+    serial_enable_fifo();
+    if (op == 0) {
+        status = serial_write(amount);
+    } else {
+        status = serial_read(amount);
+    }
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "safe"},
+)
+
+
+KBFILTR = DriverStudy(
+    name="kbfiltr",
+    description=(
+        "keyboard filter driver: every request is either completed locally "
+        "or forwarded down the stack, never both and never neither"
+    ),
+    source=OS_MODEL + r"""
+/* OS model: forwarding an IRP to the lower driver. */
+int IoCallDriver(void) {
+    int r;
+    r = *;
+    return r;
+}
+
+int key_count;
+int filter_enabled;
+
+int kb_filter_key(int scancode) {
+    /* Drop the key if filtering is on and it matches the filter. */
+    if (filter_enabled == 1 && scancode == 42) {
+        return 1;
+    }
+    return 0;
+}
+
+int kb_dispatch_read(int scancode) {
+    int status, drop;
+    drop = kb_filter_key(scancode);
+    if (drop == 1) {
+        /* handled here: complete with success, do not forward */
+        key_count = key_count + 1;
+        IoCompleteRequest();
+        return 0;
+    }
+    /* pass through to the class driver below us */
+    status = IoCallDriver();
+    return status;
+}
+
+int kb_dispatch_ioctl(int code) {
+    int status;
+    status = 0;
+    KeAcquireSpinLock();
+    if (code == 1) {
+        filter_enabled = 1;
+    } else if (code == 2) {
+        filter_enabled = 0;
+    } else {
+        status = -1;
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+void main(void) {
+    int major, arg, status;
+    major = *;
+    arg = *;
+    key_count = 0;
+    filter_enabled = *;
+    if (major == 3) {
+        status = kb_dispatch_read(arg);
+    } else {
+        status = kb_dispatch_ioctl(arg);
+    }
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "safe", "handoff": "safe"},
+)
+
+TOASTER = DriverStudy(
+    name="toaster",
+    description=(
+        "WDM sample-style function driver with a device-extension struct: "
+        "PnP start/stop/remove plus read dispatch, lock-guarded state "
+        "transitions, every IRP completed exactly once"
+    ),
+    source=OS_MODEL + r"""
+struct device_extension {
+    int started;
+    int removed;
+    int pending_io;
+    int power_state;
+};
+
+struct device_extension the_device;
+
+int toaster_start(struct device_extension *ext) {
+    int status;
+    status = 0;
+    KeAcquireSpinLock();
+    if (ext->removed == 1) {
+        status = -1;
+    } else {
+        if (ext->started == 1) {
+            status = -2;
+        } else {
+            ext->started = 1;
+            ext->power_state = 1;
+        }
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+int toaster_stop(struct device_extension *ext) {
+    int status;
+    status = 0;
+    KeAcquireSpinLock();
+    if (ext->started == 1) {
+        ext->started = 0;
+        ext->power_state = 0;
+    } else {
+        status = -1;
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+int toaster_remove(struct device_extension *ext) {
+    KeAcquireSpinLock();
+    ext->removed = 1;
+    ext->started = 0;
+    ext->power_state = 0;
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return 0;
+}
+
+int toaster_read(struct device_extension *ext, int length) {
+    int status, chunk;
+    status = 0;
+    KeAcquireSpinLock();
+    if (ext->started != 1) {
+        status = -1;
+    } else {
+        if (length < 0) {
+            status = -2;
+        } else {
+            ext->pending_io = ext->pending_io + 1;
+            chunk = 0;
+            while (chunk < length) {
+                HalWritePort(3, chunk);
+                chunk = chunk + 1;
+            }
+            ext->pending_io = ext->pending_io - 1;
+        }
+    }
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    return status;
+}
+
+int toaster_dispatch(int minor, int length) {
+    int status;
+    if (minor == 0) {
+        status = toaster_start(&the_device);
+    } else if (minor == 1) {
+        status = toaster_stop(&the_device);
+    } else if (minor == 2) {
+        status = toaster_remove(&the_device);
+    } else {
+        status = toaster_read(&the_device, length);
+    }
+    return status;
+}
+
+void main(void) {
+    int minor, length, status;
+    minor = *;
+    length = *;
+    the_device.started = 0;
+    the_device.removed = 0;
+    the_device.pending_io = 0;
+    the_device.power_state = 0;
+    status = toaster_dispatch(minor, length);
+}
+""",
+    entry="main",
+    expected={"lock": "safe", "irp": "safe"},
+)

@@ -1,0 +1,139 @@
+"""Heap-manipulating case studies (Table 2: partition, listfind, reverse).
+
+``partition`` is the paper's Figure 1; ``reverse`` is Figure 3's
+mark-and-sweep style pointer-reversal traversal, checked for the Section
+6.2 shape property (every node's ``next`` is restored); ``listfind`` is a
+list search whose found-label invariant refines aliasing like Section 2.2.
+"""
+
+from repro.programs.registry import CaseStudy
+
+PARTITION = CaseStudy(
+    name="partition",
+    description=(
+        "Figure 1: destructively partition a list around a pivot; the "
+        "invariant at L separates *curr from *prev"
+    ),
+    source=r"""
+typedef struct cell {
+    int val;
+    struct cell* next;
+} *list;
+
+list partition(list *l, int v) {
+    list curr, prev, newl, nextcurr;
+    curr = *l;
+    prev = NULL;
+    newl = NULL;
+    while (curr != NULL) {
+        nextcurr = curr->next;
+        if (curr->val > v) {
+            if (prev != NULL) {
+                prev->next = nextcurr;
+            }
+            if (curr == *l) {
+                *l = nextcurr;
+            }
+            curr->next = newl;
+L:          newl = curr;
+        } else {
+            prev = curr;
+        }
+        curr = nextcurr;
+    }
+    return newl;
+}
+""",
+    predicate_text="""
+partition
+curr == NULL, prev == NULL,
+curr->val > v, prev->val > v
+""",
+    entry="partition",
+    labels=["L"],
+)
+
+
+LISTFIND = CaseStudy(
+    name="listfind",
+    description="search a list for a value; at FOUND the cell holds v",
+    source=r"""
+typedef struct cell {
+    int val;
+    struct cell* next;
+} *list;
+
+int listfind(list head, int v) {
+    list curr;
+    int found;
+    curr = head;
+    found = 0;
+    while (curr != NULL) {
+        if (curr->val == v) {
+            found = 1;
+FOUND:      goto done;
+        }
+        curr = curr->next;
+    }
+done:
+    return found;
+}
+""",
+    predicate_text="""
+listfind
+curr == NULL, found == 1, curr->val == v
+""",
+    entry="listfind",
+    labels=["FOUND", "done"],
+)
+
+
+REVERSE = CaseStudy(
+    name="reverse",
+    description=(
+        "Figure 3: traverse a list with pointer reversal and restore it; "
+        "Section 6.2 checks h->next == hnext is re-established"
+    ),
+    source=r"""
+struct node {
+    int mark;
+    struct node *next;
+};
+
+void mark(struct node *list, struct node *h) {
+    struct node *this, *tmp, *prev, *hnext;
+    assume(h != NULL);
+    hnext = h->next;
+    prev = NULL;
+    this = list;
+    /* traverse list and mark, setting back pointers */
+    while (this != NULL) {
+        if (this->mark == 1) {
+            break;
+        }
+        this->mark = 1;
+        tmp = prev;
+        prev = this;
+        this = this->next;
+        prev->next = tmp;
+    }
+    /* traverse back, resetting the pointers */
+    while (prev != NULL) {
+        tmp = this;
+        this = prev;
+        prev = prev->next;
+        this->next = tmp;
+    }
+END:
+    return;
+}
+""",
+    predicate_text="""
+mark
+h == NULL, prev == h, this == h,
+this->next == hnext, prev == this,
+h->next == hnext, hnext->next == h
+""",
+    entry="mark",
+    labels=["END"],
+)

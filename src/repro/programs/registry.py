@@ -1,0 +1,76 @@
+"""Case-study descriptors and the lookup registry."""
+
+
+class CaseStudy:
+    """One Table 2 program: source + predicate input file + entry point."""
+
+    def __init__(self, name, description, source, predicate_text, entry, labels=()):
+        self.name = name
+        self.description = description
+        self.source = source
+        self.predicate_text = predicate_text
+        self.entry = entry
+        # (procedure, label) pairs whose Bebop invariants the experiments
+        # inspect.
+        self.labels = [
+            (entry, spot) if isinstance(spot, str) else spot for spot in labels
+        ]
+
+    def __repr__(self):
+        return "CaseStudy(%r)" % self.name
+
+
+class DriverStudy:
+    """One Table 1 driver: source + the property verdicts it should get."""
+
+    def __init__(self, name, description, source, entry, expected):
+        self.name = name
+        self.description = description
+        self.source = source
+        self.entry = entry
+        # property key ("lock" | "irp") -> expected verdict string.
+        self.expected = dict(expected)
+
+    def __repr__(self):
+        return "DriverStudy(%r)" % self.name
+
+
+def all_table2_programs():
+    from repro.programs import arrays, heap
+
+    return [
+        arrays.KMP,
+        arrays.QSORT,
+        heap.PARTITION,
+        heap.LISTFIND,
+        heap.REVERSE,
+    ]
+
+
+def get_program(name):
+    for study in all_table2_programs():
+        if study.name == name:
+            return study
+    raise KeyError("no case study named %r" % name)
+
+
+def all_drivers():
+    from repro.programs import drivers
+
+    return [
+        drivers.FLOPPY,
+        drivers.IOCTL,
+        drivers.OPENCLOS,
+        drivers.SRDRIVER,
+        drivers.LOG,
+        drivers.SERIAL,
+        drivers.KBFILTR,
+        drivers.TOASTER,
+    ]
+
+
+def get_driver(name):
+    for study in all_drivers():
+        if study.name == name:
+            return study
+    raise KeyError("no driver named %r" % name)

@@ -1,0 +1,34 @@
+"""The theorem prover used by C2bp and Newton.
+
+The paper calls out to two Nelson-Oppen style provers (Simplify [15] and
+Vampyre [7]) through a simple "does this C expression imply that one?"
+interface, and reports its results in *number of theorem prover calls*.
+This package provides the same interface backed by a from-scratch
+implementation:
+
+- :mod:`repro.prover.terms` — translation of quantifier-free C expressions
+  into a logical term/formula language (uninterpreted selectors for
+  dereference and field access, address constants, linear arithmetic);
+- :mod:`repro.prover.sat` — a CDCL propositional solver;
+- :mod:`repro.prover.euf` — congruence closure for equality with
+  uninterpreted functions;
+- :mod:`repro.prover.linarith` — a decision procedure for conjunctions of
+  linear integer constraints (Fourier-Motzkin elimination with integral
+  tightening);
+- :mod:`repro.prover.theory` — the combined EUF + arithmetic consistency
+  check with equality propagation between the two (the Nelson-Oppen loop);
+- :mod:`repro.prover.smt` — the lazy DPLL(T) loop tying the SAT core to the
+  theories;
+- :mod:`repro.prover.interface` — the cached, call-counting front door
+  (:class:`Prover`) consumed by C2bp.
+
+Like the provers in the paper, ours is *sound for validity but incomplete*:
+``is_valid`` may answer ``False`` for a valid formula involving, e.g.,
+non-linear arithmetic (those operators are treated as uninterpreted), in
+which case C2bp conservatively falls back to non-deterministic assignment.
+"""
+
+from repro.prover.interface import Prover, ProverStats
+from repro.prover.smt import Satisfiability, check_formula
+
+__all__ = ["Prover", "ProverStats", "Satisfiability", "check_formula"]

@@ -1,0 +1,80 @@
+"""Tseitin transformation from formulas to CNF.
+
+Atoms are mapped to SAT variables through an :class:`AtomMap`; internal
+nodes get fresh auxiliary variables.  The encoding is equisatisfiable and,
+because we constrain both directions of each definition, the SAT model
+restricted to atom variables is exactly a propositional model of the
+original formula.
+"""
+
+
+class AtomMap:
+    """Bijection between theory atoms and SAT variables."""
+
+    def __init__(self):
+        self._atom_to_var = {}
+        self._var_to_atom = {}
+        self._next_var = 1
+
+    def var_for(self, atom):
+        if atom not in self._atom_to_var:
+            var = self._next_var
+            self._next_var += 1
+            self._atom_to_var[atom] = var
+            self._var_to_atom[var] = atom
+        return self._atom_to_var[atom]
+
+    def fresh_var(self):
+        var = self._next_var
+        self._next_var += 1
+        return var
+
+    def atom_of(self, var):
+        return self._var_to_atom.get(var)
+
+    def atoms(self):
+        return list(self._atom_to_var)
+
+
+def tseitin(formula, atom_map, clauses):
+    """Encode ``formula`` into ``clauses``; returns the literal that is
+    true iff the formula is."""
+    kind = formula[0]
+    if kind == "true":
+        var = atom_map.fresh_var()
+        clauses.append([var])
+        return var
+    if kind == "false":
+        var = atom_map.fresh_var()
+        clauses.append([-var])
+        return var
+    if kind in ("le", "eq"):
+        return atom_map.var_for(formula)
+    if kind == "not":
+        return -tseitin(formula[1], atom_map, clauses)
+    if kind == "and":
+        left = tseitin(formula[1], atom_map, clauses)
+        right = tseitin(formula[2], atom_map, clauses)
+        out = atom_map.fresh_var()
+        clauses.append([-out, left])
+        clauses.append([-out, right])
+        clauses.append([out, -left, -right])
+        return out
+    if kind == "or":
+        left = tseitin(formula[1], atom_map, clauses)
+        right = tseitin(formula[2], atom_map, clauses)
+        out = atom_map.fresh_var()
+        clauses.append([-out, left, right])
+        clauses.append([out, -left])
+        clauses.append([out, -right])
+        return out
+    raise ValueError("unknown formula node %r" % (formula,))
+
+
+def formula_to_cnf(formula, atom_map=None):
+    """CNF clauses asserting ``formula``; returns (clauses, atom_map)."""
+    atom_map = atom_map or AtomMap()
+    clauses = []
+    root = tseitin(formula, atom_map, clauses)
+    clauses.append([root])
+    return clauses, atom_map

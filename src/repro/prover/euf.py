@@ -1,0 +1,159 @@
+"""Congruence closure for equality with uninterpreted functions.
+
+The classic procedure: a union-find over terms, a signature table mapping
+``(symbol, representative args)`` to a canonical application, and a "uses"
+index so that merging two classes revisits the applications that mention
+them.  The signature table also catches congruences for terms that are
+registered *after* the merges that make them congruent (the incremental
+use pattern of the Nelson-Oppen combination loop).
+
+Distinct integer constants are semantically distinct: a class containing
+two different numerals is an immediate conflict.
+"""
+
+from repro.prover.terms import subterms
+
+
+class CongruenceClosure:
+    def __init__(self):
+        self._parent = {}
+        self._uses = {}  # representative -> list of app terms using it
+        self._sigs = {}  # (symbol, arg representatives) -> app term
+        self._diseqs = []  # list of (t1, t2) that must stay apart
+        self._num_of = {}  # representative -> numeral value if known
+        self._conflict = None
+        self._pending = []  # merge worklist
+
+    # -- union-find --------------------------------------------------------
+
+    def _find(self, term):
+        parent = self._parent
+        if term not in parent:
+            self._register(term)
+            return self._find_registered(term)
+        return self._find_registered(term)
+
+    def _find_registered(self, term):
+        parent = self._parent
+        root = term
+        while parent[root] != root:
+            root = parent[root]
+        while parent[term] != root:
+            parent[term], term = root, parent[term]
+        return root
+
+    def _signature(self, application):
+        return (application[1],) + tuple(self._find(arg) for arg in application[2])
+
+    def _register(self, term):
+        """Add a term (and its subterms) to the structure."""
+        if term in self._parent:
+            return
+        self._parent[term] = term
+        self._uses[term] = []
+        if term[0] == "num":
+            self._num_of[term] = term[1]
+        if term[0] == "app":
+            for arg in term[2]:
+                self._register(arg)
+                self._uses[self._find(arg)].append(term)
+            signature = self._signature(term)
+            existing = self._sigs.get(signature)
+            if existing is None:
+                self._sigs[signature] = term
+            elif self._find(existing) != self._find(term):
+                # Congruent to an already-known application.
+                self._pending.append((existing, term))
+                self._drain()
+
+    def add_term(self, term):
+        """Ensure ``term`` and its subterms participate in the closure."""
+        for sub in subterms(term):
+            self._register(sub)
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, t1, t2):
+        """Assert ``t1 = t2``; returns False on conflict."""
+        if self._conflict:
+            return False
+        self.add_term(t1)
+        self.add_term(t2)
+        self._pending.append((t1, t2))
+        self._drain()
+        return self._check_diseqs()
+
+    def _drain(self):
+        while self._pending and self._conflict is None:
+            t1, t2 = self._pending.pop()
+            self._merge_one(t1, t2)
+
+    def _merge_one(self, t1, t2):
+        root1, root2 = self._find(t1), self._find(t2)
+        if root1 == root2:
+            return
+        # Union by number of uses: keep the busier class as survivor.
+        if len(self._uses[root1]) < len(self._uses[root2]):
+            root1, root2 = root2, root1
+        self._parent[root2] = root1
+        # Numeral conflict detection.
+        num1 = self._num_of.get(root1)
+        num2 = self._num_of.get(root2)
+        if num1 is not None and num2 is not None and num1 != num2:
+            self._conflict = (t1, t2)
+            return
+        if num2 is not None:
+            self._num_of[root1] = num2
+        # Re-hash the applications that used the absorbed class; their
+        # signatures changed, which may reveal new congruences.
+        moved = self._uses[root2]
+        self._uses[root1] = self._uses[root1] + moved
+        self._uses[root2] = []
+        for application in moved:
+            signature = self._signature(application)
+            existing = self._sigs.get(signature)
+            if existing is None:
+                self._sigs[signature] = application
+            elif self._find(existing) != self._find(application):
+                self._pending.append((existing, application))
+
+    # -- queries -----------------------------------------------------------------
+
+    def add_disequality(self, t1, t2):
+        """Assert ``t1 != t2``; returns False on conflict."""
+        self.add_term(t1)
+        self.add_term(t2)
+        self._diseqs.append((t1, t2))
+        return self._check_diseqs()
+
+    def _check_diseqs(self):
+        if self._conflict:
+            return False
+        for t1, t2 in self._diseqs:
+            if self._find(t1) == self._find(t2):
+                self._conflict = (t1, t2)
+                return False
+        return True
+
+    @property
+    def consistent(self):
+        return self._conflict is None and self._check_diseqs()
+
+    def are_equal(self, t1, t2):
+        self.add_term(t1)
+        self.add_term(t2)
+        return self._find(t1) == self._find(t2)
+
+    def representative(self, term):
+        return self._find(term)
+
+    def known_numeral(self, term):
+        """The numeral this term's class is pinned to, if any."""
+        return self._num_of.get(self._find(term))
+
+    def equivalence_classes(self):
+        """Mapping representative -> list of member terms."""
+        classes = {}
+        for term in list(self._parent):
+            classes.setdefault(self._find(term), []).append(term)
+        return classes

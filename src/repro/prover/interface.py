@@ -1,0 +1,118 @@
+"""The prover front door used by C2bp and Newton.
+
+Mirrors how the paper uses Simplify/Vampyre: a black-box oracle for
+"does this conjunction of C expressions imply that C expression?", with
+query caching (Section 5.2, optimization five) and call counting (the
+"thm. prover calls" column of Tables 1 and 2).
+"""
+
+from repro.prover import terms as T
+from repro.prover.smt import Satisfiability, check_formula
+
+
+class ProverStats:
+    """Counters surfaced in the experiment tables."""
+
+    def __init__(self):
+        self.queries = 0  # every implication request
+        self.calls = 0  # actual decision-procedure invocations (cache misses)
+        self.cache_hits = 0
+        self.valid = 0
+        self.invalid = 0
+        self.unknown = 0
+
+    def reset(self):
+        self.__init__()
+
+    def snapshot(self):
+        return {
+            "queries": self.queries,
+            "calls": self.calls,
+            "cache_hits": self.cache_hits,
+            "valid": self.valid,
+            "invalid": self.invalid,
+            "unknown": self.unknown,
+        }
+
+    def __repr__(self):
+        return "ProverStats(%r)" % (self.snapshot(),)
+
+
+class Prover:
+    """A cached validity checker over quantifier-free C expressions."""
+
+    def __init__(self, enable_cache=True, max_rounds=400):
+        self.stats = ProverStats()
+        self.enable_cache = enable_cache
+        self.max_rounds = max_rounds
+        self._cache = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def implies(self, antecedents, consequent):
+        """Is ``/\\ antecedents => consequent`` valid?
+
+        ``antecedents`` is an iterable of C boolean expressions (possibly
+        empty); ``consequent`` a C boolean expression.  A ``False`` answer
+        means "could not prove" — the formula may still be valid.
+        """
+        antecedents = tuple(antecedents)
+        self.stats.queries += 1
+        key = (frozenset(antecedents), consequent, True)
+        if self.enable_cache and key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        result = self._decide_implication(antecedents, consequent)
+        if self.enable_cache:
+            self._cache[key] = result
+        return result
+
+    def is_valid(self, expr):
+        return self.implies((), expr)
+
+    def is_satisfiable(self, exprs):
+        """Joint satisfiability of C boolean expressions (used by Newton
+        for path feasibility).  Returns a :class:`Satisfiability`."""
+        exprs = tuple(exprs)
+        self.stats.queries += 1
+        key = (frozenset(exprs), None, False)
+        if self.enable_cache and key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        self.stats.calls += 1
+        ctx = T.TranslationContext()
+        formulas = [T.translate_formula(e, ctx) for e in exprs]
+        conjunction = T.land(*formulas)
+        axioms = list(ctx.defs) + T.address_axioms(T.land(conjunction, *ctx.defs))
+        result = check_formula(conjunction, axioms, max_rounds=self.max_rounds)
+        if result is Satisfiability.UNKNOWN:
+            self.stats.unknown += 1
+        if self.enable_cache:
+            self._cache[key] = result
+        return result
+
+    def reset_statistics(self):
+        self.stats.reset()
+
+    def clear_cache(self):
+        self._cache.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _decide_implication(self, antecedents, consequent):
+        self.stats.calls += 1
+        ctx = T.TranslationContext()
+        antecedent_formulas = [T.translate_formula(e, ctx) for e in antecedents]
+        consequent_formula = T.translate_formula(consequent, ctx)
+        # Valid iff (antecedents /\ not consequent) is unsatisfiable.
+        query = T.land(*antecedent_formulas, T.lnot(consequent_formula))
+        axioms = list(ctx.defs) + T.address_axioms(T.land(query, *ctx.defs))
+        outcome = check_formula(query, axioms, max_rounds=self.max_rounds)
+        if outcome is Satisfiability.UNSAT:
+            self.stats.valid += 1
+            return True
+        if outcome is Satisfiability.UNKNOWN:
+            self.stats.unknown += 1
+        else:
+            self.stats.invalid += 1
+        return False

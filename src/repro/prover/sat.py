@@ -1,0 +1,279 @@
+"""A CDCL propositional SAT solver.
+
+Standard architecture: two-watched-literal propagation, first-UIP conflict
+analysis with clause learning, activity-based (VSIDS-style) branching with
+exponential decay, and geometric restarts.  Variables are positive integers;
+literals are nonzero integers where ``-v`` is the negation of ``v``.
+
+The solver is deliberately self-contained — the DPLL(T) loop layers theory
+reasoning on top by adding blocking clauses and re-solving.
+"""
+
+
+class SatResult:
+    """Outcome of a solve: ``sat`` plus a model (assignment dict) when
+    satisfiable."""
+
+    __slots__ = ("sat", "model")
+
+    def __init__(self, sat, model=None):
+        self.sat = sat
+        self.model = model or {}
+
+    def __bool__(self):
+        return self.sat
+
+    def __repr__(self):
+        return "SatResult(sat=%r)" % self.sat
+
+
+class SatSolver:
+    """One solver instance; clauses may be added between ``solve`` calls."""
+
+    def __init__(self):
+        self._clauses = []
+        self._num_vars = 0
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    def add_clause(self, literals):
+        """Add a clause (iterable of nonzero ints).  Returns False if the
+        clause is trivially empty (immediate unsatisfiability)."""
+        clause = sorted(set(literals), key=abs)
+        # A clause with complementary literals is a tautology.
+        for i in range(len(clause) - 1):
+            if clause[i] == -clause[i + 1]:
+                return True
+        if not clause:
+            self._clauses.append([])
+            return False
+        for lit in clause:
+            self._num_vars = max(self._num_vars, abs(lit))
+        self._clauses.append(clause)
+        return True
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(self, assumptions=()):
+        """Decide satisfiability of the clause set under ``assumptions``."""
+        if any(not clause for clause in self._clauses):
+            return SatResult(False)
+        state = _SolverState(self._num_vars, self._clauses, self)
+        return state.search(list(assumptions))
+
+
+class _SolverState:
+    """The per-solve working state (assignments, watches, activity)."""
+
+    def __init__(self, num_vars, clauses, stats):
+        self.num_vars = num_vars
+        self.stats = stats
+        # values[v] in (None, True, False)
+        self.values = [None] * (num_vars + 1)
+        self.levels = [0] * (num_vars + 1)
+        self.reasons = [None] * (num_vars + 1)  # clause that implied the var
+        self.trail = []
+        self.trail_lim = []
+        self.activity = [0.0] * (num_vars + 1)
+        self.activity_inc = 1.0
+        self.watches = {}  # literal -> list of clauses watching it
+        self.clauses = []
+        for clause in clauses:
+            self._attach(list(clause))
+
+    # -- clause attachment ----------------------------------------------------
+
+    def _attach(self, clause):
+        self.clauses.append(clause)
+        if len(clause) == 1:
+            # Unit clauses are enqueued at level 0 inside search().
+            return
+        for lit in clause[:2]:
+            self.watches.setdefault(lit, []).append(clause)
+
+    # -- assignment plumbing ---------------------------------------------------
+
+    def _value_of(self, lit):
+        value = self.values[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _decision_level(self):
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit, reason=None):
+        var = abs(lit)
+        current = self._value_of(lit)
+        if current is not None:
+            return current
+        self.values[var] = lit > 0
+        self.levels[var] = self._decision_level()
+        self.reasons[var] = reason
+        self.trail.append(lit)
+        self.stats.propagations += 1
+        return True
+
+    def _propagate(self):
+        """Unit propagation; returns a conflicting clause or None."""
+        index = getattr(self, "_qhead", 0)
+        while index < len(self.trail):
+            lit = self.trail[index]
+            index += 1
+            false_lit = -lit
+            watchers = self.watches.get(false_lit, [])
+            new_watchers = []
+            conflict = None
+            for clause in watchers:
+                if conflict is not None:
+                    new_watchers.append(clause)
+                    continue
+                # Ensure the false literal is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value_of(first) is True:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a replacement watch.
+                for k in range(2, len(clause)):
+                    if self._value_of(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(clause)
+                        break
+                else:
+                    new_watchers.append(clause)
+                    if self._value_of(first) is False:
+                        conflict = clause
+                    else:
+                        self._enqueue(first, reason=clause)
+            self.watches[false_lit] = new_watchers
+            if conflict is not None:
+                self._qhead = len(self.trail)
+                return conflict
+        self._qhead = index
+        return None
+
+    # -- conflict analysis -----------------------------------------------------
+
+    def _analyze(self, conflict):
+        """First-UIP learning.  Returns (learned clause, backjump level)."""
+        learned = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        pivot = None  # the trail literal whose reason is being resolved
+        reason = conflict
+        index = len(self.trail) - 1
+        while True:
+            for q in reason:
+                if pivot is not None and q == pivot:
+                    continue  # skip the literal this reason implied
+                var = abs(q)
+                if not seen[var] and self.levels[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.levels[var] == self._decision_level():
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Find the next trail literal to resolve on.
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            pivot = self.trail[index]
+            var = abs(pivot)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = self.reasons[var] or []
+        learned.insert(0, -pivot)
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self.levels[abs(q)] for q in learned[1:])
+        # Put a literal of the backjump level in the second watch slot.
+        for i in range(1, len(learned)):
+            if self.levels[abs(learned[i])] == backjump:
+                learned[1], learned[i] = learned[i], learned[1]
+                break
+        return learned, backjump
+
+    def _bump(self, var):
+        self.activity[var] += self.activity_inc
+        if self.activity[var] > 1e100:
+            for i in range(len(self.activity)):
+                self.activity[i] *= 1e-100
+            self.activity_inc *= 1e-100
+
+    def _backjump(self, level):
+        while self._decision_level() > level:
+            limit = self.trail_lim.pop()
+            for lit in self.trail[limit:]:
+                var = abs(lit)
+                self.values[var] = None
+                self.reasons[var] = None
+            del self.trail[limit:]
+        self._qhead = len(self.trail)
+
+    # -- search ------------------------------------------------------------------
+
+    def search(self, assumptions):
+        # Enqueue unit clauses at level 0.
+        for clause in self.clauses:
+            if len(clause) == 1:
+                if self._enqueue(clause[0], reason=clause) is False:
+                    return SatResult(False)
+        conflict_budget = 128
+        while True:
+            result = self._search_until_restart(assumptions, conflict_budget)
+            if result is not None:
+                return result
+            conflict_budget = int(conflict_budget * 1.5)
+            self._backjump(0)
+
+    def _search_until_restart(self, assumptions, conflict_budget):
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    return SatResult(False)
+                learned, backjump = self._analyze(conflict)
+                self._backjump(backjump)
+                self._attach(learned)
+                self._enqueue(learned[0], reason=learned)
+                self.activity_inc *= 1.05
+                if conflicts_here >= conflict_budget:
+                    return None  # restart
+                continue
+            # Apply pending assumptions as decisions.
+            pending = None
+            for lit in assumptions:
+                value = self._value_of(lit)
+                if value is False:
+                    return SatResult(False)
+                if value is None:
+                    pending = lit
+                    break
+            if pending is not None:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(pending)
+                continue
+            # Pick the unassigned variable with the highest activity.
+            best, best_score = None, -1.0
+            for var in range(1, self.num_vars + 1):
+                if self.values[var] is None and self.activity[var] > best_score:
+                    best, best_score = var, self.activity[var]
+            if best is None:
+                model = {
+                    var: self.values[var]
+                    for var in range(1, self.num_vars + 1)
+                    if self.values[var] is not None
+                }
+                return SatResult(True, model)
+            self.stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(-best)  # negative polarity first: mild heuristic

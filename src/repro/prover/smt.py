@@ -1,0 +1,85 @@
+"""The lazy DPLL(T) loop.
+
+The propositional skeleton of the input formula goes to the CDCL core; each
+propositional model's theory literals are checked for consistency by the
+combined EUF+arithmetic procedure; inconsistent assignments are excluded
+with (greedily minimized) blocking clauses until either the SAT core runs
+dry (UNSAT) or a theory-consistent model is found (SAT).
+"""
+
+import enum
+
+from repro.prover.cnf import AtomMap, tseitin
+from repro.prover.sat import SatSolver
+from repro.prover.terms import land
+from repro.prover.theory import check_literals
+
+
+class Satisfiability(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+_MAX_THEORY_ROUNDS = 400
+
+
+def check_formula(formula, axioms=(), max_rounds=_MAX_THEORY_ROUNDS):
+    """Decide satisfiability of ``formula`` (with ``axioms`` conjoined).
+
+    UNSAT answers are sound.  UNKNOWN is returned when the lazy loop does
+    not converge within ``max_rounds`` blocking iterations.
+    """
+    whole = land(formula, *axioms)
+    if whole == ("true",):
+        return Satisfiability.SAT
+    if whole == ("false",):
+        return Satisfiability.UNSAT
+    atom_map = AtomMap()
+    clauses = []
+    root = tseitin(whole, atom_map, clauses)
+    clauses.append([root])
+    solver = SatSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    for _ in range(max_rounds):
+        result = solver.solve()
+        if not result.sat:
+            return Satisfiability.UNSAT
+        literals = _theory_literals(result.model, atom_map)
+        if not literals:
+            return Satisfiability.SAT
+        if check_literals(literals):
+            return Satisfiability.SAT
+        core = _minimize_core(literals)
+        blocking = [
+            (-var if polarity else var)
+            for (atom, polarity), var in (
+                ((atom, polarity), atom_map.var_for(atom)) for atom, polarity in core
+            )
+        ]
+        solver.add_clause(blocking)
+    return Satisfiability.UNKNOWN
+
+
+def _theory_literals(model, atom_map):
+    literals = []
+    for var, value in model.items():
+        atom = atom_map.atom_of(var)
+        if atom is not None:
+            literals.append((atom, value))
+    return literals
+
+
+def _minimize_core(literals):
+    """Greedy minimization: drop literals whose removal keeps the set
+    inconsistent.  A smaller core gives a stronger blocking clause."""
+    core = list(literals)
+    index = 0
+    while index < len(core):
+        candidate = core[:index] + core[index + 1 :]
+        if candidate and not check_literals(candidate):
+            core = candidate
+        else:
+            index += 1
+    return core

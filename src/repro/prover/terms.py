@@ -1,0 +1,351 @@
+"""Logical terms and formulas, and the translation from C expressions.
+
+Terms (integer-valued) are nested tuples so they hash and compare fast:
+
+- ``("num", k)`` — an integer constant;
+- ``("var", name)`` — a program variable (scope is the caller's concern:
+  predicates handed to the prover come from a single procedure's scope);
+- ``("loc", name)`` — the address constant ``&name``;
+- ``("app", symbol, (arg, ...))`` — an application of an (uninterpreted or
+  interpreted) function symbol; the interpreted symbols are ``"+"``,
+  ``"-"``, ``"*"`` (handled by the arithmetic solver when linear, treated as
+  uninterpreted otherwise).
+
+Formulas:
+
+- ``("le", t1, t2)``, ``("eq", t1, t2)`` — atoms (over integers; strict
+  comparison is normalized away: ``a < b`` becomes ``a <= b - 1``);
+- ``("not", f)``, ``("and", f1, f2)``, ``("or", f1, f2)``;
+- ``("true",)``, ``("false",)``.
+
+Dereference and field access become uninterpreted selectors, giving exactly
+the congruence reasoning the paper's examples need: from ``p == q`` the
+prover derives ``p->val == q->val`` but — soundly — nothing about distinct
+cells.  Booleans appearing in integer positions (e.g. after substituting
+``x = (a < b)`` into a predicate about ``x``) are expanded by cases.
+"""
+
+from repro.cfront import cast as C
+
+TRUE = ("true",)
+FALSE = ("false",)
+
+
+def num(value):
+    return ("num", value)
+
+
+def var(name):
+    return ("var", name)
+
+
+def loc(name):
+    return ("loc", name)
+
+
+def app(symbol, *args):
+    return ("app", symbol, tuple(args))
+
+
+def is_num(term):
+    return term[0] == "num"
+
+
+def land(*formulas):
+    result = TRUE
+    for formula in formulas:
+        if formula == FALSE:
+            return FALSE
+        if formula == TRUE:
+            continue
+        result = formula if result == TRUE else ("and", result, formula)
+    return result
+
+
+def lor(*formulas):
+    result = FALSE
+    for formula in formulas:
+        if formula == TRUE:
+            return TRUE
+        if formula == FALSE:
+            continue
+        result = formula if result == FALSE else ("or", result, formula)
+    return result
+
+
+def lnot(formula):
+    if formula == TRUE:
+        return FALSE
+    if formula == FALSE:
+        return TRUE
+    if formula[0] == "not":
+        return formula[1]
+    return ("not", formula)
+
+
+def add(t1, t2):
+    if is_num(t1) and is_num(t2):
+        return num(t1[1] + t2[1])
+    return app("+", t1, t2)
+
+
+def sub(t1, t2):
+    if is_num(t1) and is_num(t2):
+        return num(t1[1] - t2[1])
+    return app("-", t1, t2)
+
+
+def le(t1, t2):
+    if is_num(t1) and is_num(t2):
+        return TRUE if t1[1] <= t2[1] else FALSE
+    return ("le", t1, t2)
+
+
+def lt(t1, t2):
+    # Integers: a < b  <=>  a <= b - 1.
+    return le(t1, sub(t2, num(1)))
+
+
+def eq(t1, t2):
+    if is_num(t1) and is_num(t2):
+        return TRUE if t1[1] == t2[1] else FALSE
+    if t1 == t2:
+        return TRUE
+    return ("eq", t1, t2)
+
+
+def subterms(term):
+    """All subterms of a term, preorder."""
+    yield term
+    if term[0] == "app":
+        for arg in term[2]:
+            yield from subterms(arg)
+
+
+def formula_atoms(formula):
+    """The set of atoms of a formula."""
+    kind = formula[0]
+    if kind in ("le", "eq"):
+        return {formula}
+    if kind == "not":
+        return formula_atoms(formula[1])
+    if kind in ("and", "or"):
+        return formula_atoms(formula[1]) | formula_atoms(formula[2])
+    return set()
+
+
+def formula_terms(formula):
+    """All terms appearing in a formula's atoms."""
+    result = set()
+    for atom in formula_atoms(formula):
+        result |= set(subterms(atom[1]))
+        result |= set(subterms(atom[2]))
+    return result
+
+
+class TranslationContext:
+    """Carries the definitional constraints accumulated while translating
+    boolean subexpressions used in integer positions."""
+
+    def __init__(self):
+        self.defs = []
+        self._fresh = 0
+
+    def fresh_var(self, hint="b"):
+        self._fresh += 1
+        return var("__%s%d" % (hint, self._fresh))
+
+
+_REL_TRANSLATORS = {
+    "<": lambda a, b: lt(a, b),
+    "<=": lambda a, b: le(a, b),
+    ">": lambda a, b: lt(b, a),
+    ">=": lambda a, b: le(b, a),
+    "==": lambda a, b: eq(a, b),
+    "!=": lambda a, b: lnot(eq(a, b)),
+}
+
+# Operators with no arithmetic interpretation here: kept uninterpreted
+# (sound; may lose completeness).
+_UNINTERPRETED_BINOPS = frozenset(["/", "%", "<<", ">>", "&", "|", "^"])
+
+
+def translate_term(expr, ctx):
+    """Translate a C expression used for its integer/pointer *value*."""
+    if isinstance(expr, C.IntLit):
+        return num(expr.value)
+    if isinstance(expr, C.Id):
+        return var(expr.name)
+    if isinstance(expr, C.Unknown):
+        return var("__unknown%d" % expr.uid)
+    if isinstance(expr, C.Cast):
+        return translate_term(expr.operand, ctx)
+    if isinstance(expr, C.Deref):
+        return app("deref", translate_term(expr.pointer, ctx))
+    if isinstance(expr, C.FieldAccess):
+        return app("field:%s" % expr.field, translate_term(expr.base, ctx))
+    if isinstance(expr, C.Index):
+        return app(
+            "elem",
+            translate_term(expr.base, ctx),
+            translate_term(expr.index, ctx),
+        )
+    if isinstance(expr, C.AddrOf):
+        return _translate_address(expr.operand, ctx)
+    if isinstance(expr, C.UnOp):
+        if expr.op == "-":
+            return sub(num(0), translate_term(expr.operand, ctx))
+        if expr.op == "+":
+            return translate_term(expr.operand, ctx)
+        if expr.op == "~":
+            return app("~", translate_term(expr.operand, ctx))
+        if expr.op == "!":
+            return _bool_to_int(translate_formula(expr, ctx), ctx)
+    if isinstance(expr, C.BinOp):
+        op = expr.op
+        if op in ("&&", "||") or op in C.REL_OPS:
+            return _bool_to_int(translate_formula(expr, ctx), ctx)
+        left = translate_term(expr.left, ctx)
+        right = translate_term(expr.right, ctx)
+        if op == "+":
+            return add(left, right)
+        if op == "-":
+            return sub(left, right)
+        if op == "*":
+            return app("*", left, right)
+        if op in _UNINTERPRETED_BINOPS:
+            return app(op, left, right)
+    raise ValueError("cannot translate expression %r to a term" % (expr,))
+
+
+def _translate_address(lvalue, ctx):
+    """The address of an lvalue as a term.
+
+    - ``&x`` is the address constant ``loc(x)`` (two distinct variables have
+      distinct nonzero addresses; those axioms are added per query);
+    - ``&(*p)`` is just ``p``;
+    - ``&(l.f)`` / ``&(p->f)`` is a function of the *address* of the struct,
+      so that ``p == q`` lets congruence derive ``&p->f == &q->f``;
+    - ``&(a[i])`` is a function of the (decayed) array value and the index.
+    """
+    if isinstance(lvalue, C.Id):
+        return loc(lvalue.name)
+    if isinstance(lvalue, C.Deref):
+        return translate_term(lvalue.pointer, ctx)
+    if isinstance(lvalue, C.FieldAccess):
+        return app("addrfield:%s" % lvalue.field, _translate_address(lvalue.base, ctx))
+    if isinstance(lvalue, C.Index):
+        return app(
+            "addrelem",
+            translate_term(lvalue.base, ctx),
+            translate_term(lvalue.index, ctx),
+        )
+    if isinstance(lvalue, C.Cast):
+        return _translate_address(lvalue.operand, ctx)
+    raise ValueError("cannot take the address of %r" % (lvalue,))
+
+
+def _bool_to_int(formula, ctx):
+    """A fresh variable v with the side constraint
+    ``(formula ∧ v = 1) ∨ (¬formula ∧ v = 0)`` — the C value of a boolean."""
+    if formula == TRUE:
+        return num(1)
+    if formula == FALSE:
+        return num(0)
+    fresh = ctx.fresh_var()
+    ctx.defs.append(
+        lor(land(formula, eq(fresh, num(1))), land(lnot(formula), eq(fresh, num(0))))
+    )
+    return fresh
+
+
+def translate_formula(expr, ctx):
+    """Translate a C expression used as a *truth value*."""
+    if isinstance(expr, C.IntLit):
+        return TRUE if expr.value != 0 else FALSE
+    if isinstance(expr, C.UnOp) and expr.op == "!":
+        return lnot(translate_formula(expr.operand, ctx))
+    if isinstance(expr, C.BinOp):
+        op = expr.op
+        if op == "&&":
+            return land(
+                translate_formula(expr.left, ctx), translate_formula(expr.right, ctx)
+            )
+        if op == "||":
+            return lor(
+                translate_formula(expr.left, ctx), translate_formula(expr.right, ctx)
+            )
+        if op in _REL_TRANSLATORS:
+            left = translate_term(expr.left, ctx)
+            right = translate_term(expr.right, ctx)
+            return _REL_TRANSLATORS[op](left, right)
+    # Any other integer-valued expression e in truth position means e != 0.
+    term = translate_term(expr, ctx)
+    return lnot(eq(term, num(0)))
+
+
+def address_axioms(formula):
+    """True facts about the address terms occurring in ``formula``.
+
+    - Distinct variables live at distinct, nonzero addresses
+      (``&x != &y``, ``&x != 0``).
+    - Field addresses are *injective* in their base: two ``&e->f`` terms
+      with the same field are equal exactly when the bases are (equality
+      follows from congruence; the axiom adds the converse, which holds in
+      C because the field sits at a fixed offset of its struct).
+    - Addresses of different fields, of array elements vs. fields, and of
+      fields vs. named variables are pairwise distinct.
+    """
+    terms = formula_terms(formula)
+    locs = sorted(
+        {term for term in terms if term[0] == "loc"},
+        key=lambda t: t[1],
+    )
+    addr_apps = sorted(
+        {
+            term
+            for term in terms
+            if term[0] == "app"
+            and (term[1].startswith("addrfield:") or term[1] == "addrelem")
+        },
+        key=str,
+    )
+    axioms = []
+    for i, first in enumerate(locs):
+        axioms.append(lnot(eq(first, num(0))))
+        for second in locs[i + 1 :]:
+            axioms.append(lnot(eq(first, second)))
+        for app_term in addr_apps:
+            axioms.append(lnot(eq(first, app_term)))
+    for i, first in enumerate(addr_apps):
+        for second in addr_apps[i + 1 :]:
+            if first[1] != second[1]:
+                axioms.append(lnot(eq(first, second)))
+            elif first[1].startswith("addrfield:"):
+                # Same field: &a->f == &b->f  =>  a == b.
+                axioms.append(
+                    lor(lnot(eq(first, second)), eq(first[2][0], second[2][0]))
+                )
+            else:
+                # addrelem(a, i) == addrelem(b, j)  =>  a == b and i == j.
+                axioms.append(
+                    lor(
+                        lnot(eq(first, second)),
+                        land(
+                            eq(first[2][0], second[2][0]),
+                            eq(first[2][1], second[2][1]),
+                        ),
+                    )
+                )
+    return axioms
+
+
+def c_expr_to_formula(expr):
+    """Translate a C boolean expression into (formula, side constraints).
+
+    The side constraints are definitional facts that must be conjoined to
+    the *context* of any query involving the formula.
+    """
+    ctx = TranslationContext()
+    formula = translate_formula(expr, ctx)
+    return formula, ctx.defs

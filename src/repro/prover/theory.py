@@ -1,0 +1,153 @@
+"""Combined theory consistency check: EUF + linear integer arithmetic.
+
+Given a set of theory literals (atoms with polarity), decide whether they
+are jointly satisfiable.  The combination follows the Nelson-Oppen recipe,
+specialized to our two convex-ish theories:
+
+1. run congruence closure over the equalities (and check disequalities);
+2. propagate the resulting equalities into the arithmetic solver;
+3. check arithmetic satisfiability (Fourier-Motzkin); disequalities are
+   handled by case-splitting ``t1 != t2`` into ``t1 < t2 | t1 > t2``;
+4. propagate arithmetic-entailed equalities back into the congruence
+   closure (detected pairwise over congruence-relevant term pairs) and
+   repeat until a fixpoint.
+
+All UNSAT verdicts are sound; a SAT verdict may be optimistic for
+fragments we treat as uninterpreted (non-linear arithmetic, bit
+operations), which only costs the client precision.
+"""
+
+from repro.prover.euf import CongruenceClosure
+from repro.prover.linarith import LinearSolver, linearize
+from repro.prover.terms import subterms
+
+_MAX_SPLIT_DISEQS = 12
+_MAX_PROPAGATION_ROUNDS = 4
+
+
+class TheoryResult:
+    __slots__ = ("consistent",)
+
+    def __init__(self, consistent):
+        self.consistent = consistent
+
+    def __bool__(self):
+        return self.consistent
+
+
+def check_literals(literals):
+    """Decide joint satisfiability of ``literals``.
+
+    Each literal is ``(atom, polarity)`` where ``atom`` is
+    ``("le", t1, t2)`` or ``("eq", t1, t2)``.
+    """
+    eqs, diseqs, les = [], [], []
+    for atom, polarity in literals:
+        kind, t1, t2 = atom
+        if kind == "eq":
+            (eqs if polarity else diseqs).append((t1, t2))
+        elif kind == "le":
+            if polarity:
+                les.append((t1, t2))  # t1 <= t2
+            else:
+                les.append((t2, ("app", "+", (t1, ("num", -1)))))  # t2 <= t1-1
+        else:
+            raise ValueError("unknown atom %r" % (atom,))
+    return TheoryResult(_consistent(eqs, diseqs, les))
+
+
+def _consistent(eqs, diseqs, les):
+    euf = CongruenceClosure()
+    relevant_terms = set()
+    for t1, t2 in eqs + diseqs + les:
+        euf.add_term(t1)
+        euf.add_term(t2)
+        relevant_terms |= set(subterms(t1)) | set(subterms(t2))
+    for t1, t2 in eqs:
+        if not euf.merge(t1, t2):
+            return False
+    for t1, t2 in diseqs:
+        if not euf.add_disequality(t1, t2):
+            return False
+
+    for _ in range(_MAX_PROPAGATION_ROUNDS):
+        # EUF -> arithmetic: every equality the closure knows between terms
+        # of interest becomes an arithmetic equality.
+        solver = LinearSolver()
+        for t1, t2 in les:
+            solver.assert_le_terms(t1, t2)
+        classes = euf.equivalence_classes()
+        for members in classes.values():
+            members = [m for m in members if m in relevant_terms]
+            for other in members[1:]:
+                solver.assert_eq_terms(members[0], other)
+        if not _check_with_diseqs(solver, diseqs, euf):
+            return False
+        # Arithmetic -> EUF: find arithmetic-entailed equalities among
+        # congruence-relevant pairs and merge them.
+        changed = _propagate_entailed_equalities(solver, euf, relevant_terms)
+        if not euf.consistent:
+            return False
+        if not changed:
+            return True
+    return True  # fixpoint not reached; claim SAT (sound direction)
+
+
+def _check_with_diseqs(solver, diseqs, euf, depth=0):
+    """Arithmetic satisfiability with ``!=`` constraints by case splitting."""
+    if not solver.check():
+        return False
+    if not diseqs:
+        return True
+    if len(diseqs) > _MAX_SPLIT_DISEQS:
+        # Too many splits: accept possibly optimistic SAT.
+        return True
+    (t1, t2), rest = diseqs[0], diseqs[1:]
+    lin1, lin2 = linearize(t1), linearize(t2)
+    # If the two sides share no arithmetic content constraints could bite
+    # on, the disequality is arithmetically free - skip the split.
+    low = solver.copy()
+    expr = lin1.minus(lin2)
+    expr.const += 1  # t1 <= t2 - 1
+    low.add_le(expr)
+    if _check_with_diseqs(low, rest, euf, depth + 1):
+        return True
+    high = solver.copy()
+    expr = lin2.minus(lin1)
+    expr.const += 1  # t2 <= t1 - 1
+    high.add_le(expr)
+    return _check_with_diseqs(high, rest, euf, depth + 1)
+
+
+def _propagate_entailed_equalities(solver, euf, relevant_terms):
+    """Merge terms the arithmetic forces equal; True if anything merged."""
+    candidates = _congruence_candidate_pairs(euf, relevant_terms)
+    changed = False
+    for t1, t2 in candidates:
+        if euf.are_equal(t1, t2):
+            continue
+        if solver.implies_eq(t1, t2):
+            euf.merge(t1, t2)
+            changed = True
+            if not euf.consistent:
+                return True
+    return changed
+
+
+def _congruence_candidate_pairs(euf, relevant_terms):
+    """Pairs of terms whose equality could matter: arguments at the same
+    position of same-symbol applications, and the two sides of potential
+    numeral pinnings."""
+    by_slot = {}
+    apps = [t for t in relevant_terms if t[0] == "app"]
+    for application in apps:
+        symbol, args = application[1], application[2]
+        for index, arg in enumerate(args):
+            by_slot.setdefault((symbol, index, len(args)), []).append(arg)
+    pairs = set()
+    for args in by_slot.values():
+        unique = list({euf.representative(a): a for a in args}.values())
+        for i, first in enumerate(unique):
+            for second in unique[i + 1 :]:
+                pairs.add((first, second))
+    return pairs

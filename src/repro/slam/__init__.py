@@ -1,0 +1,34 @@
+"""The SLAM toolkit: automatic checking of temporal safety properties.
+
+Given a C program and a safety property (a finite automaton over the
+program's interface calls, in the spirit of SLIC), SLAM iterates:
+
+1. **abstraction** — C2bp builds ``BP(P, E)`` for the current predicates
+   ``E`` (:mod:`repro.core`);
+2. **model checking** — Bebop decides whether the instrumented error state
+   is reachable (:mod:`repro.bebop`);
+3. **predicate discovery** — Newton checks the reported error path against
+   the concrete C semantics; infeasible paths yield new predicates that
+   refine the abstraction (:mod:`repro.newton`).
+
+The toolkit never reports spurious error paths: an error is only surfaced
+after Newton confirms the path is feasible.  The loop may fail to converge
+(property checking is undecidable); in practice — as the paper observes for
+control-dominated driver properties — a few iterations suffice.
+"""
+
+from repro.slam.spec import SafetySpec, SpecError
+from repro.slam.instrument import instrument_program
+from repro.slam.cegar import CegarResult, cegar_loop
+from repro.slam.toolkit import SlamResult, SlamToolkit, check_property
+
+__all__ = [
+    "CegarResult",
+    "SafetySpec",
+    "SlamResult",
+    "SlamToolkit",
+    "SpecError",
+    "cegar_loop",
+    "check_property",
+    "instrument_program",
+]

@@ -1,0 +1,125 @@
+"""The SLAM iterative refinement loop (Section 6.1).
+
+    abstraction (C2bp)  ->  model checking (Bebop)  ->
+    predicate discovery (Newton)  ->  abstraction ...
+
+Termination is not guaranteed (assertion-violation checking is
+undecidable); the loop is bounded by ``max_iterations`` and returns
+"unknown" if the bound is hit or Newton cannot find new predicates.
+"""
+
+import time
+
+from repro.bebop import Bebop, ExplicitEngine
+from repro.core import C2bp, PredicateSet
+from repro.newton import analyze_path, path_from_boolean_steps
+from repro.prover import Prover
+
+
+class IterationStats:
+    __slots__ = ("predicates", "prover_calls", "error_reached", "seconds")
+
+    def __init__(self, predicates, prover_calls, error_reached, seconds):
+        self.predicates = predicates
+        self.prover_calls = prover_calls
+        self.error_reached = error_reached
+        self.seconds = seconds
+
+    def __repr__(self):
+        return (
+            "IterationStats(predicates=%d, prover_calls=%d, error=%r, %.2fs)"
+            % (self.predicates, self.prover_calls, self.error_reached, self.seconds)
+        )
+
+
+class CegarResult:
+    """Outcome of the refinement loop."""
+
+    def __init__(self, verdict, iterations, predicates, trace=None, boolean_program=None):
+        self.verdict = verdict  # "safe" | "unsafe" | "unknown"
+        self.iterations = iterations
+        self.predicates = predicates
+        self.trace = trace  # feasible C error path (for "unsafe")
+        self.boolean_program = boolean_program
+        self.iteration_stats = []
+        self.total_prover_calls = 0
+        self.seconds = 0.0
+
+    @property
+    def is_safe(self):
+        return self.verdict == "safe"
+
+    @property
+    def is_unsafe(self):
+        return self.verdict == "unsafe"
+
+    def __repr__(self):
+        return "CegarResult(%s after %d iterations, %d predicates)" % (
+            self.verdict,
+            self.iterations,
+            len(self.predicates),
+        )
+
+
+def cegar_loop(
+    program,
+    initial_predicates=None,
+    main="main",
+    max_iterations=10,
+    options=None,
+    prover=None,
+):
+    """Run abstraction/check/refine until a verdict or the bound."""
+    predicates = initial_predicates or PredicateSet()
+    prover = prover or Prover()
+    started = time.perf_counter()
+    stats = []
+    result = None
+    boolean_program = None
+    for iteration in range(1, max_iterations + 1):
+        iter_start = time.perf_counter()
+        tool = C2bp(program, predicates, options=options, prover=prover)
+        boolean_program = tool.run()
+        check = Bebop(boolean_program, main=main).run()
+        elapsed = time.perf_counter() - iter_start
+        stats.append(
+            IterationStats(
+                len(predicates), tool.stats.prover_calls, check.error_reached, elapsed
+            )
+        )
+        if not check.error_reached:
+            result = CegarResult("safe", iteration, predicates,
+                                 boolean_program=boolean_program)
+            break
+        # A reachable failing assert: extract a concrete boolean path.
+        engine = ExplicitEngine(boolean_program, main=main)
+        bool_path = engine.find_assertion_failure()
+        if bool_path is None:
+            # The symbolic engine says reachable but no explicit witness
+            # was found within budget: give up rather than guess.
+            result = CegarResult("unknown", iteration, predicates,
+                                 boolean_program=boolean_program)
+            break
+        c_path = path_from_boolean_steps(program, bool_path)
+        newton = analyze_path(
+            program, c_path, prover=prover, existing_predicates=predicates
+        )
+        if newton.feasible:
+            result = CegarResult(
+                "unsafe", iteration, predicates, trace=c_path,
+                boolean_program=boolean_program,
+            )
+            break
+        if not newton.new_predicates:
+            result = CegarResult("unknown", iteration, predicates,
+                                 boolean_program=boolean_program)
+            break
+        for predicate in newton.new_predicates:
+            predicates.add(predicate)
+    if result is None:
+        result = CegarResult("unknown", max_iterations, predicates,
+                             boolean_program=boolean_program)
+    result.iteration_stats = stats
+    result.total_prover_calls = prover.stats.calls
+    result.seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,145 @@
+"""Weaving a safety automaton into a C program.
+
+The instrumentation is the SLIC-style product construction:
+
+- a fresh global ``__slic_state`` holds the automaton state;
+- every event (watched interface function) gets a stub
+  ``__slic_<event>()`` that steps the automaton — an error transition
+  becomes ``assert(0)``, which Bebop checks for reachability;
+- every call to a watched function is routed through its stub (the original
+  call is kept when the function has a real definition in the program);
+- forbidden *final* states become asserts before the entry procedure's
+  return.
+
+The instrumentation state is registered in ``program.protected_globals`` so
+extern-call havoc in C2bp cannot clobber it (no foreign code can reach a
+variable we just invented).
+"""
+
+from repro.cfront import cast as C
+from repro.cfront import ctypes as CT
+from repro.cfront.cfg import build_program_cfgs
+from repro.cfront.typecheck import typecheck_program
+from repro.slam.spec import ERROR
+
+STATE_VAR = "__slic_state"
+
+_unknown_counter = [1000]
+
+
+def _fresh_unknown():
+    _unknown_counter[0] += 1
+    return C.Unknown(uid=_unknown_counter[0])
+
+
+def stub_name(event):
+    return "__slic_%s" % event
+
+
+def instrument_program(program, spec, entry="main"):
+    """Instrument ``program`` in place with ``spec``; returns the program."""
+    _add_state_variable(program, spec, entry)
+    for event in spec.events:
+        _add_stub(program, spec, event)
+    _rewrite_call_sites(program, spec)
+    if spec.final_forbidden:
+        _check_final_states(program, spec, entry)
+    typecheck_program(program)
+    build_program_cfgs(program)  # stamp the new statements
+    return program
+
+
+def _add_state_variable(program, spec, entry):
+    if program.lookup_global(STATE_VAR) is not None:
+        raise ValueError("program already instrumented")
+    initial = spec.state_index(spec.initial)
+    program.globals.append(C.VarDecl(STATE_VAR, CT.INT, C.IntLit(initial)))
+    program.protected_globals.add(STATE_VAR)
+    # Boolean program variables start unconstrained (Section 2.1), so the
+    # initial automaton state must be established by an explicit assignment
+    # at the entry, where C2bp abstracts it precisely.
+    func = program.functions.get(entry)
+    if func is None or not func.is_defined:
+        raise ValueError("no entry procedure %r to instrument" % entry)
+    func.body.insert(0, C.Assign(C.Id(STATE_VAR), C.IntLit(initial)))
+
+
+def _state_eq(index):
+    return C.BinOp("==", C.Id(STATE_VAR), C.IntLit(index))
+
+
+def _transition_action(spec, state, event):
+    target = spec.transition(state, event)
+    if target is ERROR:
+        return [C.Assert(C.IntLit(0))]
+    target_index = spec.state_index(target)
+    if target_index == spec.state_index(state):
+        return []  # self loop: nothing to do
+    return [C.Assign(C.Id(STATE_VAR), C.IntLit(target_index))]
+
+
+def _add_stub(program, spec, event):
+    """``int __slic_<event>(void)``: step the automaton, return nondet."""
+    body = []
+    chain = None
+    # Build the if/else-if chain over automaton states, innermost first.
+    for state in reversed(spec.states):
+        index = spec.state_index(state)
+        action = _transition_action(spec, state, event)
+        branch = C.If(_state_eq(index), action, [chain] if chain else [])
+        chain = branch
+    if chain is not None:
+        body.append(chain)
+    result = C.VarDecl("__slic_r", CT.INT)
+    body.append(C.Assign(C.Id("__slic_r"), _fresh_unknown()))
+    body.append(C.Return(C.Id("__slic_r")))
+    func = C.Function(stub_name(event), CT.INT, [], [result], body)
+    func.return_var = "__slic_r"
+    program.functions[func.name] = func
+
+
+def _rewrite_call_sites(program, spec):
+    watched = set(spec.events)
+    for func in program.defined_functions():
+        if func.name.startswith("__slic_"):
+            continue
+        _rewrite_body(program, func.body, watched)
+
+
+def _rewrite_body(program, stmts, watched):
+    index = 0
+    while index < len(stmts):
+        stmt = stmts[index]
+        for sub in stmt.substatements():
+            _rewrite_body(program, sub, watched)
+        if isinstance(stmt, C.CallStmt) and stmt.name in watched:
+            callee = program.functions.get(stmt.name)
+            if callee is not None and callee.is_defined:
+                # Keep the real call; step the automaton just before it.
+                probe = C.CallStmt(None, stub_name(stmt.name), [], stmt.pos)
+                probe.labels = stmt.labels
+                stmt.labels = []
+                stmts.insert(index, probe)
+                index += 1
+            else:
+                # Extern interface function: the stub *is* its model (it
+                # returns a nondeterministic int, like the havoc would).
+                replacement = C.CallStmt(stmt.lhs, stub_name(stmt.name), [], stmt.pos)
+                replacement.labels = stmt.labels
+                stmts[index] = replacement
+        index += 1
+
+
+def _check_final_states(program, spec, entry):
+    func = program.functions.get(entry)
+    if func is None or not func.is_defined:
+        raise ValueError("no entry procedure %r to check final states in" % entry)
+    checks = []
+    for state in spec.final_forbidden:
+        index = spec.state_index(state)
+        checks.append(C.Assert(C.BinOp("!=", C.Id(STATE_VAR), C.IntLit(index))))
+    # The lowered body ends with [..., __exit-labelled skip, return r?].
+    insert_at = len(func.body)
+    if func.body and isinstance(func.body[-1], C.Return):
+        insert_at -= 1
+    func.body[insert_at:insert_at] = checks

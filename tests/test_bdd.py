@@ -1,0 +1,213 @@
+"""Tests for the ROBDD manager, including property-based checks against
+brute-force truth tables."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+
+
+def brute_eval(formula, assignment):
+    """Evaluate a formula tree ('var', i) / ('not', f) / ('and'|'or', f, g)."""
+    kind = formula[0]
+    if kind == "var":
+        return assignment[formula[1]]
+    if kind == "const":
+        return formula[1]
+    if kind == "not":
+        return not brute_eval(formula[1], assignment)
+    if kind == "and":
+        return brute_eval(formula[1], assignment) and brute_eval(formula[2], assignment)
+    if kind == "or":
+        return brute_eval(formula[1], assignment) or brute_eval(formula[2], assignment)
+    if kind == "xor":
+        return brute_eval(formula[1], assignment) != brute_eval(formula[2], assignment)
+    raise AssertionError(kind)
+
+
+def build_bdd(manager, formula):
+    kind = formula[0]
+    if kind == "var":
+        return manager.var(formula[1])
+    if kind == "const":
+        return manager.constant(formula[1])
+    if kind == "not":
+        return manager.lnot(build_bdd(manager, formula[1]))
+    if kind == "and":
+        return manager.land(build_bdd(manager, formula[1]), build_bdd(manager, formula[2]))
+    if kind == "or":
+        return manager.lor(build_bdd(manager, formula[1]), build_bdd(manager, formula[2]))
+    if kind == "xor":
+        return manager.xor(build_bdd(manager, formula[1]), build_bdd(manager, formula[2]))
+    raise AssertionError(kind)
+
+
+NUM_VARS = 4
+
+
+def formulas(depth=3):
+    base = st.one_of(
+        st.tuples(st.just("var"), st.integers(0, NUM_VARS - 1)),
+        st.tuples(st.just("const"), st.booleans()),
+    )
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+        ),
+        max_leaves=12,
+    )
+
+
+def all_assignments():
+    for values in itertools.product([False, True], repeat=NUM_VARS):
+        yield dict(enumerate(values))
+
+
+# -- basics -------------------------------------------------------------------
+
+
+def test_constants_distinct():
+    m = BddManager()
+    assert m.true is not m.false
+    assert m.is_true(m.true)
+    assert m.is_false(m.false)
+
+
+def test_var_and_negation():
+    m = BddManager()
+    x = m.var(0)
+    assert m.evaluate(x, {0: True})
+    assert not m.evaluate(x, {0: False})
+    assert m.evaluate(m.lnot(x), {0: False})
+
+
+def test_hash_consing_identity():
+    m = BddManager()
+    a = m.land(m.var(0), m.var(1))
+    b = m.land(m.var(0), m.var(1))
+    assert a is b
+    c = m.lnot(m.lnot(a))
+    assert c is a
+
+
+def test_tautology_collapses_to_true():
+    m = BddManager()
+    x = m.var(0)
+    assert m.lor(x, m.lnot(x)) is m.true
+    assert m.land(x, m.lnot(x)) is m.false
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas())
+def test_bdd_matches_bruteforce(formula):
+    m = BddManager()
+    bdd = build_bdd(m, formula)
+    for assignment in all_assignments():
+        assert m.evaluate(bdd, assignment) == brute_eval(formula, assignment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), st.integers(0, NUM_VARS - 1))
+def test_exists_matches_bruteforce(formula, var):
+    m = BddManager()
+    bdd = m.exists(build_bdd(m, formula), [var])
+    for assignment in all_assignments():
+        expected = brute_eval(formula, {**assignment, var: False}) or brute_eval(
+            formula, {**assignment, var: True}
+        )
+        assert m.evaluate(bdd, {**assignment, var: False}) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), st.integers(0, NUM_VARS - 1), st.booleans())
+def test_restrict_matches_bruteforce(formula, var, value):
+    m = BddManager()
+    bdd = m.restrict(build_bdd(m, formula), var, value)
+    for assignment in all_assignments():
+        expected = brute_eval(formula, {**assignment, var: value})
+        assert m.evaluate(bdd, assignment) == expected
+
+
+def test_rename_upward_and_downward():
+    m = BddManager()
+    f = m.land(m.var(0), m.lnot(m.var(2)))
+    g = m.rename(f, {0: 5})
+    assert m.evaluate(g, {5: True, 2: False, 0: False})
+    assert not m.evaluate(g, {5: False, 2: False, 0: True})
+    h = m.rename(g, {5: 0})
+    assert h is f
+
+
+def test_rename_swapped_order_safe():
+    m = BddManager()
+    # Rename a high variable to a low one (order-crossing).
+    f = m.land(m.var(3), m.var(4))
+    g = m.rename(f, {4: 1})
+    assert m.evaluate(g, {3: True, 1: True})
+    assert not m.evaluate(g, {3: True, 1: False})
+
+
+def test_support():
+    m = BddManager()
+    f = m.lor(m.land(m.var(1), m.var(3)), m.var(5))
+    assert m.support(f) == {1, 3, 5}
+    assert m.support(m.true) == set()
+
+
+def test_pick_assignment_satisfies():
+    m = BddManager()
+    f = m.land(m.var(0), m.lnot(m.var(1)))
+    assignment = m.pick_assignment(f)
+    assert m.evaluate(f, {**{0: False, 1: False}, **assignment})
+    assert m.pick_assignment(m.false) is None
+
+
+def test_cubes_cover_exactly():
+    m = BddManager()
+    f = m.lor(m.land(m.var(0), m.var(1)), m.lnot(m.var(0)))
+    cubes = list(m.cubes(f))
+    for assignment in itertools.product([False, True], repeat=2):
+        env = dict(enumerate(assignment))
+        expected = m.evaluate(f, env)
+        covered = any(all(env[v] == val for v, val in cube.items()) for cube in cubes)
+        assert covered == expected
+
+
+def test_count_assignments():
+    m = BddManager()
+    f = m.lor(m.var(0), m.var(1))
+    assert m.count_assignments(f, [0, 1]) == 3
+    assert m.count_assignments(f, [0, 1, 2]) == 6
+    assert m.count_assignments(m.true, [0, 1]) == 4
+    assert m.count_assignments(m.false, [0, 1]) == 0
+
+
+def test_assignments_enumeration():
+    m = BddManager()
+    f = m.iff(m.var(0), m.var(1))
+    models = {tuple(sorted(a.items())) for a in m.assignments(f, [0, 1])}
+    assert models == {
+        ((0, False), (1, False)),
+        ((0, True), (1, True)),
+    }
+
+
+def test_implies_and_iff():
+    m = BddManager()
+    x, y = m.var(0), m.var(1)
+    assert m.implies(m.false, x) is m.true
+    assert m.iff(x, x) is m.true
+    assert m.evaluate(m.implies(x, y), {0: True, 1: False}) is False
+
+
+def test_forall():
+    m = BddManager()
+    x, y = m.var(0), m.var(1)
+    f = m.lor(x, y)
+    assert m.forall(f, [0]) is y
+    assert m.forall(m.true, [0, 1]) is m.true

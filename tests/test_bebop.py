@@ -1,0 +1,516 @@
+"""Tests for the Bebop model checker (symbolic + explicit engines)."""
+
+import itertools
+
+import pytest
+
+from repro.bebop import Bebop, ExplicitEngine
+from repro.boolprog import parse_bool_program
+
+
+def check(source, main="main"):
+    program = parse_bool_program(source)
+    return Bebop(program, main=main).run()
+
+
+# -- intraprocedural reachability ----------------------------------------------
+
+
+def test_straight_line_invariant():
+    result = check(
+        """
+        void main() {
+            decl a, b;
+            a = 1;
+            b = 0;
+            L: skip;
+        }
+        """
+    )
+    cubes = result.invariant_cubes("main", label="L")
+    assert cubes == [{"a": True, "b": False}]
+
+
+def test_initial_values_unconstrained():
+    result = check(
+        """
+        void main() {
+            decl a;
+            L: skip;
+            a = 1;
+        }
+        """
+    )
+    cubes = result.invariant_cubes("main", label="L")
+    # a can be anything at L: the cube list must not constrain it.
+    assert cubes == [{}]
+
+
+def test_branch_correlation_tracked():
+    # After the diamond, a and b are correlated (both 1 or both 0): Bebop
+    # computes over *sets* of bit vectors, not independent bits.
+    result = check(
+        """
+        void main() {
+            decl a, b;
+            if (*) { a = 1; b = 1; } else { a = 0; b = 0; }
+            L: skip;
+        }
+        """
+    )
+    cubes = result.invariant_cubes("main", label="L")
+    states = set()
+    for cube in cubes:
+        assert set(cube) == {"a", "b"}
+        states.add((cube["a"], cube["b"]))
+    assert states == {(True, True), (False, False)}
+
+
+def test_assume_filters_states():
+    result = check(
+        """
+        void main() {
+            decl a;
+            assume(a);
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": True}]
+
+
+def test_unreachable_after_contradictory_assumes():
+    result = check(
+        """
+        void main() {
+            decl a;
+            assume(a);
+            assume(!a);
+            L: skip;
+        }
+        """
+    )
+    assert not result.is_label_reachable("main", "L")
+
+
+def test_unknown_assignment_loses_information():
+    result = check(
+        """
+        void main() {
+            decl a;
+            a = 1;
+            a = unknown();
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{}]
+
+
+def test_choose_assignment_three_valued():
+    result = check(
+        """
+        void main() {
+            decl p, n, t;
+            assume(!(p && n));
+            t = choose(p, n);
+            L: skip;
+        }
+        """
+    )
+    states = set()
+    for cube in result.invariant_cubes("main", label="L"):
+        for assignment in _expand(cube, ["p", "n", "t"]):
+            states.add(tuple(assignment[v] for v in ["p", "n", "t"]))
+    # p => t; n => !t; neither => both possible.
+    for p, n, t in states:
+        assert not (p and n)
+        if p:
+            assert t
+        if n:
+            assert not t
+    assert (False, False, True) in states
+    assert (False, False, False) in states
+
+
+def _expand(cube, names):
+    free = [n for n in names if n not in cube]
+    for values in itertools.product([False, True], repeat=len(free)):
+        assignment = dict(cube)
+        assignment.update(zip(free, values))
+        yield assignment
+
+
+def test_while_loop_fixpoint():
+    # Toggling a in a nondet loop reaches both values.
+    result = check(
+        """
+        void main() {
+            decl a;
+            a = 0;
+            while (*) { a = !a; }
+            L: skip;
+        }
+        """
+    )
+    cubes = result.invariant_cubes("main", label="L")
+    assert cubes == [{}]
+
+
+def test_goto_reachability():
+    result = check(
+        """
+        void main() {
+            decl a;
+            a = 0;
+            goto skipover;
+            a = 1;
+            skipover: L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": False}]
+
+
+def test_parallel_assignment_swap():
+    result = check(
+        """
+        void main() {
+            decl a, b;
+            a = 1; b = 0;
+            a, b = b, a;
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": False, "b": True}]
+
+
+def test_enforce_excludes_states():
+    result = check(
+        """
+        void main() {
+            decl a, b;
+            enforce !(a && b);
+            L: skip;
+        }
+        """
+    )
+    for cube in result.invariant_cubes("main", label="L"):
+        for assignment in _expand(cube, ["a", "b"]):
+            assert not (assignment["a"] and assignment["b"])
+
+
+# -- assertions ---------------------------------------------------------------
+
+
+def test_assertion_failure_detected():
+    result = check(
+        """
+        void main() {
+            decl a;
+            a = 0;
+            assert(a);
+        }
+        """
+    )
+    assert result.error_reached
+
+
+def test_assertion_holds():
+    result = check(
+        """
+        void main() {
+            decl a;
+            a = 1;
+            assert(a);
+        }
+        """
+    )
+    assert not result.error_reached
+
+
+def test_assertion_after_assume_protection():
+    result = check(
+        """
+        void main() {
+            decl a;
+            assume(a);
+            assert(a);
+        }
+        """
+    )
+    assert not result.error_reached
+
+
+# -- procedures -----------------------------------------------------------------
+
+
+def test_call_return_value():
+    result = check(
+        """
+        bool id(p) {
+            return p;
+        }
+        void main() {
+            decl a;
+            a = id(1);
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": True}]
+
+
+def test_call_negation():
+    result = check(
+        """
+        bool neg(p) {
+            return !p;
+        }
+        void main() {
+            decl a, b;
+            a = 1;
+            b = neg(a);
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": True, "b": False}]
+
+
+def test_call_context_sensitivity():
+    # Summaries must keep input-output correlation: neg(0)=1 and neg(1)=0,
+    # never neg(0)=0.
+    result = check(
+        """
+        bool neg(p) {
+            return !p;
+        }
+        void main() {
+            decl a, b;
+            b = neg(a);
+            L: skip;
+        }
+        """
+    )
+    states = set()
+    for cube in result.invariant_cubes("main", label="L"):
+        for assignment in _expand(cube, ["a", "b"]):
+            states.add((assignment["a"], assignment["b"]))
+    assert states == {(False, True), (True, False)}
+
+
+def test_globals_updated_by_callee():
+    result = check(
+        """
+        decl g;
+        void set() {
+            g = 1;
+        }
+        void main() {
+            g = 0;
+            set();
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"g": True}]
+
+
+def test_multiple_returns():
+    result = check(
+        """
+        bool<2> pair(p) {
+            return p, !p;
+        }
+        void main() {
+            decl a, b;
+            a, b = pair(1);
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": True, "b": False}]
+
+
+def test_locals_unconstrained_at_entry():
+    result = check(
+        """
+        bool peek() {
+            decl t;
+            return t;
+        }
+        void main() {
+            decl a;
+            a = peek();
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{}]
+
+
+def test_recursion_terminates_with_summaries():
+    # A recursive procedure that flips its argument until it is true.
+    result = check(
+        """
+        bool down(p) {
+            decl r;
+            if (p) { return 1; }
+            r = down(!p);
+            return r;
+        }
+        void main() {
+            decl a;
+            a = down(0);
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": True}]
+
+
+def test_assert_inside_callee():
+    result = check(
+        """
+        void callee(p) {
+            assert(p);
+        }
+        void main() {
+            callee(0);
+        }
+        """
+    )
+    assert result.error_reached
+
+
+def test_call_argument_expression():
+    result = check(
+        """
+        bool id(p) { return p; }
+        void main() {
+            decl a, b;
+            a = 1;
+            b = id(!a);
+            L: skip;
+        }
+        """
+    )
+    assert result.invariant_cubes("main", label="L") == [{"a": True, "b": False}]
+
+
+# -- symbolic vs explicit (differential) ------------------------------------------
+
+
+DIFFERENTIAL_PROGRAMS = [
+    """
+    void main() {
+        decl a, b;
+        if (*) { a = 1; } else { a = 0; b = a; }
+        L: skip;
+    }
+    """,
+    """
+    void main() {
+        decl a, b;
+        a = 0; b = 0;
+        while (*) {
+            assume(!(a && b));
+            a, b = b, choose(a, !a);
+        }
+        L: skip;
+    }
+    """,
+    """
+    decl g;
+    bool flip(p) { g = !g; return !p; }
+    void main() {
+        decl x;
+        x = flip(g);
+        x = flip(x);
+        L: skip;
+    }
+    """,
+]
+
+
+@pytest.mark.parametrize("source", DIFFERENTIAL_PROGRAMS)
+def test_symbolic_matches_explicit(source):
+    program = parse_bool_program(source)
+    result = Bebop(program).run()
+    explicit = ExplicitEngine(program)
+    valuations = explicit.reachable_valuations()
+    graph = explicit.graphs["main"]
+    label_node = graph.node_for_label("L")
+    expected = set()
+    local_names = program.procedures["main"].formals + program.procedures["main"].locals
+    for globals_vals, locals_vals in valuations.get(("main", label_node.uid), set()):
+        state = dict(zip(program.globals, globals_vals))
+        state.update(zip(local_names, locals_vals))
+        expected.add(tuple(sorted(state.items())))
+    got = set()
+    all_names = list(program.globals) + local_names
+    for cube in result.invariant_cubes("main", label="L"):
+        for assignment in _expand(cube, all_names):
+            got.add(tuple(sorted(assignment.items())))
+    assert got == expected
+
+
+# -- explicit engine paths ----------------------------------------------------------
+
+
+def test_explicit_finds_assertion_path():
+    program = parse_bool_program(
+        """
+        void main() {
+            decl a;
+            a = 1;
+            if (*) { a = 0; }
+            assert(a);
+        }
+        """
+    )
+    path = ExplicitEngine(program).find_assertion_failure()
+    assert path is not None
+    kinds = [step.kind for step in path]
+    assert "branch" in kinds
+
+
+def test_explicit_no_path_when_safe():
+    program = parse_bool_program(
+        """
+        void main() {
+            decl a;
+            a = 1;
+            assert(a);
+        }
+        """
+    )
+    assert ExplicitEngine(program).find_assertion_failure() is None
+
+
+def test_explicit_interprocedural_path():
+    program = parse_bool_program(
+        """
+        void callee(p) { assert(p); }
+        void main() { callee(0); }
+        """
+    )
+    path = ExplicitEngine(program).find_assertion_failure()
+    assert path is not None
+    assert any(step.kind == "call" for step in path)
+
+
+def test_explicit_find_label():
+    program = parse_bool_program(
+        """
+        void main() {
+            decl a;
+            assume(a);
+            L: skip;
+        }
+        """
+    )
+    path = ExplicitEngine(program).find_label("main", "L")
+    assert path is not None

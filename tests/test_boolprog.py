@@ -1,0 +1,334 @@
+"""Tests for the boolean program AST, parser, printer, and interpreter."""
+
+import pytest
+
+from repro.boolprog import (
+    BAssign,
+    BAssume,
+    BCall,
+    BChoose,
+    BConst,
+    BIf,
+    BNondet,
+    BNot,
+    BProcedure,
+    BProgram,
+    BReturn,
+    BSkip,
+    BUnknown,
+    BVar,
+    BWhile,
+    BoolProgramInterpreter,
+    parse_bool_program,
+    print_bool_program,
+)
+from repro.boolprog.interp import AssumeBlocked, BoolAssertionFailure
+from repro.boolprog.parser import BoolParseError
+
+
+SAMPLE = """
+decl g;
+
+void main() {
+    decl {x == 1}, b;
+    {x == 1} = unknown();
+    b = choose({x == 1}, !{x == 1});
+    while (*) {
+        assume(!{x == 1});
+        skip;
+    }
+    if (*) {
+        g = 1;
+    } else {
+        g = 0;
+    }
+    L:
+    return;
+}
+
+bool<2> pair(p) {
+    return p, !p;
+}
+"""
+
+
+def test_parse_sample_round_trip():
+    program = parse_bool_program(SAMPLE)
+    text = print_bool_program(program)
+    again = parse_bool_program(text)
+    assert print_bool_program(again) == text
+
+
+def test_parse_globals_and_procs():
+    program = parse_bool_program(SAMPLE)
+    assert program.globals == ["g"]
+    assert set(program.procedures) == {"main", "pair"}
+    assert program.procedures["pair"].returns == 2
+    assert program.procedures["main"].locals == ["x == 1", "b"]
+
+
+def test_braced_names_parse():
+    program = parse_bool_program(SAMPLE)
+    main = program.procedures["main"]
+    assign = main.body[0]
+    assert isinstance(assign, BAssign)
+    assert assign.targets == ["x == 1"]
+    assert isinstance(assign.values[0], BUnknown)
+
+
+def test_choose_parses():
+    program = parse_bool_program(SAMPLE)
+    assign = program.procedures["main"].body[1]
+    assert isinstance(assign.values[0], BChoose)
+
+
+def test_label_attaches():
+    program = parse_bool_program(SAMPLE)
+    main = program.procedures["main"]
+    labelled = [s for s in main.body if s.labels]
+    assert labelled and labelled[0].labels == ["L"]
+
+
+def test_empty_block_is_not_an_identifier():
+    program = parse_bool_program("void f() { if (*) { } else { skip; } }")
+    body = program.procedures["f"].body
+    assert isinstance(body[0], BIf)
+    assert body[0].then_body == []
+
+
+def test_parallel_assignment_arity_checked():
+    with pytest.raises(BoolParseError):
+        parse_bool_program("void f() { decl a, b; a, b = 1; }")
+
+
+def test_enforce_parses():
+    program = parse_bool_program(
+        "void f() { decl a, b; enforce !(a && b); skip; }"
+    )
+    assert program.procedures["f"].enforce is not None
+
+
+def test_parse_error_on_garbage():
+    with pytest.raises(BoolParseError):
+        parse_bool_program("void f() { ??? }")
+
+
+def test_expr_structural_equality():
+    assert BVar("x") == BVar("x")
+    assert BNot(BVar("x")) == BNot(BVar("x"))
+    assert BVar("x") != BVar("y")
+    assert hash(BConst(True)) == hash(BConst(True))
+
+
+# -- interpreter -------------------------------------------------------------
+
+
+class ScriptedChooser:
+    """Returns a scripted sequence of nondeterministic decisions."""
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def choose(self, stmt, what):
+        if not self.script:
+            return False
+        return self.script.pop(0)
+
+
+def make_program(body, locals_=(), globals_=(), returns=0, enforce=None):
+    program = BProgram()
+    program.globals = list(globals_)
+    program.add_procedure(
+        BProcedure("main", [], list(locals_), returns, body, enforce)
+    )
+    return program
+
+
+def test_interp_assign_and_return():
+    program = make_program(
+        [BAssign(["a"], [BConst(True)]), BReturn([BVar("a")])],
+        locals_=["a"],
+        returns=1,
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([]))
+    assert interp.call("main") == [True]
+
+
+def test_interp_parallel_assignment_swaps():
+    program = make_program(
+        [
+            BAssign(["a"], [BConst(True)]),
+            BAssign(["b"], [BConst(False)]),
+            BAssign(["a", "b"], [BVar("b"), BVar("a")]),
+            BReturn([BVar("a"), BVar("b")]),
+        ],
+        locals_=["a", "b"],
+        returns=2,
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([]))
+    assert interp.call("main") == [False, True]
+
+
+def test_interp_assume_blocks():
+    program = make_program(
+        [BAssign(["a"], [BConst(False)]), BAssume(BVar("a"))], locals_=["a"]
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([]))
+    with pytest.raises(AssumeBlocked):
+        interp.call("main")
+
+
+def test_interp_assert_fails():
+    from repro.boolprog import BAssert
+
+    program = make_program(
+        [BAssign(["a"], [BConst(False)]), BAssert(BVar("a"))], locals_=["a"]
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([]))
+    with pytest.raises(BoolAssertionFailure):
+        interp.call("main")
+
+
+def test_interp_choose_semantics():
+    # choose(pos, neg): true if pos, false if neg, scripted otherwise.
+    body = [
+        BAssign(["r"], [BChoose(BVar("p"), BVar("n"))]),
+        BReturn([BVar("r")]),
+    ]
+    program = BProgram()
+    program.add_procedure(BProcedure("main", ["p", "n"], ["r"], 1, body))
+    interp = BoolProgramInterpreter(program, ScriptedChooser([]))
+    assert interp.call("main", [True, False]) == [True]
+    assert interp.call("main", [False, True]) == [False]
+    # Neither: falls to the chooser (first scripted value initializes the
+    # local r, the second resolves the choose).
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False, True]))
+    assert interp.call("main", [False, False]) == [True]
+
+
+def test_interp_nondet_branch_scripted():
+    program = make_program(
+        [
+            BIf(BNondet(), [BAssign(["a"], [BConst(True)])], [BAssign(["a"], [BConst(False)])]),
+            BReturn([BVar("a")]),
+        ],
+        locals_=["a"],
+        returns=1,
+    )
+    # Locals get an initial nondet value (1 choice), then the branch.
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False, True]))
+    assert interp.call("main") == [True]
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False, False]))
+    assert interp.call("main") == [False]
+
+
+def test_interp_while_loop_scripted():
+    # Loop twice, then exit.
+    program = make_program(
+        [
+            BAssign(["a"], [BConst(False)]),
+            BWhile(BNondet(), [BAssign(["a"], [BNot(BVar("a"))])]),
+            BReturn([BVar("a")]),
+        ],
+        locals_=["a"],
+        returns=1,
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False, True, True, False]))
+    assert interp.call("main") == [False]
+
+
+def test_interp_goto_forward():
+    from repro.boolprog import BGoto
+
+    skip = BSkip()
+    skip.labels.append("end")
+    program = make_program(
+        [
+            BAssign(["a"], [BConst(True)]),
+            BGoto("end"),
+            BAssign(["a"], [BConst(False)]),
+            skip,
+            BReturn([BVar("a")]),
+        ],
+        locals_=["a"],
+        returns=1,
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([]))
+    assert interp.call("main") == [True]
+
+
+def test_interp_goto_out_of_branch():
+    from repro.boolprog import BGoto
+
+    skip = BSkip()
+    skip.labels.append("end")
+    program = make_program(
+        [
+            BAssign(["a"], [BConst(False)]),
+            BIf(BNondet(), [BAssign(["a"], [BConst(True)]), BGoto("end")], []),
+            BAssign(["a"], [BConst(False)]),
+            skip,
+            BReturn([BVar("a")]),
+        ],
+        locals_=["a"],
+        returns=1,
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False, True]))
+    assert interp.call("main") == [True]
+
+
+def test_interp_procedure_call_multi_return():
+    program = BProgram()
+    program.add_procedure(
+        BProcedure("pair", ["p"], [], 2, [BReturn([BVar("p"), BNot(BVar("p"))])])
+    )
+    program.add_procedure(
+        BProcedure(
+            "main",
+            [],
+            ["a", "b"],
+            2,
+            [
+                BCall(["a", "b"], "pair", [BConst(True)]),
+                BReturn([BVar("a"), BVar("b")]),
+            ],
+        )
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False, False]))
+    assert interp.call("main") == [True, False]
+
+
+def test_interp_enforce_blocks_bad_states():
+    from repro.boolprog import BAnd
+
+    # enforce !(a && b); assigning both true must block.
+    program = make_program(
+        [
+            BAssign(["a"], [BConst(True)]),
+            BAssign(["b"], [BConst(True)]),
+        ],
+        locals_=["a", "b"],
+        enforce=BNot(BAnd(BVar("a"), BVar("b"))),
+    )
+    # Initial local values must satisfy the enforce; script picks a=F,b=F.
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False, False]))
+    with pytest.raises(AssumeBlocked):
+        interp.call("main")
+
+
+def test_interp_globals_shared_across_calls():
+    program = BProgram()
+    program.globals = ["g"]
+    program.add_procedure(
+        BProcedure("setter", [], [], 0, [BAssign(["g"], [BConst(True)])])
+    )
+    program.add_procedure(
+        BProcedure("main", [], [], 1, [BCall([], "setter", []), BReturn([BVar("g")])])
+    )
+    interp = BoolProgramInterpreter(program, ScriptedChooser([False]))
+    assert interp.call("main") == [True]
+
+
+def test_statement_count():
+    program = parse_bool_program(SAMPLE)
+    assert program.statement_count() >= 8

@@ -1,0 +1,157 @@
+"""Tests for the boolean-program validator, including the guarantee that
+everything C2bp emits is well formed."""
+
+import pytest
+
+from repro.boolprog import parse_bool_program
+from repro.boolprog.validate import ValidationError, validate_bool_program
+from repro.cfront import parse_c_program
+from repro.core import C2bp, parse_predicate_file
+
+
+def check(source):
+    return validate_bool_program(parse_bool_program(source))
+
+
+def test_valid_program_passes():
+    assert check(
+        """
+        decl g;
+        bool id(p) { return p; }
+        void main() {
+            decl a;
+            a = id(g);
+            if (*) { a = !a; }
+            L: goto L2;
+            L2: skip;
+        }
+        """
+    )
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(ValidationError, match="unknown variable"):
+        check("void main() { decl a; a = b; }")
+
+
+def test_assignment_to_unknown_rejected():
+    with pytest.raises(ValidationError, match="assignment to unknown"):
+        check("void main() { decl a; b = a; }")
+
+
+def test_goto_unknown_label_rejected():
+    with pytest.raises(ValidationError, match="goto unknown label"):
+        check("void main() { goto nowhere; }")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(ValidationError, match="duplicate label"):
+        check("void main() { L: skip; L: skip; }")
+
+
+def test_call_unknown_procedure_rejected():
+    with pytest.raises(ValidationError, match="unknown procedure"):
+        check("void main() { ghost(); }")
+
+
+def test_call_arity_mismatch_rejected():
+    with pytest.raises(ValidationError, match="expected"):
+        check(
+            """
+            bool id(p) { return p; }
+            void main() { decl a; a = id(1, 0); }
+            """
+        )
+
+
+def test_call_result_arity_mismatch_rejected():
+    with pytest.raises(ValidationError, match="binds"):
+        check(
+            """
+            bool<2> pair(p) { return p, !p; }
+            void main() { decl a; a = pair(1); }
+            """
+        )
+
+
+def test_return_arity_mismatch_rejected():
+    with pytest.raises(ValidationError, match="return carries"):
+        check("bool f() { return; }")
+
+
+def test_repeated_parallel_target_rejected():
+    with pytest.raises(ValidationError, match="repeated target"):
+        check("void main() { decl a; a, a = 1, 0; }")
+
+
+def test_nondet_inside_operator_rejected():
+    from repro.boolprog import BAnd, BAssign, BNondet, BProcedure, BProgram, BVar
+
+    program = BProgram()
+    program.add_procedure(
+        BProcedure(
+            "main",
+            [],
+            ["a"],
+            0,
+            [BAssign(["a"], [BAnd(BVar("a"), BNondet())])],
+        )
+    )
+    with pytest.raises(ValidationError, match="nondeterministic"):
+        validate_bool_program(program)
+
+
+def test_duplicate_global_rejected():
+    from repro.boolprog import BProgram, BProcedure
+
+    program = BProgram()
+    program.globals = ["g", "g"]
+    program.add_procedure(BProcedure("main", [], [], 0, []))
+    with pytest.raises(ValidationError, match="duplicate global"):
+        validate_bool_program(program)
+
+
+def test_collects_multiple_problems():
+    try:
+        check("void main() { decl a; a = b; goto nowhere; }")
+    except ValidationError as error:
+        assert len(error.problems) == 2
+    else:
+        pytest.fail("expected ValidationError")
+
+
+# -- C2bp output is always well formed -------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "study_name", ["partition", "listfind", "qsort"]
+)
+def test_c2bp_output_validates(study_name):
+    from repro.programs import get_program
+
+    study = get_program(study_name)
+    program = parse_c_program(study.source, study.name)
+    predicates = parse_predicate_file(study.predicate_text, program)
+    boolean_program = C2bp(program, predicates).run()
+    assert validate_bool_program(boolean_program)
+
+
+def test_instrumented_slam_program_validates():
+    from repro.cfront import cast as C
+    from repro.core import Predicate, PredicateSet
+    from repro.slam import SafetySpec
+    from repro.slam.instrument import STATE_VAR, instrument_program
+
+    program = parse_c_program(
+        "void main(void) { KeAcquireSpinLock(); KeReleaseSpinLock(); }"
+    )
+    spec = SafetySpec.lock_discipline("KeAcquireSpinLock", "KeReleaseSpinLock")
+    instrument_program(program, spec)
+    predicates = PredicateSet(
+        [
+            Predicate(C.BinOp("==", C.Id(STATE_VAR), C.IntLit(i)), None)
+            for i in range(2)
+        ]
+    )
+    boolean_program = C2bp(program, predicates).run()
+    assert validate_bool_program(boolean_program)

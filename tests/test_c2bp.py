@@ -1,0 +1,372 @@
+"""End-to-end tests for C2bp on the paper's Figure 1 (partition) and other
+abstraction behaviours (assignments, conditionals, enforce, cubes)."""
+
+import pytest
+
+from repro.cfront import parse_c_program, parse_expression
+from repro.boolprog import (
+    BAssert,
+    BAssign,
+    BAssume,
+    BChoose,
+    BConst,
+    BIf,
+    BNondet,
+    BSkip,
+    BUnknown,
+    BVar,
+    BWhile,
+)
+from repro.bebop import Bebop
+from repro.core import C2bp, C2bpOptions, parse_predicate_file
+from repro.core.cubes import CubeSearch
+from repro.prover import Prover
+
+
+PARTITION_SRC = r"""
+typedef struct cell {
+    int val;
+    struct cell* next;
+} *list;
+
+list partition(list *l, int v) {
+    list curr, prev, newl, nextcurr;
+    curr = *l;
+    prev = NULL;
+    newl = NULL;
+    while (curr != NULL) {
+        nextcurr = curr->next;
+        if (curr->val > v) {
+            if (prev != NULL) {
+                prev->next = nextcurr;
+            }
+            if (curr == *l) {
+                *l = nextcurr;
+            }
+            curr->next = newl;
+L:          newl = curr;
+        } else {
+            prev = curr;
+        }
+        curr = nextcurr;
+    }
+    return newl;
+}
+"""
+
+PARTITION_PREDS = """
+partition
+curr == NULL, prev == NULL,
+curr->val > v, prev->val > v
+"""
+
+
+@pytest.fixture(scope="module")
+def partition_bp():
+    program = parse_c_program(PARTITION_SRC, "partition.c")
+    predicates = parse_predicate_file(PARTITION_PREDS, program)
+    tool = C2bp(program, predicates)
+    boolean_program = tool.run()
+    return program, boolean_program, tool
+
+
+def find_by_comment(stmts, text):
+    found = []
+
+    def visit(body):
+        for stmt in body:
+            if stmt.comment and text in stmt.comment:
+                found.append(stmt)
+            for sub in stmt.substatements():
+                visit(sub)
+
+    visit(stmts)
+    return found
+
+
+def test_partition_declares_four_booleans(partition_bp):
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    names = set(proc.formals) | set(proc.locals)
+    assert names == {"curr==0", "prev==0", "curr->val>v", "prev->val>v"}
+
+
+def test_partition_prev_null_assignment(partition_bp):
+    # prev = NULL  =>  {prev==NULL} = true;  {prev->val>v} = unknown();
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    (stmt,) = find_by_comment(proc.body, "prev = 0;")
+    assert isinstance(stmt, BAssign)
+    updates = dict(zip(stmt.targets, stmt.values))
+    assert updates["prev==0"] == BConst(True)
+    assert isinstance(updates["prev->val>v"], BUnknown)
+    assert set(updates) == {"prev==0", "prev->val>v"}
+
+
+def test_partition_prev_curr_copy(partition_bp):
+    # prev = curr  =>  copies of the corresponding curr predicates.
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    (stmt,) = find_by_comment(proc.body, "prev = curr;")
+    updates = dict(zip(stmt.targets, stmt.values))
+    assert updates["prev==0"] == BVar("curr==0")
+    assert updates["prev->val>v"] == BVar("curr->val>v")
+
+
+def test_partition_newl_null_is_skip(partition_bp):
+    # newl = NULL cannot affect any input predicate: skip.
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    (stmt,) = find_by_comment(proc.body, "newl = 0;")
+    assert isinstance(stmt, BSkip)
+
+
+def test_partition_curr_nextcurr_invalidates(partition_bp):
+    # curr = nextcurr: no information about nextcurr => unknown().
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    (stmt,) = find_by_comment(proc.body, "curr = nextcurr;")
+    assert isinstance(stmt, BAssign)
+    assert all(isinstance(v, BUnknown) for v in stmt.values)
+    assert set(stmt.targets) == {"curr==0", "curr->val>v"}
+
+
+def test_partition_loop_structure(partition_bp):
+    # while (curr != NULL) => while (*) { assume(!{curr==NULL}); ... }
+    # followed by assume({curr==NULL}).
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    loop = next(s for s in proc.body if isinstance(s, BWhile))
+    assert isinstance(loop.cond, BNondet)
+    first = loop.body[0]
+    assert isinstance(first, BAssume)
+    assert first.cond == parse_bool("!{curr==0}")
+    loop_index = proc.body.index(loop)
+    after = proc.body[loop_index + 1]
+    assert isinstance(after, BAssume)
+    assert after.cond == BVar("curr==0")
+
+
+def parse_bool(text):
+    from repro.boolprog.parser import _Parser
+
+    return _Parser(text)._parse_expr()
+
+
+def test_partition_field_stores_are_skips(partition_bp):
+    # prev->next / curr->next stores touch the next field only; the val
+    # predicates are unaffected (field-based disambiguation).
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    for text in ("prev->next = nextcurr;", "curr->next = newl;", "*l = nextcurr;"):
+        (stmt,) = find_by_comment(proc.body, text)
+        assert isinstance(stmt, BSkip), text
+
+
+def test_partition_branch_assumes(partition_bp):
+    _, bp, _ = partition_bp
+    proc = bp.procedures["partition"]
+    branch = find_by_comment(proc.body, "if (curr->val > v)")[0]
+    assert isinstance(branch, BIf)
+    assert isinstance(branch.then_body[0], BAssume)
+    assert branch.then_body[0].cond == BVar("curr->val>v")
+    assert isinstance(branch.else_body[0], BAssume)
+
+
+def test_partition_invariant_at_L(partition_bp):
+    # The Section 2.2 result: at L,
+    # curr != NULL && curr->val > v && (prev->val <= v || prev == NULL).
+    _, bp, _ = partition_bp
+    result = Bebop(bp, main="partition").run()
+    cubes = result.invariant_cubes("partition", label="L")
+    assert cubes  # L reachable
+    for cube in cubes:
+        assert cube["curr==0"] is False
+        assert cube["curr->val>v"] is True
+        assert cube.get("prev->val>v") is False or cube.get("prev==0") is True
+
+
+def test_partition_invariant_refines_aliasing(partition_bp):
+    # The invariant implies *prev and *curr are not aliases (prev != curr),
+    # derived automatically by the decision procedures.
+    _, bp, _ = partition_bp
+    prover = Prover()
+    e = parse_expression
+    invariant = [e("curr != 0"), e("curr->val > v"), e("prev->val <= v || prev == 0")]
+    assert prover.implies(invariant, e("prev != curr"))
+
+
+def test_partition_prover_call_count_reasonable(partition_bp):
+    _, _, tool = partition_bp
+    # The paper's partition row reports 560 prover calls; ours should be in
+    # the same regime (same predicates, same optimizations), not orders of
+    # magnitude off.
+    assert 50 <= tool.stats.prover_calls <= 2000
+
+
+# -- feature-focused abstractions ------------------------------------------------
+
+
+def abstract(source, predicate_text, options=None):
+    program = parse_c_program(source)
+    predicates = parse_predicate_file(predicate_text, program)
+    tool = C2bp(program, predicates, options=options)
+    return program, tool.run(), tool
+
+
+def test_assert_abstastraction_precise_predicate():
+    _, bp, _ = abstract(
+        "void main(int x) { if (x > 0) { assert(x > 0); } }",
+        "main\nx > 0\n",
+    )
+    result = Bebop(bp).run()
+    assert not result.error_reached
+
+
+def test_assert_abstraction_spurious_without_predicates():
+    # Without predicates the assert cannot be discharged: the abstraction
+    # over-approximates and reports a (possibly spurious) failure.
+    _, bp, _ = abstract(
+        "void main(int x) { if (x > 0) { assert(x > 0); } }",
+        "main\n",
+    )
+    result = Bebop(bp).run()
+    assert result.error_reached
+
+
+def test_assert_failure_detected_through_abstraction():
+    _, bp, _ = abstract(
+        "void main(int x) { x = 0; assert(x > 0); }",
+        "main\nx > 0\n",
+    )
+    result = Bebop(bp).run()
+    assert result.error_reached
+
+
+def test_arithmetic_strengthening():
+    # x = x + 1 with predicates {x < 5, x == 2}: after x==2, x<5 holds.
+    _, bp, _ = abstract(
+        """
+        void main(void) {
+            int x;
+            x = 2;
+            x = x + 1;
+            assert(x < 5);
+        }
+        """,
+        "main\nx < 5, x == 2\n",
+    )
+    result = Bebop(bp).run()
+    assert not result.error_reached
+
+
+def test_enforce_invariant_generated():
+    _, bp, _ = abstract(
+        "void main(void) { int x; x = 1; }",
+        "main\nx == 1, x == 2\n",
+    )
+    proc = bp.procedures["main"]
+    assert proc.enforce is not None
+    # Omega must exclude the state where both predicates hold.
+    from repro.bebop.checker import Bebop as _B  # evaluation via interp instead
+
+    from repro.boolprog.interp import BoolProgramInterpreter
+
+    interp = BoolProgramInterpreter(bp)
+    assert not interp.eval_expr(proc.enforce, {"x==1": True, "x==2": True})
+    assert interp.eval_expr(proc.enforce, {"x==1": True, "x==2": False})
+
+
+def test_enforce_disabled_by_option():
+    _, bp, _ = abstract(
+        "void main(void) { int x; x = 1; }",
+        "main\nx == 1, x == 2\n",
+        options=C2bpOptions(compute_enforce=False),
+    )
+    assert bp.procedures["main"].enforce is None
+
+
+def test_goto_and_labels_copied():
+    _, bp, _ = abstract(
+        "void main(void) { int x; goto out; x = 1; out: x = 2; }",
+        "main\nx == 2\n",
+    )
+    from repro.boolprog import BGoto
+
+    proc = bp.procedures["main"]
+    gotos = [s for s in proc.body if isinstance(s, BGoto)]
+    assert gotos and gotos[0].label == "out"
+    assert any("out" in s.labels for s in proc.body)
+
+
+def test_unknown_rhs_invalidates():
+    # x = * (environment input): predicates about x become unknown.
+    _, bp, _ = abstract(
+        "void main(void) { int x; x = *; }",
+        "main\nx == 1\n",
+    )
+    proc = bp.procedures["main"]
+    assign = next(s for s in proc.body if isinstance(s, BAssign))
+    assert isinstance(assign.values[0], (BUnknown, BChoose))
+
+
+# -- cube search unit behaviour ------------------------------------------------------
+
+
+class _Cand:
+    def __init__(self, text):
+        self.expr = parse_expression(text)
+        self.name = text.replace(" ", "")
+
+
+def test_cube_search_finds_strengthening():
+    search = CubeSearch(Prover(), C2bpOptions())
+    candidates = [_Cand("x < 5"), _Cand("x == 2")]
+    cubes = search.implicant_cubes(candidates, parse_expression("x < 4"))
+    # E(F_V(x < 4)) = (x == 2), per Section 4.1.
+    assert len(cubes) == 1
+    ((index, polarity),) = cubes[0]
+    assert candidates[index].name == "x==2" and polarity is True
+
+
+def test_cube_search_empty_when_nothing_implies():
+    search = CubeSearch(Prover(), C2bpOptions())
+    candidates = [_Cand("y > 0")]
+    cubes = search.implicant_cubes(candidates, parse_expression("x < 4"))
+    assert cubes == []
+
+
+def test_cube_search_true_phi():
+    search = CubeSearch(Prover(), C2bpOptions())
+    cubes = search.implicant_cubes([_Cand("x > 0")], parse_expression("x == x"))
+    assert cubes == [()]
+
+
+def test_cube_search_prime_implicants_only():
+    search = CubeSearch(Prover(), C2bpOptions(syntactic_heuristics=False))
+    candidates = [_Cand("x > 0"), _Cand("y > 0")]
+    cubes = search.implicant_cubes(candidates, parse_expression("x > 0"))
+    # {x>0} alone implies it; the 2-cubes containing it must be pruned.
+    assert cubes == [((0, True),)]
+
+
+def test_cube_length_bound_loses_precision():
+    prover = Prover()
+    search = CubeSearch(prover, C2bpOptions(max_cube_length=1, syntactic_heuristics=False))
+    candidates = [_Cand("x > 0"), _Cand("y > 0")]
+    phi = parse_expression("x + y > 0")
+    assert search.implicant_cubes(candidates, phi) == []
+    search2 = CubeSearch(prover, C2bpOptions(max_cube_length=2, syntactic_heuristics=False))
+    assert search2.implicant_cubes(candidates, phi) == [((0, True), (1, True))]
+
+
+def test_distribute_f_through_and():
+    prover = Prover()
+    options = C2bpOptions(distribute_f=True)
+    search = CubeSearch(prover, options)
+    candidates = [_Cand("x > 0"), _Cand("y > 0")]
+    phi = parse_expression("x > 0 && y > 0")
+    expr = search.f_expr(candidates, phi)
+    from repro.boolprog import BAnd
+
+    assert isinstance(expr, BAnd)

@@ -1,0 +1,267 @@
+"""Tests for the concrete C interpreter (the soundness tests' substrate)."""
+
+import pytest
+
+from repro.cfront import parse_c_program
+from repro.cfront.interp import (
+    AssertionFailure,
+    AssumeViolated,
+    Cell,
+    InterpError,
+    Interpreter,
+    StepLimitExceeded,
+)
+
+
+def run(source, entry="main", args=(), oracle=None, max_steps=100_000):
+    program = parse_c_program(source)
+    interp = Interpreter(program, extern_oracle=oracle, max_steps=max_steps)
+    result, trace = interp.run(entry, list(args))
+    return result, trace, interp
+
+
+# -- arithmetic ------------------------------------------------------------
+
+
+def test_basic_arithmetic():
+    result, _, _ = run("int main(void) { return 2 + 3 * 4; }")
+    assert result == 14
+
+
+def test_division_truncates_toward_zero():
+    assert run("int main(void) { return -7 / 2; }")[0] == -3
+    assert run("int main(void) { return 7 / -2; }")[0] == -3
+    assert run("int main(void) { return -7 %% 2; }".replace("%%", "%"))[0] == -1
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpError):
+        run("int main(void) { int z; z = 0; return 1 / z; }")
+
+
+def test_comparisons_produce_zero_one():
+    assert run("int main(void) { return 3 < 5; }")[0] == 1
+    assert run("int main(void) { return 3 > 5; }")[0] == 0
+
+
+def test_short_circuit_avoids_division():
+    result, _, _ = run(
+        "int main(void) { int z; z = 0; return z != 0 && 1 / z > 0; }"
+    )
+    assert result == 0
+
+
+def test_unbounded_integers():
+    # The logical memory model: no overflow at 2^31.
+    result, _, _ = run(
+        """
+        int main(void) {
+            int x, i;
+            x = 1;
+            for (i = 0; i < 40; i++) { x = x * 2; }
+            return x;
+        }
+        """
+    )
+    assert result == 2**40
+
+
+# -- control flow --------------------------------------------------------------
+
+
+def test_factorial_via_recursion():
+    result, _, _ = run(
+        """
+        int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        int main(void) { return fact(6); }
+        """
+    )
+    assert result == 720
+
+
+def test_mutual_recursion():
+    result, _, _ = run(
+        """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        int main(void) { return is_even(10); }
+        """
+    )
+    assert result == 1
+
+
+def test_goto_loop():
+    result, _, _ = run(
+        """
+        int main(void) {
+            int i;
+            i = 0;
+        again:
+            i = i + 1;
+            if (i < 5) { goto again; }
+            return i;
+        }
+        """
+    )
+    assert result == 5
+
+
+def test_step_limit():
+    with pytest.raises(StepLimitExceeded):
+        run("void main(void) { while (1) { } }", max_steps=100)
+
+
+# -- memory ------------------------------------------------------------------
+
+
+def test_pointers_read_write():
+    result, _, _ = run(
+        """
+        int main(void) {
+            int x;
+            int *p;
+            x = 1;
+            p = &x;
+            *p = 42;
+            return x;
+        }
+        """
+    )
+    assert result == 42
+
+
+def test_null_deref_raises():
+    with pytest.raises(InterpError):
+        run("int main(void) { int *p; p = NULL; return *p; }")
+
+
+def test_struct_fields():
+    result, _, _ = run(
+        """
+        struct point { int x; int y; };
+        int main(void) {
+            struct point pt;
+            pt.x = 3;
+            pt.y = 4;
+            return pt.x * pt.x + pt.y * pt.y;
+        }
+        """
+    )
+    assert result == 25
+
+
+def test_struct_through_pointer():
+    result, _, _ = run(
+        """
+        struct point { int x; int y; };
+        int main(void) {
+            struct point pt;
+            struct point *p;
+            p = &pt;
+            p->x = 7;
+            return pt.x;
+        }
+        """
+    )
+    assert result == 7
+
+
+def test_arrays():
+    result, _, _ = run(
+        """
+        int main(void) {
+            int a[10];
+            int i, sum;
+            for (i = 0; i < 10; i++) { a[i] = i; }
+            sum = 0;
+            for (i = 0; i < 10; i++) { sum = sum + a[i]; }
+            return sum;
+        }
+        """
+    )
+    assert result == 45
+
+
+def test_pointer_equality_is_identity():
+    result, _, _ = run(
+        """
+        int main(void) {
+            int x, y;
+            int *p, *q;
+            p = &x;
+            q = &y;
+            if (p == q) { return 1; }
+            q = &x;
+            if (p == q) { return 2; }
+            return 0;
+        }
+        """
+    )
+    assert result == 2
+
+
+def test_global_initializers():
+    result, _, _ = run("int g = 41; int main(void) { return g + 1; }")
+    assert result == 42
+
+
+def test_linked_list_helpers():
+    program = parse_c_program(
+        "struct cell { int val; struct cell *next; }; void main(void) { }"
+    )
+    interp = Interpreter(program)
+    head = interp.make_list([1, 2, 3])
+    assert interp.read_list(head) == [1, 2, 3]
+    assert interp.read_list(0) == []
+
+
+# -- events ---------------------------------------------------------------------
+
+
+def test_assert_failure_carries_trace():
+    with pytest.raises(AssertionFailure) as info:
+        run("void main(void) { int x; x = 1; assert(x == 2); }")
+    assert info.value.trace  # statements executed up to the failure
+
+
+def test_assume_violation():
+    with pytest.raises(AssumeViolated):
+        run("void main(void) { int x; x = 1; assume(x == 2); }")
+
+
+def test_extern_oracle_supplies_values():
+    calls = []
+
+    def oracle(name, args):
+        calls.append((name, tuple(args)))
+        return 13
+
+    result, _, _ = run(
+        "int main(void) { int x; x = probe(1, 2); return x; }", oracle=oracle
+    )
+    assert result == 13
+    assert calls == [("probe", (1, 2))]
+
+
+def test_unknown_expression_uses_oracle():
+    result, _, _ = run(
+        "int main(void) { int x; x = *; return x; }", oracle=lambda n, a: -9
+    )
+    assert result == -9
+
+
+def test_trace_records_branches():
+    _, trace, _ = run("void main(int c) { if (c > 0) { c = 1; } }", args=[5])
+    branches = [e for e in trace if e.kind == "branch"]
+    assert branches and branches[0].outcome is True
+
+
+def test_call_by_value_semantics():
+    result, _, _ = run(
+        """
+        void bump(int x) { x = x + 1; }
+        int main(void) { int y; y = 5; bump(y); return y; }
+        """
+    )
+    assert result == 5

@@ -1,0 +1,135 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.cfront import tokenize
+from repro.cfront.errors import LexError
+from repro.cfront import tokens as T
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == T.EOF
+
+
+def test_whitespace_only_input():
+    toks = tokenize("   \n\t  \r\n ")
+    assert [t.kind for t in toks] == [T.EOF]
+
+
+def test_keywords_vs_identifiers():
+    toks = tokenize("int integer if iffy while whileLoop")
+    assert [t.kind for t in toks[:-1]] == [
+        T.KEYWORD,
+        T.IDENT,
+        T.KEYWORD,
+        T.IDENT,
+        T.KEYWORD,
+        T.IDENT,
+    ]
+
+
+def test_decimal_literal():
+    tok = tokenize("42")[0]
+    assert tok.kind == T.INTLIT
+    assert tok.value == 42
+
+
+def test_hex_literal():
+    tok = tokenize("0x1F")[0]
+    assert tok.value == 31
+
+
+def test_octal_literal():
+    tok = tokenize("010")[0]
+    assert tok.value == 8
+
+
+def test_zero_literal():
+    tok = tokenize("0")[0]
+    assert tok.value == 0
+
+
+def test_integer_suffixes_ignored():
+    assert tokenize("10UL")[0].value == 10
+    assert tokenize("7u")[0].value == 7
+
+
+def test_malformed_hex_raises():
+    with pytest.raises(LexError):
+        tokenize("0x")
+
+
+def test_identifier_glued_to_number_raises():
+    with pytest.raises(LexError):
+        tokenize("1abc")
+
+
+def test_char_literal():
+    tok = tokenize("'a'")[0]
+    assert tok.kind == T.CHARLIT
+    assert tok.value == ord("a")
+
+
+def test_char_escape():
+    assert tokenize(r"'\n'")[0].value == 10
+    assert tokenize(r"'\0'")[0].value == 0
+
+
+def test_string_literal():
+    tok = tokenize('"hello"')[0]
+    assert tok.kind == T.STRINGLIT
+    assert tok.value == "hello"
+
+
+def test_maximal_munch_punctuators():
+    assert texts("a->b") == ["a", "->", "b"]
+    assert texts("a-- -b") == ["a", "--", "-", "b"]
+    assert texts("x<<=1") == ["x", "<<=", "1"]
+    assert texts("a&&b") == ["a", "&&", "b"]
+    assert texts("a&b") == ["a", "&", "b"]
+    assert texts("x<=y") == ["x", "<=", "y"]
+    assert texts("x < = y") == ["x", "<", "=", "y"]
+
+
+def test_line_comment():
+    assert texts("a // comment\n b") == ["a", "b"]
+
+
+def test_block_comment():
+    assert texts("a /* stuff \n more */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_preprocessor_lines_skipped():
+    assert texts("#include <stdio.h>\nint x;") == ["int", "x", ";"]
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("ab\n  cd")
+    assert toks[0].pos.line == 1 and toks[0].pos.column == 1
+    assert toks[1].pos.line == 2 and toks[1].pos.column == 3
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("int $x;")
+
+
+def test_trailing_token_before_eof():
+    toks = tokenize("x")
+    assert toks[-1].kind == T.EOF
+    assert toks[-2].text == "x"

@@ -1,0 +1,305 @@
+"""Tests for type checking, lowering to the intermediate form, and the CFG."""
+
+import pytest
+
+from repro.cfront import cast as C
+from repro.cfront import parse_c_program, parse_program, typecheck_program
+from repro.cfront.cfg import BRANCH, build_cfg
+from repro.cfront.errors import TypeError_
+from repro.cfront.exprutils import contains_call, multi_deref_depth, walk
+
+
+def lower(source):
+    return parse_c_program(source)
+
+
+def flat_statements(stmts):
+    for stmt in stmts:
+        yield stmt
+        for sub in stmt.substatements():
+            yield from flat_statements(sub)
+
+
+def all_exprs(func):
+    for stmt in flat_statements(func.body):
+        for attr in ("lhs", "rhs", "cond", "value"):
+            expr = getattr(stmt, attr, None)
+            if expr is not None:
+                yield expr
+        for arg in getattr(stmt, "args", []):
+            yield arg
+
+
+# -- type checking -----------------------------------------------------------
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(parse_program("void f(void) { x = 1; }"))
+
+
+def test_deref_of_int_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(parse_program("void f(int x) { int y; y = *x; }"))
+
+
+def test_field_of_non_struct_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(parse_program("void f(int x) { int y; y = x.val; }"))
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(
+            parse_program("struct s { int a; }; void f(struct s *p) { int y; y = p->b; }")
+        )
+
+
+def test_wrong_arity_call_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(
+            parse_program("int g(int x) { return x; } void f(void) { int y; y = g(1, 2); }")
+        )
+
+
+def test_undeclared_function_registered_as_extern():
+    prog = typecheck_program(parse_program("void f(void) { int y; y = mystery(1); }"))
+    assert "mystery" in prog.functions
+    assert not prog.functions["mystery"].is_defined
+
+
+def test_goto_unknown_label_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(parse_program("void f(void) { goto nowhere; }"))
+
+
+def test_null_assignable_to_pointer():
+    typecheck_program(parse_program("struct s { int a; }; void f(void) { struct s *p; p = NULL; }"))
+
+
+def test_return_type_mismatch_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(
+            parse_program("struct s { int a; }; int f(struct s *p) { return p; }")
+        )
+
+
+def test_void_return_with_value_rejected():
+    with pytest.raises(TypeError_):
+        typecheck_program(parse_program("void f(void) { return 3; }"))
+
+
+# -- lowering: calls hoisted to top level -----------------------------------
+
+
+def test_call_in_expression_hoisted():
+    prog = lower("int g(int x) { return x; } void f(void) { int z, x; z = x + g(x); }")
+    func = prog.functions["f"]
+    calls = [s for s in flat_statements(func.body) if isinstance(s, C.CallStmt)]
+    assert len(calls) == 1
+    assert calls[0].lhs is not None
+    for expr in all_exprs(func):
+        assert not contains_call(expr)
+
+
+def test_nested_calls_hoisted_in_order():
+    prog = lower(
+        "int g(int x) { return x; } int h(int x) { return x; }"
+        "void f(void) { int z; z = g(h(1)); }"
+    )
+    func = prog.functions["f"]
+    calls = [s for s in flat_statements(func.body) if isinstance(s, C.CallStmt)]
+    assert [c.name for c in calls] == ["h", "g"]
+
+
+def test_call_in_condition_hoisted_before_if():
+    prog = lower("int g(void) { return 1; } void f(void) { if (g()) { } }")
+    func = prog.functions["f"]
+    assert isinstance(func.body[0], C.CallStmt)
+    branch = next(s for s in func.body if isinstance(s, C.If))
+    assert not contains_call(branch.cond)
+
+
+def test_call_in_while_condition_becomes_goto_loop():
+    prog = lower("int g(void) { return 1; } void f(void) { while (g()) { } }")
+    func = prog.functions["f"]
+    # The structured while is gone; a goto loop remains.
+    assert not any(isinstance(s, C.While) for s in flat_statements(func.body))
+    assert any(isinstance(s, C.Goto) for s in flat_statements(func.body))
+
+
+def test_short_circuit_call_not_hoisted_unconditionally():
+    prog = lower(
+        "int g(void) { return 1; } void f(int a) { int z; z = a && g(); }"
+    )
+    func = prog.functions["f"]
+    # g() must be guarded by an If on a, not called unconditionally.
+    top_level_calls = [s for s in func.body if isinstance(s, C.CallStmt)]
+    assert top_level_calls == []
+    guard = next(s for s in func.body if isinstance(s, C.If))
+    assert any(isinstance(s, C.CallStmt) for s in flat_statements(guard.then_body))
+
+
+def test_ternary_eliminated():
+    prog = lower("void f(int a) { int z; z = a ? 1 : 2; }")
+    func = prog.functions["f"]
+    for expr in all_exprs(func):
+        assert not any(isinstance(node, C.Cond) for node in walk(expr))
+    assert any(isinstance(s, C.If) for s in func.body)
+
+
+# -- lowering: nested dereferences -------------------------------------------
+
+
+def test_double_deref_hoisted():
+    prog = lower("void f(int **p) { int y; y = **p; }")
+    func = prog.functions["f"]
+    for expr in all_exprs(func):
+        assert multi_deref_depth(expr) <= 1
+
+
+def test_chained_arrow_hoisted():
+    prog = lower(
+        "struct cell { int val; struct cell *next; };"
+        "void f(struct cell *p) { int y; y = p->next->val; }"
+    )
+    func = prog.functions["f"]
+    for expr in all_exprs(func):
+        assert multi_deref_depth(expr) <= 1
+    assigns = [s for s in func.body if isinstance(s, C.Assign)]
+    assert len(assigns) >= 2  # temp for p->next, then the read
+
+
+def test_single_arrow_not_hoisted():
+    prog = lower(
+        "struct cell { int val; struct cell *next; };"
+        "void f(struct cell *p) { int y; y = p->val; }"
+    )
+    func = prog.functions["f"]
+    assigns = [s for s in func.body if isinstance(s, C.Assign)]
+    assert len(assigns) == 1
+
+
+def test_deep_lhs_hoisted():
+    prog = lower(
+        "struct cell { int val; struct cell *next; };"
+        "void f(struct cell *p) { p->next->val = 1; }"
+    )
+    func = prog.functions["f"]
+    for expr in all_exprs(func):
+        assert multi_deref_depth(expr) <= 1
+
+
+# -- lowering: loops and returns ----------------------------------------------
+
+
+def test_for_loop_becomes_while():
+    prog = lower("void f(void) { int i, s; s = 0; for (i = 0; i < 3; i++) { s = s + i; } }")
+    func = prog.functions["f"]
+    assert any(isinstance(s, C.While) for s in func.body)
+    assert not any(isinstance(s, C.For) for s in flat_statements(func.body))
+
+
+def test_continue_in_for_reaches_step():
+    prog = lower(
+        "int f(void) { int i, s; s = 0;"
+        "for (i = 0; i < 4; i = i + 1) { if (i == 2) continue; s = s + i; }"
+        "return s; }"
+    )
+    from repro.cfront.interp import Interpreter
+
+    result, _ = Interpreter(prog).run("f")
+    assert result == 0 + 1 + 3
+
+
+def test_break_exits_loop():
+    prog = lower(
+        "int f(void) { int i; i = 0;"
+        "while (1) { if (i == 3) break; i = i + 1; }"
+        "return i; }"
+    )
+    from repro.cfront.interp import Interpreter
+
+    result, _ = Interpreter(prog).run("f")
+    assert result == 3
+
+
+def test_do_while_executes_body_at_least_once():
+    prog = lower("int f(void) { int i; i = 10; do { i = i + 1; } while (i < 5); return i; }")
+    from repro.cfront.interp import Interpreter
+
+    result, _ = Interpreter(prog).run("f")
+    assert result == 11
+
+
+def test_single_return_canonicalized():
+    prog = lower("int f(int x) { if (x) { return 1; } return 2; }")
+    func = prog.functions["f"]
+    returns = [s for s in flat_statements(func.body) if isinstance(s, C.Return)]
+    assert len(returns) == 1
+    assert returns[0].value == C.Id(func.return_var)
+
+
+def test_early_return_becomes_goto_exit():
+    prog = lower("int f(int x) { if (x) { return 1; } return 2; }")
+    func = prog.functions["f"]
+    gotos = [s for s in flat_statements(func.body) if isinstance(s, C.Goto)]
+    assert all(g.label == "__exit" for g in gotos)
+    assert gotos  # at least the early return
+
+
+def test_void_function_gets_bare_return():
+    prog = lower("void f(void) { }")
+    func = prog.functions["f"]
+    assert isinstance(func.body[-1], C.Return)
+    assert func.body[-1].value is None
+    assert func.return_var is None
+
+
+# -- CFG ----------------------------------------------------------------------
+
+
+def test_cfg_straight_line():
+    prog = lower("void f(void) { int x; x = 1; x = 2; }")
+    cfg = build_cfg(prog.functions["f"])
+    nodes = cfg.reachable_nodes()
+    assert cfg.entry in nodes and cfg.exit in nodes
+    assigns = [n for n in nodes if n.kind == "stmt" and isinstance(n.stmt, C.Assign)]
+    assert len(assigns) == 2
+
+
+def test_cfg_if_has_two_labeled_edges():
+    prog = lower("void f(int x) { if (x) { x = 1; } else { x = 2; } }")
+    cfg = build_cfg(prog.functions["f"])
+    branch = next(n for n in cfg.nodes if n.kind == BRANCH)
+    assumes = sorted(edge.assume for edge in branch.edges)
+    assert assumes == [False, True]
+
+
+def test_cfg_while_back_edge():
+    prog = lower("void f(int x) { while (x) { x = x - 1; } }")
+    cfg = build_cfg(prog.functions["f"])
+    branch = next(n for n in cfg.nodes if n.kind == BRANCH)
+    body_head = branch.successor(assume=True)
+    # Follow the body until we come back to the branch.
+    node, steps = body_head, 0
+    while node is not branch and steps < 10:
+        node = node.successor()
+        steps += 1
+    assert node is branch
+
+
+def test_cfg_goto_resolves():
+    prog = lower("void f(void) { goto out; out: ; }")
+    cfg = build_cfg(prog.functions["f"])
+    goto_node = next(
+        n for n in cfg.nodes if n.kind == "stmt" and isinstance(n.stmt, C.Goto)
+    )
+    assert goto_node.successor() is cfg.labels["out"]
+
+
+def test_cfg_statement_ids_unique():
+    prog = lower("void f(int x) { if (x) { x = 1; } x = 2; }")
+    cfg = build_cfg(prog.functions["f"])
+    sids = [n.stmt.sid for n in cfg.nodes if n.stmt is not None]
+    assert len(sids) == len(set(sids))

@@ -1,0 +1,105 @@
+"""Tests for predicates and the predicate input file."""
+
+import pytest
+
+from repro.cfront import parse_c_program, parse_expression
+from repro.core import Predicate, PredicateParseError, parse_predicate_file
+
+PROGRAM = parse_c_program(
+    """
+    int locked;
+    struct cell { int val; struct cell *next; };
+    void acquire(void) { locked = 1; }
+    int find(struct cell *p, int v) {
+        int found;
+        found = 0;
+        while (p != NULL) {
+            if (p->val == v) { found = 1; }
+            p = p->next;
+        }
+        return found;
+    }
+    """
+)
+
+
+def test_predicate_name_is_pretty_text():
+    predicate = Predicate(parse_expression("curr == NULL"), "partition")
+    assert predicate.name == "curr==0"
+    assert not predicate.is_global
+
+
+def test_predicate_rejects_calls():
+    with pytest.raises(PredicateParseError):
+        Predicate(parse_expression("f(x) > 0"), "main")
+
+
+def test_predicate_rejects_nondet():
+    with pytest.raises(PredicateParseError):
+        Predicate(parse_expression("* > 0"), "main")
+
+
+def test_parse_sections():
+    preds = parse_predicate_file(
+        """
+        global
+        locked == 1
+
+        find
+        p == NULL, found == 1
+        p->val == v
+        """,
+        PROGRAM,
+    )
+    assert len(preds.globals) == 1
+    assert preds.globals[0].is_global
+    assert len(preds.for_procedure("find")) == 3
+    assert len(preds) == 4
+
+
+def test_in_scope_merges_globals_and_locals():
+    preds = parse_predicate_file(
+        "global\nlocked == 1\n\nfind\nfound == 1\n", PROGRAM
+    )
+    in_scope = preds.in_scope("find")
+    assert [p.name for p in in_scope] == ["locked==1", "found==1"]
+
+
+def test_commas_inside_parens_not_split():
+    # No function calls are allowed, but parenthesized expressions with
+    # commas via indexing should survive; use a bracketed index.
+    program = parse_c_program("void f(void) { int a[4]; int i; i = a[0]; }")
+    preds = parse_predicate_file("f\na[i] > 0, i >= 0\n", program)
+    assert len(preds.for_procedure("f")) == 2
+
+
+def test_unknown_scope_rejected():
+    with pytest.raises(PredicateParseError):
+        parse_predicate_file("nosuch\nx == 1\n", PROGRAM)
+
+
+def test_illtyped_predicate_rejected():
+    with pytest.raises(PredicateParseError):
+        parse_predicate_file("find\np->nofield == 1\n", PROGRAM)
+
+
+def test_global_predicate_cannot_mention_locals():
+    with pytest.raises(PredicateParseError):
+        parse_predicate_file("global\nfound == 1\n", PROGRAM)
+
+
+def test_predicate_before_header_rejected():
+    with pytest.raises(PredicateParseError):
+        parse_predicate_file("locked == 1\n", PROGRAM)
+
+
+def test_comments_ignored():
+    preds = parse_predicate_file(
+        "find // the search procedure\nfound == 1 // done flag\n", PROGRAM
+    )
+    assert len(preds) == 1
+
+
+def test_duplicate_predicates_deduplicated():
+    preds = parse_predicate_file("find\nfound == 1, found == 1\n", PROGRAM)
+    assert len(preds) == 1

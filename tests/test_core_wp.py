@@ -1,0 +1,193 @@
+"""Tests for weakest preconditions (Sections 4.1/4.2), including the
+property that WP is correct with respect to concrete execution."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import cast as C
+from repro.cfront import parse_c_program, parse_expression
+from repro.cfront.pretty import pretty_expr
+from repro.core.wp import address_expr, weakest_precondition, wp_unchanged
+from repro.pointers import PointsToAnalysis
+
+
+def e(text):
+    return parse_expression(text)
+
+
+def no_alias(a, b):
+    return a == b
+
+
+def all_alias(a, b):
+    return True
+
+
+# -- scalar substitution -------------------------------------------------------
+
+
+def test_wp_scalar_substitution():
+    # WP(x = x + 1, x < 5) == x + 1 < 5.
+    wp = weakest_precondition(e("x"), e("x + 1"), e("x < 5"), no_alias)
+    assert wp == e("x + 1 < 5")
+
+
+def test_wp_unrelated_variable_unchanged():
+    wp = weakest_precondition(e("x"), e("0"), e("y < 5"), no_alias)
+    assert wp == e("y < 5")
+
+
+def test_wp_constant_rhs_folds():
+    wp = weakest_precondition(e("x"), e("3"), e("x < 5"), no_alias)
+    assert wp == e("1")  # 3 < 5 folds to true
+
+
+def test_wp_multiple_occurrences():
+    wp = weakest_precondition(e("x"), e("y"), e("x + x == 2"), no_alias)
+    assert wp == e("y + y == 2")
+
+
+def test_wp_pointer_copy_rewrites_chain():
+    # WP(prev = curr, prev->val > v) == curr->val > v (prev has no aliases).
+    wp = weakest_precondition(e("prev"), e("curr"), e("prev->val > v"), no_alias)
+    assert wp == e("curr->val > v")
+
+
+# -- Morris' axiom ---------------------------------------------------------------
+
+
+def test_wp_store_through_pointer_possible_alias():
+    # The paper's example: WP(x = 3, *p > 5) =
+    #   (&x == p && 3 > 5) || (&x != p && *p > 5)
+    wp = weakest_precondition(e("x"), e("3"), e("*p > 5"), all_alias)
+    text = pretty_expr(wp)
+    assert "&x" in text
+    # One disjunct must keep *p > 5, the other substitutes 3 (folds false).
+    assert "*p > 5" in text
+
+
+def test_wp_store_no_alias_prunes():
+    wp = weakest_precondition(e("x"), e("3"), e("*p > 5"), no_alias)
+    assert wp == e("*p > 5")
+
+
+def test_wp_deref_lhs_must_alias_itself():
+    # WP(*p = 1, *p == 1) with p unaliased to anything else: substitution.
+    wp = weakest_precondition(e("*p"), e("1"), e("*p == 1"), no_alias)
+    assert wp == e("1")  # 1 == 1 folds
+
+
+def test_wp_two_pointers_scenarios():
+    # WP(*p = 0, *q > 0) must consider p/q aliasing.
+    wp = weakest_precondition(e("*p"), e("0"), e("*q > 0"), all_alias)
+    text = pretty_expr(wp)
+    assert "p ==" in text or "== q" in text or "p !=" in text
+
+
+def test_wp_field_assignment_same_field_other_base():
+    # WP(p->val = 0, q->val > 0): p may alias q.
+    wp = weakest_precondition(e("p->val"), e("0"), e("q->val > 0"), all_alias)
+    text = pretty_expr(wp)
+    assert "&" in text  # alias scenario present
+
+
+def test_wp_with_points_to_pruning():
+    program = parse_c_program(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell *p, struct cell *q, int x) {
+            p->val = 0;
+        }
+        """
+    )
+    pta = PointsToAnalysis(program)
+    may = lambda a, b: pta.may_alias(a, b, "f")  # noqa: E731
+    # x is a plain int: the field store cannot affect it.
+    wp = weakest_precondition(e("p->val"), e("0"), e("x > 0"), may)
+    assert wp == e("x > 0")
+    # q->val may alias p->val (same struct type reached from params).
+    wp2 = weakest_precondition(e("p->val"), e("0"), e("q->val > 0"), may)
+    assert wp2 != e("q->val > 0")
+
+
+def test_wp_unchanged_check():
+    assert wp_unchanged(e("x"), e("1"), e("y > 0"), no_alias)
+    assert not wp_unchanged(e("x"), e("1"), e("x > 0"), no_alias)
+    assert not wp_unchanged(e("x"), e("1"), e("*p > 0"), all_alias)
+    assert wp_unchanged(e("x"), e("1"), e("*p > 0"), no_alias)
+
+
+def test_address_expr_simplifies():
+    assert address_expr(e("*p")) == e("p")
+    assert address_expr(e("x")) == e("&x")
+
+
+# -- semantic correctness (property-based) -------------------------------------------
+
+# Random scalar programs: check state |= WP(x=e, phi)  <=>  exec |= phi.
+
+_VARS = ["a", "b", "c"]
+
+
+def _expr_strategy():
+    atoms = st.one_of(
+        st.sampled_from(_VARS).map(C.Id),
+        st.integers(-3, 3).map(C.IntLit),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.builds(
+            C.BinOp, st.sampled_from(["+", "-", "*"]), children, children
+        ),
+        max_leaves=6,
+    )
+
+
+def _pred_strategy():
+    return st.builds(
+        C.BinOp,
+        st.sampled_from(["<", "<=", "==", "!=", ">", ">="]),
+        _expr_strategy(),
+        _expr_strategy(),
+    )
+
+
+def _eval(expr, env):
+    if isinstance(expr, C.IntLit):
+        return expr.value
+    if isinstance(expr, C.Id):
+        return env[expr.name]
+    if isinstance(expr, C.BinOp):
+        left, right = _eval(expr.left, env), _eval(expr.right, env)
+        ops = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "<": lambda: int(left < right),
+            "<=": lambda: int(left <= right),
+            ">": lambda: int(left > right),
+            ">=": lambda: int(left >= right),
+            "==": lambda: int(left == right),
+            "!=": lambda: int(left != right),
+            "&&": lambda: int(bool(left) and bool(right)),
+            "||": lambda: int(bool(left) or bool(right)),
+        }
+        return ops[expr.op]()
+    if isinstance(expr, C.UnOp):
+        value = _eval(expr.operand, env)
+        return {"-": -value, "!": int(not value), "+": value, "~": ~value}[expr.op]
+    raise AssertionError(expr)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    target=st.sampled_from(_VARS),
+    rhs=_expr_strategy(),
+    phi=_pred_strategy(),
+    state=st.tuples(*(st.integers(-4, 4) for _ in _VARS)),
+)
+def test_wp_semantic_correctness_scalars(target, rhs, phi, state):
+    env = dict(zip(_VARS, state))
+    wp = weakest_precondition(C.Id(target), rhs, phi, no_alias)
+    post_env = dict(env)
+    post_env[target] = _eval(rhs, env)
+    assert bool(_eval(wp, env)) == bool(_eval(phi, post_env))

@@ -1,0 +1,213 @@
+"""Tests for expression utilities: traversal, substitution, syntactic
+analyses, and constant folding (with a semantics-preservation property)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import cast as C
+from repro.cfront import parse_expression
+from repro.cfront.exprutils import (
+    contains_call,
+    derefs,
+    fold_constants,
+    is_trivially_false,
+    is_trivially_true,
+    locations,
+    max_locations,
+    multi_deref_depth,
+    substitute,
+    variables,
+    walk,
+)
+
+
+def e(text):
+    return parse_expression(text)
+
+
+# -- traversal -------------------------------------------------------------
+
+
+def test_walk_preorder():
+    nodes = list(walk(e("a + b * c")))
+    assert isinstance(nodes[0], C.BinOp) and nodes[0].op == "+"
+    names = [n.name for n in nodes if isinstance(n, C.Id)]
+    assert names == ["a", "b", "c"]
+
+
+def test_variables():
+    assert variables(e("x + y * x")) == {"x", "y"}
+    assert variables(e("3 + 4")) == set()
+    assert variables(e("p->val > v")) == {"p", "v"}
+
+
+def test_derefs():
+    assert derefs(e("*p + x")) == {"p"}
+    assert derefs(e("p->val")) == {"p"}
+    assert derefs(e("a[i]")) == {"a"}
+    assert derefs(e("x + y")) == set()
+
+
+def test_locations_includes_nested():
+    locs = locations(e("p->val > v"))
+    assert e("p->val") in locs
+    assert e("p") in locs
+    assert e("v") in locs
+
+
+def test_max_locations_drops_inner():
+    locs = max_locations(e("p->val > v"))
+    assert e("p->val") in locs
+    assert e("p") not in locs
+    assert e("v") in locs
+
+
+def test_contains_call():
+    assert contains_call(e("f(x) + 1"))
+    assert not contains_call(e("x + 1"))
+
+
+def test_multi_deref_depth():
+    assert multi_deref_depth(e("x")) == 0
+    assert multi_deref_depth(e("*p")) == 1
+    assert multi_deref_depth(e("p->val")) == 1
+    assert multi_deref_depth(e("**p")) == 2
+    assert multi_deref_depth(e("p->next->val")) == 2
+
+
+# -- substitution -----------------------------------------------------------
+
+
+def test_substitute_simple():
+    result = substitute(e("x + y"), {e("x"): e("z")})
+    assert result == e("z + y")
+
+
+def test_substitute_maximal_match_first():
+    # Substituting p->val must not also substitute the inner p.
+    result = substitute(e("p->val + p"), {e("p->val"): e("t"), e("p"): e("q")})
+    assert result == e("t + q")
+
+
+def test_substitute_simultaneous():
+    # Classic swap: [y/x, x/y] applied simultaneously.
+    result = substitute(e("x + y"), {e("x"): e("y"), e("y"): e("x")})
+    assert result == e("y + x")
+
+
+def test_substitute_no_rescan_of_replacement():
+    # The replacement contains x, but must not be rewritten again.
+    result = substitute(e("x"), {e("x"): e("x + 1")})
+    assert result == e("x + 1")
+
+
+def test_substitute_inside_locations():
+    result = substitute(e("prev->val > v"), {e("prev"): e("curr")})
+    assert result == e("curr->val > v")
+
+
+def test_substitute_identity_returns_same_object():
+    expr = e("a + b")
+    assert substitute(expr, {e("zzz"): e("q")}) is expr
+
+
+# -- constant folding ---------------------------------------------------------
+
+
+def test_fold_arithmetic():
+    assert fold_constants(e("2 + 3 * 4")) == C.IntLit(14)
+    assert fold_constants(e("(7 - 2) / 2")) == C.IntLit(2)
+    assert fold_constants(e("-7 / 2")) == C.IntLit(-3)  # C truncation
+
+
+def test_fold_comparisons():
+    assert is_trivially_true(e("3 < 5"))
+    assert is_trivially_false(e("3 > 5"))
+
+
+def test_fold_short_circuit_with_one_constant():
+    assert fold_constants(e("1 && x > 0")) == e("x > 0")
+    assert fold_constants(e("0 && x > 0")) == C.IntLit(0)
+    assert fold_constants(e("0 || x > 0")) == e("x > 0")
+    assert fold_constants(e("1 || x > 0")) == C.IntLit(1)
+
+
+def test_fold_division_by_zero_left_alone():
+    folded = fold_constants(e("1 / 0"))
+    assert isinstance(folded, C.BinOp) and folded.op == "/"
+
+
+def test_fold_address_simplifications():
+    assert fold_constants(C.Deref(C.AddrOf(C.Id("x")))) == C.Id("x")
+    assert fold_constants(C.AddrOf(C.Deref(C.Id("p")))) == C.Id("p")
+
+
+def test_negate_relational_folding():
+    assert C.negate(e("x < y")) == e("x >= y")
+    assert C.negate(e("x == y")) == e("x != y")
+    assert C.negate(e("!x")) == e("x")
+    assert C.negate(e("x < y && z == 0")) == e("x >= y || z != 0")
+
+
+# -- property: folding preserves semantics ----------------------------------------
+
+_VARS = ["a", "b"]
+
+
+def _expr_strategy():
+    atoms = st.one_of(
+        st.sampled_from(_VARS).map(C.Id),
+        st.integers(-4, 4).map(C.IntLit),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.builds(
+                C.BinOp,
+                st.sampled_from(["+", "-", "*", "<", "<=", "==", "!=", "&&", "||"]),
+                children,
+                children,
+            ),
+            st.builds(C.UnOp, st.sampled_from(["-", "!"]), children),
+        ),
+        max_leaves=8,
+    )
+
+
+def _eval(expr, env):
+    if isinstance(expr, C.IntLit):
+        return expr.value
+    if isinstance(expr, C.Id):
+        return env[expr.name]
+    if isinstance(expr, C.UnOp):
+        value = _eval(expr.operand, env)
+        return {"-": -value, "!": int(not value), "+": value, "~": ~value}[expr.op]
+    left = _eval(expr.left, env)
+    right = _eval(expr.right, env)
+    table = {
+        "+": left + right,
+        "-": left - right,
+        "*": left * right,
+        "<": int(left < right),
+        "<=": int(left <= right),
+        ">": int(left > right),
+        ">=": int(left >= right),
+        "==": int(left == right),
+        "!=": int(left != right),
+        "&&": int(bool(left) and bool(right)),
+        "||": int(bool(left) or bool(right)),
+    }
+    return table[expr.op]
+
+
+@settings(max_examples=200, deadline=None)
+@given(_expr_strategy(), st.integers(-3, 3), st.integers(-3, 3))
+def test_fold_constants_preserves_value(expr, a, b):
+    env = {"a": a, "b": b}
+    assert _eval(fold_constants(expr), env) == _eval(expr, env)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_expr_strategy(), st.integers(-3, 3), st.integers(-3, 3))
+def test_negate_is_logical_negation(expr, a, b):
+    env = {"a": a, "b": b}
+    assert bool(_eval(C.negate(expr), env)) == (not bool(_eval(expr, env)))

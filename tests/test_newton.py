@@ -1,0 +1,199 @@
+"""Tests for Newton: path simulation, feasibility, predicate discovery."""
+
+from repro.cfront import cast as C
+from repro.cfront import parse_c_program
+from repro.core import PredicateSet
+from repro.newton import CPathStep, PathSimulator, analyze_path
+from repro.prover import Prover
+
+
+def program_and_path(source, script):
+    """Build CPathSteps from a script of (func, sid-index or locator)."""
+    program = parse_c_program(source)
+    return program
+
+
+def steps_for(program, func_name, picks):
+    """Construct a path through func by statement positions with branch
+    outcomes: picks is a list of ('s', index) or ('b', index, outcome)
+    referring to the flattened statement list."""
+    func = program.functions[func_name]
+    flat = []
+
+    def visit(stmts):
+        for stmt in stmts:
+            flat.append(stmt)
+            for sub in stmt.substatements():
+                visit(sub)
+
+    visit(func.body)
+    steps = []
+    for pick in picks:
+        if pick[0] == "s":
+            steps.append(CPathStep(func_name, flat[pick[1]], "stmt"))
+        else:
+            steps.append(CPathStep(func_name, flat[pick[1]], "branch", pick[2]))
+    return steps
+
+
+def test_simulator_straight_line_constraints():
+    program = parse_c_program(
+        "void main(void) { int x; x = 1; if (x == 2) { x = 3; } }"
+    )
+    # Path: x = 1; branch x == 2 taken TRUE (infeasible).
+    steps = steps_for(program, "main", [("s", 0), ("b", 1, True)])
+    sim = PathSimulator(program)
+    constraints = sim.simulate(steps)
+    assert len(constraints) == 1
+    # The constraint 1 == 2 constant-folds to 0 (false) after substitution.
+    assert constraints[0].formula == C.IntLit(0)
+
+
+def test_simulator_negated_branch():
+    program = parse_c_program("void main(int x) { if (x > 0) { x = 1; } }")
+    steps = steps_for(program, "main", [("b", 0, False)])
+    sim = PathSimulator(program)
+    (constraint,) = sim.simulate(steps)
+    assert constraint.polarity is False
+    assert constraint.source_expr == C.negate(
+        program.functions["main"].body[0].cond
+    )
+
+
+def test_feasible_path_reported_feasible():
+    program = parse_c_program("void main(int x) { if (x > 0) { x = 1; } }")
+    steps = steps_for(program, "main", [("b", 0, True)])
+    result = analyze_path(program, steps)
+    assert result.feasible
+
+
+def test_infeasible_path_detected():
+    program = parse_c_program(
+        "void main(void) { int x; x = 1; if (x == 2) { x = 3; } }"
+    )
+    steps = steps_for(program, "main", [("s", 0), ("b", 1, True)])
+    result = analyze_path(program, steps)
+    assert not result.feasible
+
+
+def test_contradictory_branches_detected():
+    program = parse_c_program(
+        "void main(int x) { if (x > 0) { } if (x < 0) { } }"
+    )
+    steps = steps_for(program, "main", [("b", 0, True), ("b", 1, True)])
+    result = analyze_path(program, steps)
+    assert not result.feasible
+    # Discovery proposes the branch conditions as predicates.
+    names = {p.name for p in result.new_predicates}
+    assert "x>0" in names or "x<0" in names
+
+
+def test_existing_predicates_not_rediscovered():
+    program = parse_c_program(
+        "void main(int x) { if (x > 0) { } if (x < 0) { } }"
+    )
+    steps = steps_for(program, "main", [("b", 0, True), ("b", 1, True)])
+    from repro.core.predicates import predicates_for
+
+    existing = PredicateSet(predicates_for(program, "main", ["x > 0", "x < 0"]))
+    result = analyze_path(program, steps, existing_predicates=existing)
+    assert not result.feasible
+    names = {p.name for p in result.new_predicates}
+    assert "x>0" not in names and "x<0" not in names
+
+
+def test_assignment_equality_predicates_discovered():
+    program = parse_c_program(
+        """
+        void main(int a) {
+            int old;
+            old = a;
+            a = a + 1;
+            if (a == old) { }
+        }
+        """
+    )
+    steps = steps_for(program, "main", [("s", 0), ("s", 1), ("b", 2, True)])
+    result = analyze_path(program, steps)
+    assert not result.feasible
+    names = {p.name for p in result.new_predicates}
+    assert "a==old" in names
+
+
+def test_core_minimization_drops_irrelevant():
+    program = parse_c_program(
+        """
+        void main(int a, int b) {
+            if (b > 5) { }
+            if (a > 0) { }
+            if (a < 0) { }
+        }
+        """
+    )
+    steps = steps_for(
+        program, "main", [("b", 0, True), ("b", 1, True), ("b", 2, True)]
+    )
+    result = analyze_path(program, steps)
+    assert not result.feasible
+    # b > 5 is irrelevant to the contradiction.
+    core_sources = {c.source_expr for c in result.core}
+    from repro.cfront import parse_expression
+
+    assert parse_expression("b > 5") not in core_sources
+
+
+def test_heap_write_havocs_keeps_feasibility():
+    # Heap coarseness: a write through one pointer must not let the
+    # simulator wrongly refute a path reading through another.
+    program = parse_c_program(
+        """
+        struct s { int f; };
+        void main(struct s *p, struct s *q) {
+            p->f = 1;
+            if (q->f == 2) { }
+        }
+        """
+    )
+    steps = steps_for(program, "main", [("s", 0), ("b", 1, True)])
+    result = analyze_path(program, steps)
+    assert result.feasible  # q may not alias p
+
+
+def test_same_pointer_value_tracked():
+    program = parse_c_program(
+        """
+        struct s { int f; };
+        void main(struct s *p) {
+            p->f = 1;
+            if (p->f == 2) { }
+        }
+        """
+    )
+    steps = steps_for(program, "main", [("s", 0), ("b", 1, True)])
+    result = analyze_path(program, steps)
+    assert not result.feasible
+
+
+def test_extern_call_havocs_result():
+    program = parse_c_program(
+        """
+        void main(void) {
+            int x;
+            x = 1;
+            x = mystery();
+            if (x == 5) { }
+        }
+        """
+    )
+    steps = steps_for(program, "main", [("s", 0), ("s", 1), ("b", 2, True)])
+    result = analyze_path(program, steps)
+    assert result.feasible  # mystery() may return 5
+
+
+def test_global_initializers_respected():
+    program = parse_c_program(
+        "int g = 0; void main(void) { if (g == 1) { } }"
+    )
+    steps = steps_for(program, "main", [("b", 0, True)])
+    result = analyze_path(program, steps)
+    assert not result.feasible

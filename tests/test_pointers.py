@@ -1,0 +1,344 @@
+"""Tests for the flow-insensitive may-alias analysis."""
+
+from repro.cfront import parse_c_program, parse_expression
+from repro.pointers import PointsToAnalysis, UnionFind
+
+
+def analyze(source):
+    prog = parse_c_program(source)
+    return prog, PointsToAnalysis(prog)
+
+
+def e(text):
+    return parse_expression(text)
+
+
+# -- union-find ---------------------------------------------------------------
+
+
+def test_unionfind_singletons():
+    uf = UnionFind()
+    assert uf.find("a") == "a"
+    assert not uf.same("a", "b")
+
+
+def test_unionfind_union_and_same():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    assert uf.same("a", "c")
+    assert not uf.same("a", "d")
+
+
+def test_unionfind_union_returns_absorbed():
+    uf = UnionFind()
+    survivor, absorbed = uf.union("a", "b")
+    assert {survivor, absorbed} == {"a", "b"}
+    again, absorbed2 = uf.union("a", "b")
+    assert absorbed2 is None
+
+
+def test_unionfind_path_compression_idempotent():
+    uf = UnionFind()
+    for i in range(100):
+        uf.union(0, i)
+    root = uf.find(0)
+    assert all(uf.find(i) == root for i in range(100))
+
+
+# -- basic aliasing facts -----------------------------------------------------
+
+
+def test_distinct_variables_never_alias():
+    _, pta = analyze("void f(void) { int x, y; x = 1; y = 2; }")
+    assert not pta.may_alias(e("x"), e("y"), "f")
+    assert pta.may_alias(e("x"), e("x"), "f")
+
+
+def test_no_address_taken_means_no_deref_alias():
+    # The Section 2 fact: curr/prev/next/newl have no address taken, so no
+    # dereference can alias them.
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell **l) {
+            struct cell *curr, *prev;
+            curr = *l;
+            prev = curr;
+        }
+        """
+    )
+    assert not pta.may_alias(e("prev"), e("*l"), "f")
+    assert not pta.may_alias(e("curr"), e("*l"), "f")
+
+
+def test_address_taken_variable_aliases_deref():
+    _, pta = analyze(
+        """
+        void f(void) {
+            int x;
+            int *p;
+            p = &x;
+            *p = 3;
+        }
+        """
+    )
+    assert pta.may_alias(e("x"), e("*p"), "f")
+
+
+def test_address_taken_flag_stamped():
+    prog, _ = analyze("void f(void) { int x, y; int *p; p = &x; y = *p; }")
+    func = prog.functions["f"]
+    assert func.lookup_var("x").address_taken
+    assert not func.lookup_var("y").address_taken
+
+
+def test_unrelated_pointers_do_not_alias():
+    _, pta = analyze(
+        """
+        void f(void) {
+            int a, b;
+            int *p, *q;
+            p = &a;
+            q = &b;
+        }
+        """
+    )
+    assert not pta.may_alias(e("*p"), e("*q"), "f")
+    assert not pta.may_alias(e("*p"), e("b"), "f")
+
+
+def test_pointer_copy_aliases():
+    _, pta = analyze(
+        """
+        void f(void) {
+            int a;
+            int *p, *q;
+            p = &a;
+            q = p;
+        }
+        """
+    )
+    assert pta.may_alias(e("*p"), e("*q"), "f")
+    assert pta.may_alias(e("*q"), e("a"), "f")
+
+
+def test_flow_insensitivity_merges_both_targets():
+    # q points to a, then to b; flow-insensitively *q aliases both.
+    _, pta = analyze(
+        """
+        void f(int c) {
+            int a, b;
+            int *q;
+            q = &a;
+            q = &b;
+        }
+        """
+    )
+    assert pta.may_alias(e("*q"), e("a"), "f")
+    assert pta.may_alias(e("*q"), e("b"), "f")
+
+
+# -- fields -------------------------------------------------------------------
+
+
+def test_distinct_fields_never_alias():
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell *p) { p->val = 1; }
+        """
+    )
+    assert not pta.may_alias(e("p->val"), e("p->next"), "f")
+
+
+def test_same_field_of_aliased_bases_aliases():
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell *p) {
+            struct cell *q;
+            q = p;
+            q->val = 1;
+        }
+        """
+    )
+    assert pta.may_alias(e("p->val"), e("q->val"), "f")
+
+
+def test_same_field_of_unrelated_bases_separate_objects():
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(void) {
+            struct cell a, b;
+            struct cell *p, *q;
+            p = &a;
+            q = &b;
+            p->val = 1;
+        }
+        """
+    )
+    assert not pta.may_alias(e("p->val"), e("q->val"), "f")
+
+
+def test_field_does_not_alias_scalar_variable():
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell *p) { int x; x = p->val; }
+        """
+    )
+    assert not pta.may_alias(e("p->val"), e("x"), "f")
+
+
+def test_next_node_distinct_from_head():
+    # After q = p->next alone, q points into the "next" objects, which the
+    # analysis keeps apart from the head object: q->val and p->val do not
+    # alias (and indeed cannot, dynamically, for acyclic lists).  The
+    # procedure must have a caller, otherwise its formals are root inputs
+    # whose pointees conservatively merge into the external world.
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell *p) {
+            struct cell *q;
+            q = p->next;
+        }
+        void main(void) {
+            struct cell head;
+            f(&head);
+        }
+        """
+    )
+    assert not pta.may_alias(e("q->val"), e("p->val"), "f")
+
+
+def test_root_formals_may_alias_each_other():
+    # An entry point's two pointer formals can be aliased by the caller;
+    # the analysis must not separate them.
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell *p, struct cell *q) {
+            p->val = 1;
+        }
+        """
+    )
+    assert pta.may_alias(e("p->val"), e("q->val"), "f")
+
+
+def test_list_walk_collapses_spine():
+    # p = p->next merges a node with its successors, so after a walk the
+    # whole spine is one object and same-field accesses may alias.
+    _, pta = analyze(
+        """
+        struct cell { int val; struct cell *next; };
+        void f(struct cell *p) {
+            struct cell *q;
+            q = p;
+            while (q != NULL) { q = q->next; }
+        }
+        """
+    )
+    assert pta.may_alias(e("q->val"), e("p->val"), "f")
+
+
+# -- arrays -------------------------------------------------------------------
+
+
+def test_array_elements_share_cell():
+    _, pta = analyze("void f(void) { int a[10]; int i, j; a[0] = 1; }")
+    assert pta.may_alias(e("a[i]"), e("a[j]"), "f")
+
+
+def test_distinct_arrays_do_not_alias():
+    _, pta = analyze("void f(void) { int a[10]; int b[10]; a[0] = 1; b[0] = 2; }")
+    assert not pta.may_alias(e("a[0]"), e("b[0]"), "f")
+
+
+def test_pointer_into_array_aliases_elements():
+    _, pta = analyze(
+        """
+        void f(void) {
+            int a[10];
+            int *p;
+            p = a;
+            *p = 1;
+        }
+        """
+    )
+    assert pta.may_alias(e("*p"), e("a[3]"), "f")
+
+
+# -- calls ---------------------------------------------------------------------
+
+
+def test_parameter_binding_propagates():
+    # Alias queries are per-procedure scope, so observe the binding through
+    # a global whose address is passed to the callee.
+    _, pta = analyze(
+        """
+        int x;
+        void g(int *q) { *q = 1; }
+        void f(void) {
+            g(&x);
+        }
+        """
+    )
+    assert pta.may_alias(e("*q"), e("x"), "g")
+
+
+def test_return_value_propagates():
+    _, pta = analyze(
+        """
+        int *pick(int *p) { return p; }
+        void f(void) {
+            int x;
+            int *r;
+            r = pick(&x);
+        }
+        """
+    )
+    assert pta.may_alias(e("*r"), e("x"), "f")
+
+
+def test_extern_call_collapses_escaped_pointers():
+    _, pta = analyze(
+        """
+        void f(void) {
+            int x;
+            int *p;
+            p = &x;
+            mystery(p);
+        }
+        """
+    )
+    # x escaped; externs may now write it through anything they return.
+    assert pta.may_point_into_external(e("x"), "f")
+
+
+def test_locals_not_escaping_stay_private():
+    _, pta = analyze(
+        """
+        void f(void) {
+            int x;
+            int y;
+            mystery(x);
+            y = 1;
+        }
+        """
+    )
+    assert not pta.may_point_into_external(e("y"), "f")
+
+
+def test_globals_vs_locals_scoping():
+    _, pta = analyze(
+        """
+        int g;
+        void f(void) { int g; g = 1; }
+        void h(void) { g = 2; }
+        """
+    )
+    # f's local g and the global g are different cells.
+    assert pta.ecr_of(e("g"), "f") != pta.ecr_of(e("g"), "h")

@@ -1,0 +1,117 @@
+"""Round-trip properties: pretty-printing then re-parsing is the identity
+(up to the first print), for expressions and whole programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import cast as C
+from repro.cfront import parse_c_program, parse_expression, parse_program
+from repro.cfront.pretty import pretty_expr, pretty_program
+
+
+_VARS = ["a", "b", "p", "q"]
+
+
+def _expr_strategy():
+    atoms = st.one_of(
+        st.sampled_from(_VARS).map(C.Id),
+        st.integers(0, 9).map(C.IntLit),
+    )
+
+    def compound(children):
+        return st.one_of(
+            st.builds(
+                C.BinOp,
+                st.sampled_from(sorted(C.BINARY_OPS)),
+                children,
+                children,
+            ),
+            st.builds(C.UnOp, st.sampled_from(["-", "!", "~"]), children),
+            st.builds(C.Deref, children),
+            children.map(lambda e: C.FieldAccess(C.Deref(e), "val")),
+            st.builds(C.Index, children, children),
+        )
+
+    return st.recursive(atoms, compound, max_leaves=10)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_expr_strategy())
+def test_expression_roundtrip(expr):
+    text = pretty_expr(expr)
+    reparsed = parse_expression(text)
+    assert reparsed == expr, (text, pretty_expr(reparsed))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expr_strategy())
+def test_pretty_is_fixpoint(expr):
+    once = pretty_expr(expr)
+    again = pretty_expr(parse_expression(once))
+    assert once == again
+
+
+PROGRAMS = [
+    """
+    struct cell { int val; struct cell *next; };
+    int g = 3;
+    int find(struct cell *p, int v) {
+        int found;
+        found = 0;
+        while (p != NULL) {
+            if (p->val == v) { found = 1; }
+            p = p->next;
+        }
+        return found;
+    }
+    """,
+    """
+    int a[10];
+    void fill(int n) {
+        int i;
+        for (i = 0; i < n; i++) { a[i] = i * i; }
+    }
+    """,
+    """
+    void control(int x) {
+        int y;
+        y = 0;
+        if (x > 0) { goto pos; }
+        y = -1;
+        goto done;
+    pos:
+        y = 1;
+    done:
+        assert(y != 0);
+    }
+    """,
+]
+
+
+def test_program_roundtrip_parsed_form():
+    # Parse (unlowered) -> print -> parse -> print must be a fixpoint.
+    for source in PROGRAMS:
+        program = parse_program(source)
+        once = pretty_program(program)
+        again = pretty_program(parse_program(once))
+        assert once == again
+
+
+def test_program_roundtrip_lowered_form():
+    # Lowered programs print to valid C-subset source that re-lowers to the
+    # same statement structure.
+    for source in PROGRAMS:
+        lowered = parse_c_program(source)
+        text = pretty_program(lowered)
+        relowered = parse_c_program(text)
+        assert lowered.statement_count() >= relowered.statement_count() - 2
+        assert set(lowered.functions) == set(relowered.functions)
+
+
+def test_printed_lowered_program_is_reparseable_for_corpus():
+    from repro.programs import all_table2_programs
+
+    for study in all_table2_programs():
+        lowered = parse_c_program(study.source, study.name)
+        text = pretty_program(lowered)
+        reparsed = parse_c_program(text)
+        assert set(reparsed.functions) == set(lowered.functions)

@@ -1,0 +1,224 @@
+"""Tests for the experiment corpus (Table 1 drivers, Table 2 programs)."""
+
+import pytest
+
+from repro.bebop import Bebop
+from repro.cfront import parse_c_program
+from repro.core import C2bp, parse_predicate_file
+from repro.programs import all_drivers, all_table2_programs, get_driver, get_program
+from repro.slam import SafetySpec, check_property
+
+
+@pytest.fixture(scope="module")
+def table2_results():
+    results = {}
+    for study in all_table2_programs():
+        program = parse_c_program(study.source, study.name)
+        predicates = parse_predicate_file(study.predicate_text, program)
+        tool = C2bp(program, predicates)
+        boolean_program = tool.run()
+        check = Bebop(boolean_program, main=study.entry).run()
+        results[study.name] = (program, predicates, tool, check)
+    return results
+
+
+def test_registry_lookup():
+    assert get_program("partition").name == "partition"
+    assert get_driver("floppy").name == "floppy"
+    with pytest.raises(KeyError):
+        get_program("nosuch")
+    with pytest.raises(KeyError):
+        get_driver("nosuch")
+
+
+def test_all_table2_programs_parse_and_abstract(table2_results):
+    assert set(table2_results) == {"kmp", "qsort", "partition", "listfind", "reverse"}
+    for name, (_, predicates, tool, _) in table2_results.items():
+        assert tool.stats.prover_calls > 0, name
+        assert len(predicates) > 0, name
+
+
+def test_partition_invariant(table2_results):
+    _, _, _, check = table2_results["partition"]
+    cubes = check.invariant_cubes("partition", label="L")
+    assert cubes
+    for cube in cubes:
+        assert cube["curr==0"] is False
+        assert cube["curr->val>v"] is True
+
+
+def test_listfind_found_invariant(table2_results):
+    _, _, _, check = table2_results["listfind"]
+    cubes = check.invariant_cubes("listfind", label="FOUND")
+    assert cubes
+    for cube in cubes:
+        assert cube["curr==0"] is False
+        assert cube["curr->val==v"] is True
+        assert cube["found==1"] is True
+
+
+def test_kmp_bounds_invariants_discharged(table2_results):
+    # The PCC loop invariants 0 <= q <= m and 0 <= k < m hold: every
+    # assert in kmp is discharged by the abstraction.
+    _, _, _, check = table2_results["kmp"]
+    assert check.assertion_failures == []
+    inv = {
+        name: value
+        for cube in check.invariant_cubes("kmp_match", label="INV_M")
+        for name, value in cube.items()
+    }
+    assert inv["q>=0"] is True and inv["q<=m"] is True
+
+
+def test_qsort_bounds_invariants_discharged(table2_results):
+    _, _, _, check = table2_results["qsort"]
+    assert check.assertion_failures == []
+    cubes = check.invariant_cubes("split", label="INV_S")
+    for cube in cubes:
+        assert cube["i>=lo"] is True
+        assert cube["j<=hi+1"] is True
+
+
+def test_reverse_runs_and_dominates_prover_calls(table2_results):
+    # The paper's qualitative claim: reverse pays for all-pairs aliasing
+    # and needs far more prover calls than the list examples.
+    _, _, reverse_tool, check = table2_results["reverse"]
+    _, _, partition_tool, _ = table2_results["partition"]
+    _, _, listfind_tool, _ = table2_results["listfind"]
+    assert reverse_tool.stats.prover_calls > 5 * partition_tool.stats.prover_calls
+    assert reverse_tool.stats.prover_calls > 5 * listfind_tool.stats.prover_calls
+    # END is reachable (the procedure terminates in the abstraction).
+    assert check.invariant_cubes("mark", label="END")
+
+
+def test_statement_counts_sane():
+    for study in all_table2_programs():
+        program = parse_c_program(study.source, study.name)
+        assert program.statement_count() >= 10, study.name
+
+
+# -- drivers -----------------------------------------------------------------
+
+LOCK = SafetySpec.lock_discipline("KeAcquireSpinLock", "KeReleaseSpinLock")
+IRP = SafetySpec.complete_exactly_once("IoCompleteRequest")
+
+
+@pytest.mark.parametrize("driver_name", [d.name for d in all_drivers()])
+def test_driver_lock_verdicts(driver_name):
+    driver = get_driver(driver_name)
+    result = check_property(driver.source, LOCK, entry=driver.entry, max_iterations=8)
+    assert result.verdict == driver.expected["lock"], driver_name
+
+
+@pytest.mark.parametrize("driver_name", [d.name for d in all_drivers()])
+def test_driver_irp_verdicts(driver_name):
+    driver = get_driver(driver_name)
+    result = check_property(driver.source, IRP, entry=driver.entry, max_iterations=8)
+    assert result.verdict == driver.expected["irp"], driver_name
+
+
+def test_floppy_bug_trace_is_concrete():
+    # The reported floppy IRP trace must be genuinely feasible: SLAM never
+    # reports spurious error paths.
+    driver = get_driver("floppy")
+    result = check_property(driver.source, IRP, entry=driver.entry, max_iterations=8)
+    assert result.verdict == "unsafe"
+    lines = result.error_trace_lines()
+    assert lines
+    # The double completion appears twice on the path.
+    completions = [line for line in lines if "IoCompleteRequest" in line]
+    assert len(completions) >= 2
+
+
+def test_driver_convergence_within_few_iterations():
+    # Section 6.1: "it usually converges in a few iterations".
+    for driver in all_drivers():
+        for spec in (LOCK, IRP):
+            result = check_property(
+                driver.source, spec, entry=driver.entry, max_iterations=8
+            )
+            assert result.iterations <= 5, (driver.name, spec.name)
+
+
+# -- the filter-driver handoff property ----------------------------------------
+
+
+def test_kbfiltr_handoff_safe():
+    driver = get_driver("kbfiltr")
+    spec = SafetySpec.complete_or_forward("IoCompleteRequest", "IoCallDriver")
+    result = check_property(driver.source, spec, entry=driver.entry, max_iterations=8)
+    assert result.verdict == driver.expected["handoff"]
+
+
+def test_kbfiltr_complete_and_forward_bug_found():
+    driver = get_driver("kbfiltr")
+    # Introduce the classic filter bug: complete locally AND forward.
+    buggy = driver.source.replace(
+        """        key_count = key_count + 1;
+        IoCompleteRequest();
+        return 0;""",
+        """        key_count = key_count + 1;
+        IoCompleteRequest();
+        status = IoCallDriver();
+        return 0;""",
+    )
+    assert buggy != driver.source
+    spec = SafetySpec.complete_or_forward("IoCompleteRequest", "IoCallDriver")
+    result = check_property(buggy, spec, entry=driver.entry, max_iterations=8)
+    assert result.verdict == "unsafe"
+
+
+def test_kbfiltr_dropped_request_bug_found():
+    driver = get_driver("kbfiltr")
+    # Neither completing nor forwarding (dropping the IRP) is also a bug:
+    # the forbidden final state catches it.
+    buggy = driver.source.replace(
+        """    /* pass through to the class driver below us */
+    status = IoCallDriver();
+    return status;""",
+        """    status = 0;
+    return status;""",
+    )
+    assert buggy != driver.source
+    spec = SafetySpec.complete_or_forward("IoCompleteRequest", "IoCallDriver")
+    result = check_property(buggy, spec, entry=driver.entry, max_iterations=8)
+    assert result.verdict == "unsafe"
+
+
+def test_toaster_lock_held_on_early_return_bug():
+    driver = get_driver("toaster")
+    # Classic bug: error path returns while still holding the spin lock.
+    buggy = driver.source.replace(
+        """    KeAcquireSpinLock();
+    if (ext->removed == 1) {
+        status = -1;
+    } else {""",
+        """    KeAcquireSpinLock();
+    if (ext->removed == 1) {
+        IoCompleteRequest();
+        return -1;
+    } else {""",
+    )
+    assert buggy != driver.source
+    result = check_property(buggy, LOCK, entry=driver.entry, max_iterations=8)
+    # Releasing is skipped, so a later acquire double-acquires... with a
+    # single-dispatch harness the violation shows as acquiring again after
+    # the dangling return is NOT observable; the next acquire happens only
+    # in another dispatch.  The property that catches this directly is a
+    # forbidden final state: still Locked at return.
+    final_spec = SafetySpec(
+        "lock-held-at-exit", ["Unlocked", "Locked"], "Unlocked",
+        final_states=["Locked"],
+    )
+    final_spec.on("Unlocked", "KeAcquireSpinLock", "Locked")
+    final_spec.on("Locked", "KeReleaseSpinLock", "Unlocked")
+    final_spec.error_on("Locked", "KeAcquireSpinLock")
+    final_spec.error_on("Unlocked", "KeReleaseSpinLock")
+    held = check_property(buggy, final_spec, entry=driver.entry, max_iterations=8)
+    assert held.verdict == "unsafe"
+    # And the correct driver passes the stronger property too.
+    clean = check_property(
+        driver.source, final_spec, entry=driver.entry, max_iterations=8
+    )
+    assert clean.verdict == "safe"
+    assert result.verdict in ("safe", "unsafe")  # documented above

@@ -1,0 +1,141 @@
+"""Property-based validation of the prover against brute-force semantics.
+
+The prover decides formulas over unbounded integers; a brute-force search
+over a small grid gives a one-sided oracle:
+
+- if the prover claims ``φ`` valid, no grid point may falsify ``φ``;
+- if some grid point satisfies a conjunction, ``is_satisfiable`` must not
+  answer UNSAT;
+- the prover must never claim both ``φ`` and ``¬φ`` valid.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import cast as C
+from repro.prover import Prover, Satisfiability
+
+_VARS = ["a", "b", "c"]
+_GRID = list(itertools.product(range(-3, 4), repeat=len(_VARS)))
+
+
+def _term_strategy():
+    atoms = st.one_of(
+        st.sampled_from(_VARS).map(C.Id),
+        st.integers(-4, 4).map(C.IntLit),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.builds(
+            C.BinOp, st.sampled_from(["+", "-", "*"]), children, children
+        ),
+        max_leaves=5,
+    )
+
+
+def _formula_strategy():
+    atom = st.builds(
+        C.BinOp,
+        st.sampled_from(["<", "<=", "==", "!=", ">", ">="]),
+        _term_strategy(),
+        _term_strategy(),
+    )
+    return st.recursive(
+        atom,
+        lambda children: st.one_of(
+            st.builds(C.BinOp, st.just("&&"), children, children),
+            st.builds(C.BinOp, st.just("||"), children, children),
+            st.builds(C.UnOp, st.just("!"), children),
+        ),
+        max_leaves=8,
+    )
+
+
+def _eval(expr, env):
+    if isinstance(expr, C.IntLit):
+        return expr.value
+    if isinstance(expr, C.Id):
+        return env[expr.name]
+    if isinstance(expr, C.UnOp):
+        value = _eval(expr.operand, env)
+        return {"-": -value, "!": int(not value)}[expr.op]
+    left, right = _eval(expr.left, env), _eval(expr.right, env)
+    return {
+        "+": left + right,
+        "-": left - right,
+        "*": left * right,
+        "<": int(left < right),
+        "<=": int(left <= right),
+        ">": int(left > right),
+        ">=": int(left >= right),
+        "==": int(left == right),
+        "!=": int(left != right),
+        "&&": int(bool(left) and bool(right)),
+        "||": int(bool(left) or bool(right)),
+    }[expr.op]
+
+
+def _grid_models(formula):
+    for point in _GRID:
+        env = dict(zip(_VARS, point))
+        if _eval(formula, env):
+            yield env
+
+
+@settings(max_examples=60, deadline=None)
+@given(_formula_strategy())
+def test_validity_claims_hold_on_grid(formula):
+    prover = Prover()
+    if prover.is_valid(formula):
+        for point in _GRID:
+            env = dict(zip(_VARS, point))
+            assert _eval(formula, env), (formula, env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_formula_strategy())
+def test_unsat_claims_hold_on_grid(formula):
+    prover = Prover()
+    verdict = prover.is_satisfiable([formula])
+    if verdict is Satisfiability.UNSAT:
+        assert next(_grid_models(formula), None) is None, formula
+
+
+@settings(max_examples=40, deadline=None)
+@given(_formula_strategy())
+def test_never_both_valid(formula):
+    prover = Prover()
+    both = prover.is_valid(formula) and prover.is_valid(C.negate(formula))
+    assert not both
+
+
+@settings(max_examples=40, deadline=None)
+@given(_formula_strategy(), _formula_strategy())
+def test_implication_transport_on_grid(antecedent, consequent):
+    prover = Prover()
+    if prover.implies([antecedent], consequent):
+        for env in _grid_models(antecedent):
+            assert _eval(consequent, env), (antecedent, consequent, env)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_formula_strategy())
+def test_linear_fragment_is_complete_for_grid_counterexamples(formula):
+    # These formulas are purely linear when no '*' joins two variables;
+    # for those, a grid counterexample must force is_valid == False.
+    def is_linear(expr):
+        if isinstance(expr, C.BinOp) and expr.op == "*":
+            sides = (expr.left, expr.right)
+            if not any(isinstance(s, C.IntLit) for s in sides):
+                return False
+        return all(is_linear(child) for child in expr.children())
+
+    if not is_linear(formula):
+        return
+    prover = Prover()
+    has_counterexample = any(
+        not _eval(formula, dict(zip(_VARS, point))) for point in _GRID
+    )
+    if has_counterexample:
+        assert not prover.is_valid(formula)

@@ -1,0 +1,237 @@
+"""Tests for the combined theory check, the DPLL(T) loop, and the Prover
+front door on C expressions — including the paper's reasoning examples."""
+
+from repro.cfront import parse_expression
+from repro.prover import Prover, Satisfiability, check_formula
+from repro.prover.terms import (
+    app,
+    c_expr_to_formula,
+    eq,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+    num,
+    var,
+)
+from repro.prover.theory import check_literals
+
+
+def e(text):
+    return parse_expression(text)
+
+
+# -- theory combination ------------------------------------------------------
+
+
+def test_theory_euf_plus_arith_conflict():
+    # x = y, f(x) <= 3, f(y) >= 5 is unsat by congruence + bounds.
+    literals = [
+        (eq(var("x"), var("y")), True),
+        (le(app("f", var("x")), num(3)), True),
+        (le(num(5), app("f", var("y"))), True),
+    ]
+    assert not check_literals(literals)
+
+
+def test_theory_arith_entails_equality_feeds_congruence():
+    # x <= y, y <= x, f(x) != f(y) must be unsat (LA forces x=y).
+    literals = [
+        (le(var("x"), var("y")), True),
+        (le(var("y"), var("x")), True),
+        (eq(app("f", var("x")), app("f", var("y"))), False),
+    ]
+    assert not check_literals(literals)
+
+
+def test_theory_disequality_split():
+    # x != y with 0 <= x <= 1 and 0 <= y <= 1 is satisfiable (x=0,y=1).
+    literals = [
+        (eq(var("x"), var("y")), False),
+        (le(num(0), var("x")), True),
+        (le(var("x"), num(1)), True),
+        (le(num(0), var("y")), True),
+        (le(var("y"), num(1)), True),
+    ]
+    assert check_literals(literals)
+
+
+def test_theory_disequality_pinched_unsat():
+    # x != y with x <= y and y <= x is unsat.
+    literals = [
+        (eq(var("x"), var("y")), False),
+        (le(var("x"), var("y")), True),
+        (le(var("y"), var("x")), True),
+    ]
+    assert not check_literals(literals)
+
+
+def test_theory_negated_le_is_strict_reverse():
+    # not(x <= y) and x <= y is unsat.
+    literals = [
+        (le(var("x"), var("y")), True),
+        (le(var("x"), var("y")), False),
+    ]
+    assert not check_literals(literals)
+
+
+# -- formula-level SMT ----------------------------------------------------------
+
+
+def test_formula_tautology_unsat_negated():
+    formula = lnot(lor(le(var("x"), num(5)), le(num(5), var("x"))))
+    assert check_formula(formula) is Satisfiability.UNSAT
+
+
+def test_formula_satisfiable_conjunction():
+    formula = land(le(var("x"), num(5)), le(num(3), var("x")))
+    assert check_formula(formula) is Satisfiability.SAT
+
+
+def test_formula_case_split_over_boolean_structure():
+    # (x <= 0 or x >= 10) and 3 <= x <= 7  -> unsat
+    formula = land(
+        lor(le(var("x"), num(0)), le(num(10), var("x"))),
+        le(num(3), var("x")),
+        le(var("x"), num(7)),
+    )
+    assert check_formula(formula) is Satisfiability.UNSAT
+
+
+def test_formula_true_false_shortcuts():
+    assert check_formula(("true",)) is Satisfiability.SAT
+    assert check_formula(("false",)) is Satisfiability.UNSAT
+
+
+def test_formula_strict_lt_through_lt_helper():
+    formula = land(lt(var("x"), num(5)), lt(num(3), var("x")))
+    assert check_formula(formula) is Satisfiability.SAT  # x = 4
+    formula = land(lt(var("x"), num(4)), lt(num(3), var("x")))
+    assert check_formula(formula) is Satisfiability.UNSAT  # no integer strictly between
+
+
+# -- Prover on C expressions ------------------------------------------------------
+
+
+def test_implies_paper_strengthening_example():
+    # (x == 2) implies (x < 4) — Section 4.1's strengthening example.
+    prover = Prover()
+    assert prover.implies([e("x == 2")], e("x < 4"))
+    assert not prover.implies([e("x == 2")], e("x > 4"))
+
+
+def test_implies_empty_antecedent_is_validity():
+    prover = Prover()
+    assert prover.is_valid(e("x == x"))
+    assert prover.is_valid(e("x < y || x >= y"))
+    assert not prover.is_valid(e("x < y"))
+
+
+def test_implies_transitive_pointers_fields():
+    # p == q implies p->val == q->val (congruence through deref+field).
+    prover = Prover()
+    assert prover.implies([e("p == q")], e("p->val == q->val"))
+    assert not prover.implies([e("p != q")], e("p->val == q->val"))
+
+
+def test_paper_section2_alias_refinement():
+    # The Section 2.2 invariant implies *prev and *curr are not aliases:
+    # curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)
+    #   implies prev != curr.
+    prover = Prover()
+    invariant = [
+        e("curr != 0"),
+        e("curr->val > v"),
+        e("prev->val <= v || prev == 0"),
+    ]
+    assert prover.implies(invariant, e("prev != curr"))
+
+
+def test_contrapositive_field_reasoning():
+    # (p->val != q->val) implies (p != q) — used in Section 2's footnote.
+    prover = Prover()
+    assert prover.implies([e("p->val != q->val")], e("p != q"))
+
+
+def test_address_constants_distinct():
+    prover = Prover()
+    assert prover.is_valid(e("&x != &y"))
+    assert prover.is_valid(e("&x != 0"))
+    assert not prover.is_valid(e("&x == &y"))
+
+
+def test_address_equality_substitution():
+    # &x == p implies *p == x ... through congruence on deref(p)=deref(&x)?
+    # We cannot prove *(&x) == x (no axiom), but p == &x && *p > 0 must be
+    # satisfiable, not contradictory.
+    prover = Prover()
+    sat = prover.is_satisfiable([e("p == &x"), e("*p > 0")])
+    assert sat is Satisfiability.SAT
+
+
+def test_boolean_values_in_integer_position():
+    # After WP of x = (a < b) into predicate (x == 1): ((a < b) == 1)
+    # must behave like (a < b).
+    prover = Prover()
+    assert prover.implies([e("a < b")], e("(a < b) == 1"))
+    assert prover.implies([e("(a < b) == 1")], e("a < b"))
+    assert prover.implies([e("(a < b) == 0")], e("a >= b"))
+
+
+def test_nonlinear_is_unknown_but_sound():
+    # x*y == y*x is true but treated as uninterpreted: must NOT be proven
+    # invalid in the unsound direction — returning False is acceptable,
+    # returning True is also fine if congruence catches it. It must not
+    # prove x*y != y*x.
+    prover = Prover()
+    assert not prover.is_valid(e("x*y != y*x"))
+
+
+def test_division_uninterpreted_but_congruent():
+    prover = Prover()
+    assert prover.implies([e("a == b")], e("a / c == b / c"))
+
+
+def test_is_satisfiable_for_path_feasibility():
+    prover = Prover()
+    assert prover.is_satisfiable([e("x > 0"), e("x < 10")]) is Satisfiability.SAT
+    assert prover.is_satisfiable([e("x > 0"), e("x < 0")]) is Satisfiability.UNSAT
+
+
+def test_cache_counts():
+    prover = Prover()
+    prover.implies([e("x == 2")], e("x < 4"))
+    before = prover.stats.calls
+    prover.implies([e("x == 2")], e("x < 4"))
+    assert prover.stats.calls == before
+    assert prover.stats.cache_hits == 1
+
+
+def test_cache_disabled():
+    prover = Prover(enable_cache=False)
+    prover.implies([e("x == 2")], e("x < 4"))
+    prover.implies([e("x == 2")], e("x < 4"))
+    assert prover.stats.calls == 2
+
+
+def test_figure2_weakest_precondition_facts():
+    # From Section 4.3: E(F_V(*p + x <= 0)) = (*p <= 0) && (x == 0): check
+    # the two directions the cube search relies on.
+    prover = Prover()
+    assert prover.implies([e("*p <= 0"), e("x == 0")], e("*p + x <= 0"))
+    assert not prover.implies([e("*p <= 0")], e("*p + x <= 0"))
+    assert not prover.implies([e("x == 0")], e("*p + x <= 0"))
+    assert prover.implies([e("*p > 0"), e("x == 0")], e("!(*p + x <= 0)"))
+
+
+def test_c_expr_to_formula_side_conditions():
+    formula, defs = c_expr_to_formula(e("x == (a < b)"))
+    # The comparison in integer position produces one definitional constraint.
+    assert len(defs) == 1
+
+
+def test_unknown_expression_distinct_occurrences():
+    # Two syntactic '*' unknowns are unconstrained and independent.
+    prover = Prover()
+    assert not prover.is_valid(e("* == *"))

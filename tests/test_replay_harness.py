@@ -1,0 +1,109 @@
+"""Meta-tests of the soundness replayer: it must *detect* deliberately
+broken abstractions, not just pass correct ones."""
+
+import pytest
+
+from repro.boolprog import BAssign, BAssume, BConst, BNot, BUnknown, BVar
+from repro.cfront import parse_c_program
+from repro.core import C2bp, parse_predicate_file
+from repro.core.replay import TraceReplayer
+
+
+def build(source, predicate_text):
+    program = parse_c_program(source)
+    predicates = parse_predicate_file(predicate_text, program)
+    tool = C2bp(program, predicates)
+    return tool, tool.run()
+
+
+def _first_assign(proc):
+    for stmt in proc.body:
+        if isinstance(stmt, BAssign):
+            return stmt
+    raise AssertionError("no assignment found")
+
+
+def test_detects_flipped_transfer_function():
+    tool, bp = build(
+        "void main(void) { int x; x = 1; x = 2; }",
+        "main\nx == 1, x == 2\n",
+    )
+    # Sabotage: make the x = 1 statement set {x==1} to FALSE.
+    assign = _first_assign(bp.procedures["main"])
+    index = assign.targets.index("x==1")
+    assign.values[index] = BConst(False)
+    report = TraceReplayer(tool, bp).run()
+    assert not report.ok
+    assert any(v.kind == "state-mismatch" for v in report.violations)
+
+
+def test_detects_wrong_assume():
+    tool, bp = build(
+        "void main(int c) { if (c > 0) { c = 1; } }",
+        "main\nc > 0\n",
+    )
+    # Sabotage: strengthen the then-branch assume to the negation.
+    def flip(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, BAssume) and stmt.cond == BVar("c>0"):
+                stmt.cond = BNot(BVar("c>0"))
+                return True
+            for sub in stmt.substatements():
+                if flip(sub):
+                    return True
+        return False
+
+    assert flip(bp.procedures["main"].body)
+    report = TraceReplayer(tool, bp, args=[5]).run()
+    assert report.blocked is not None
+
+
+def test_detects_missing_update():
+    tool, bp = build(
+        "void main(void) { int x; x = 0; x = 1; }",
+        "main\nx == 1\n",
+    )
+    # Sabotage: drop the x = 1 update entirely (replace with identity of
+    # the stale value).
+    assigns = [s for s in bp.procedures["main"].body if isinstance(s, BAssign)]
+    final = assigns[-1]
+    final.values = [BVar("x==1")]  # keeps the old (false) value
+    report = TraceReplayer(tool, bp).run()
+    assert not report.ok
+
+
+def test_unknown_everywhere_is_still_sound():
+    # Replacing every assignment with unknown() loses precision but must
+    # stay sound: the replayer accepts it (chooser supplies concrete
+    # values).
+    tool, bp = build(
+        "void main(void) { int x; x = 0; x = 1; }",
+        "main\nx == 1\n",
+    )
+    for stmt in bp.procedures["main"].body:
+        if isinstance(stmt, BAssign):
+            stmt.values = [BUnknown() for _ in stmt.values]
+    report = TraceReplayer(tool, bp).run()
+    assert report.ok
+
+
+def test_report_counts_events():
+    tool, bp = build(
+        "void main(void) { int x; x = 0; x = 1; }",
+        "main\nx == 1\n",
+    )
+    report = TraceReplayer(tool, bp).run()
+    assert report.ok
+    assert report.events_replayed >= 3  # entry + two assignments + ...
+
+
+def test_replay_with_interprocedural_calls():
+    tool, bp = build(
+        """
+        int twice(int a) { int r; r = a + a; return r; }
+        void main(void) { int y; y = twice(3); }
+        """,
+        "twice\na == 3, r == 6\n\nmain\ny == 6\n",
+    )
+    report = TraceReplayer(tool, bp).run()
+    assert report.ok, report

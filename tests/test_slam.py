@@ -1,0 +1,278 @@
+"""End-to-end tests for the SLAM toolkit: instrumentation, the CEGAR loop,
+and the classic driver-style examples (including the one that needs data
+refinement, the paper's motivating nPackets loop)."""
+
+import pytest
+
+from repro.cfront import parse_c_program
+from repro.slam import SafetySpec, check_property, instrument_program
+from repro.slam.instrument import STATE_VAR, stub_name
+
+
+LOCK_SPEC = SafetySpec.lock_discipline("KeAcquireSpinLock", "KeReleaseSpinLock")
+
+
+# -- instrumentation ---------------------------------------------------------
+
+
+def test_instrumentation_adds_state_and_stubs():
+    program = parse_c_program(
+        "void main(void) { KeAcquireSpinLock(); KeReleaseSpinLock(); }"
+    )
+    instrument_program(program, LOCK_SPEC)
+    assert program.lookup_global(STATE_VAR) is not None
+    assert STATE_VAR in program.protected_globals
+    assert stub_name("KeAcquireSpinLock") in program.functions
+    assert program.functions[stub_name("KeAcquireSpinLock")].is_defined
+
+
+def test_instrumentation_rewrites_extern_calls():
+    program = parse_c_program("void main(void) { KeAcquireSpinLock(); }")
+    instrument_program(program, LOCK_SPEC)
+    from repro.cfront import cast as C
+
+    calls = [s for s in program.functions["main"].body if isinstance(s, C.CallStmt)]
+    assert any(c.name == stub_name("KeAcquireSpinLock") for c in calls)
+    assert not any(c.name == "KeAcquireSpinLock" for c in calls)
+
+
+def test_instrumentation_keeps_defined_calls():
+    program = parse_c_program(
+        """
+        void KeAcquireSpinLock(void) { }
+        void main(void) { KeAcquireSpinLock(); }
+        """
+    )
+    instrument_program(program, LOCK_SPEC)
+    from repro.cfront import cast as C
+
+    calls = [s for s in program.functions["main"].body if isinstance(s, C.CallStmt)]
+    names = [c.name for c in calls]
+    assert stub_name("KeAcquireSpinLock") in names
+    assert "KeAcquireSpinLock" in names
+
+
+def test_double_instrumentation_rejected():
+    program = parse_c_program("void main(void) { }")
+    instrument_program(program, LOCK_SPEC)
+    with pytest.raises(ValueError):
+        instrument_program(program, LOCK_SPEC)
+
+
+# -- straightforward verdicts ---------------------------------------------------
+
+
+def test_balanced_locking_is_safe():
+    result = check_property(
+        """
+        void main(void) {
+            KeAcquireSpinLock();
+            KeReleaseSpinLock();
+            KeAcquireSpinLock();
+            KeReleaseSpinLock();
+        }
+        """,
+        LOCK_SPEC,
+    )
+    assert result.verdict == "safe"
+
+
+def test_double_acquire_is_unsafe():
+    result = check_property(
+        """
+        void main(void) {
+            KeAcquireSpinLock();
+            KeAcquireSpinLock();
+        }
+        """,
+        LOCK_SPEC,
+    )
+    assert result.verdict == "unsafe"
+    assert result.error_trace_lines()
+
+
+def test_release_without_acquire_is_unsafe():
+    result = check_property(
+        "void main(void) { KeReleaseSpinLock(); }", LOCK_SPEC
+    )
+    assert result.verdict == "unsafe"
+
+
+def test_conditional_double_release_unsafe():
+    result = check_property(
+        """
+        void main(void) {
+            int c;
+            c = *;
+            KeAcquireSpinLock();
+            if (c > 0) {
+                KeReleaseSpinLock();
+            }
+            KeReleaseSpinLock();
+        }
+        """,
+        LOCK_SPEC,
+    )
+    assert result.verdict == "unsafe"
+
+
+def test_branch_balanced_locking_safe():
+    result = check_property(
+        """
+        void main(void) {
+            int c;
+            c = *;
+            KeAcquireSpinLock();
+            if (c > 0) {
+                KeReleaseSpinLock();
+            } else {
+                KeReleaseSpinLock();
+            }
+        }
+        """,
+        LOCK_SPEC,
+    )
+    assert result.verdict == "safe"
+
+
+def test_loop_balanced_locking_safe():
+    result = check_property(
+        """
+        void main(void) {
+            int i;
+            i = 0;
+            while (i < 3) {
+                KeAcquireSpinLock();
+                KeReleaseSpinLock();
+                i = i + 1;
+            }
+        }
+        """,
+        LOCK_SPEC,
+    )
+    assert result.verdict == "safe"
+
+
+def test_locking_through_helper_procedures():
+    result = check_property(
+        """
+        void enter(void) { KeAcquireSpinLock(); }
+        void leave(void) { KeReleaseSpinLock(); }
+        void main(void) {
+            enter();
+            leave();
+            enter();
+            leave();
+        }
+        """,
+        LOCK_SPEC,
+    )
+    assert result.verdict == "safe"
+
+
+def test_helper_double_acquire_unsafe():
+    result = check_property(
+        """
+        void enter(void) { KeAcquireSpinLock(); }
+        void main(void) {
+            enter();
+            enter();
+        }
+        """,
+        LOCK_SPEC,
+    )
+    assert result.verdict == "unsafe"
+
+
+# -- refinement-requiring example (the classic SLAM loop) ----------------------------
+
+
+NPACKETS_LOOP = """
+void main(void) {
+    int nPackets, nPacketsOld, request;
+    nPackets = 0;
+    do {
+        KeAcquireSpinLock();
+        nPacketsOld = nPackets;
+        request = *;
+        if (request > 0) {
+            KeReleaseSpinLock();
+            nPackets = nPackets + 1;
+        }
+    } while (nPackets != nPacketsOld);
+    KeReleaseSpinLock();
+}
+"""
+
+
+def test_npackets_loop_needs_refinement_and_validates():
+    result = check_property(NPACKETS_LOOP, LOCK_SPEC, max_iterations=8)
+    assert result.verdict == "safe"
+    # The initial state-only abstraction cannot prove it: the loop-exit
+    # condition correlates with whether the lock was released.
+    assert result.iterations >= 2
+    names = {p.name for p in result.predicates.all_predicates()}
+    assert any("nPackets" in name for name in names)
+
+
+def test_npackets_loop_with_bug_found():
+    buggy = NPACKETS_LOOP.replace(
+        "KeReleaseSpinLock();\n            nPackets = nPackets + 1;",
+        "nPackets = nPackets + 1;",
+    )
+    # Removing the release means the final release can double-release only
+    # if... actually the bug here is double-ACQUIRE on the next iteration.
+    result = check_property(buggy, LOCK_SPEC, max_iterations=8)
+    assert result.verdict == "unsafe"
+
+
+# -- IRP-style property -----------------------------------------------------------
+
+
+def test_irp_double_completion_unsafe():
+    spec = SafetySpec.complete_exactly_once("IoCompleteRequest")
+    result = check_property(
+        """
+        void main(void) {
+            int status;
+            status = IoCompleteRequest();
+            status = IoCompleteRequest();
+        }
+        """,
+        spec,
+    )
+    assert result.verdict == "unsafe"
+
+
+def test_irp_single_completion_safe():
+    spec = SafetySpec.complete_exactly_once("IoCompleteRequest")
+    result = check_property(
+        """
+        void main(void) {
+            int status;
+            status = IoCompleteRequest();
+        }
+        """,
+        spec,
+    )
+    assert result.verdict == "safe"
+
+
+def test_irp_must_complete_before_return():
+    spec = SafetySpec.must_complete_before_return("IoCompleteRequest")
+    result = check_property(
+        """
+        void main(int fast) {
+            if (fast > 0) {
+                IoCompleteRequest();
+            }
+        }
+        """,
+        spec,
+    )
+    # The fast == 0 path returns without completing: a genuine violation.
+    assert result.verdict == "unsafe"
+    fixed = check_property(
+        "void main(void) { IoCompleteRequest(); }", spec
+    )
+    assert fixed.verdict == "safe"

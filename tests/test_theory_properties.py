@@ -1,0 +1,142 @@
+"""Property-based validation of the theory solvers against ground truth.
+
+- Congruence closure vs. brute-force: interpret every variable and unary
+  function symbol over a small finite domain; if some interpretation
+  satisfies the asserted (dis)equalities, the closure must be consistent.
+- Linear arithmetic vs. brute force: if a conjunction of constraints has an
+  integer solution on a small grid, Fourier-Motzkin must answer SAT.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prover.euf import CongruenceClosure
+from repro.prover.linarith import LinearSolver
+from repro.prover.terms import app, num, var
+
+# -- EUF vs brute force ----------------------------------------------------------
+
+_EUF_VARS = ["x", "y", "z"]
+_EUF_FUNCS = ["f", "g"]
+_DOMAIN = (0, 1, 2)
+
+
+def _terms_upto_depth2():
+    terms = [var(v) for v in _EUF_VARS]
+    depth1 = [app(f, t) for f in _EUF_FUNCS for t in terms]
+    return terms + depth1
+
+
+def _interpret(term, env, tables):
+    if term[0] == "var":
+        return env[term[1]]
+    symbol, (arg,) = term[1], term[2]
+    return tables[symbol][_interpret(arg, env, tables)]
+
+
+def _satisfiable_bruteforce(equalities, disequalities):
+    for values in itertools.product(_DOMAIN, repeat=len(_EUF_VARS)):
+        env = dict(zip(_EUF_VARS, values))
+        for f_table in itertools.product(_DOMAIN, repeat=len(_DOMAIN)):
+            for g_table in itertools.product(_DOMAIN, repeat=len(_DOMAIN)):
+                tables = {"f": f_table, "g": g_table}
+                ok = all(
+                    _interpret(a, env, tables) == _interpret(b, env, tables)
+                    for a, b in equalities
+                ) and all(
+                    _interpret(a, env, tables) != _interpret(b, env, tables)
+                    for a, b in disequalities
+                )
+                if ok:
+                    return True
+    return False
+
+
+@st.composite
+def euf_problems(draw):
+    pool = _terms_upto_depth2()
+    pairs = st.tuples(st.sampled_from(pool), st.sampled_from(pool))
+    equalities = draw(st.lists(pairs, min_size=0, max_size=4))
+    disequalities = draw(st.lists(pairs, min_size=0, max_size=3))
+    return equalities, disequalities
+
+
+@settings(max_examples=50, deadline=None)
+@given(euf_problems())
+def test_euf_agrees_with_bruteforce(problem):
+    equalities, disequalities = problem
+    cc = CongruenceClosure()
+    consistent = True
+    for a, b in equalities:
+        consistent = cc.merge(a, b) and consistent
+    for a, b in disequalities:
+        consistent = cc.add_disequality(a, b) and consistent
+    brute = _satisfiable_bruteforce(equalities, disequalities)
+    if brute:
+        # Satisfiable over the domain => the closure must not conflict.
+        assert consistent
+    # (The converse is not exact: a 3-element domain may be too small for
+    #  some consistent problems, so we only check the sound direction.)
+
+
+def test_euf_conflict_matches_bruteforce_on_forced_case():
+    # x = y, f(x) != f(y): unsatisfiable over every domain.
+    cc = CongruenceClosure()
+    cc.merge(var("x"), var("y"))
+    ok = cc.add_disequality(app("f", var("x")), app("f", var("y")))
+    assert not ok
+    assert not _satisfiable_bruteforce(
+        [(var("x"), var("y"))],
+        [(app("f", var("x")), app("f", var("y")))],
+    )
+
+
+# -- linear arithmetic vs brute force ------------------------------------------------
+
+_LIN_VARS = ["a", "b"]
+_GRID = list(itertools.product(range(-4, 5), repeat=len(_LIN_VARS)))
+
+
+@st.composite
+def linear_constraints(draw):
+    constraints = []
+    for _ in range(draw(st.integers(1, 5))):
+        coeffs = [draw(st.integers(-3, 3)) for _ in _LIN_VARS]
+        const = draw(st.integers(-6, 6))
+        constraints.append((coeffs, const))
+    return constraints
+
+
+def _holds(constraints, point):
+    for coeffs, const in constraints:
+        total = sum(c * x for c, x in zip(coeffs, point)) + const
+        if total > 0:  # constraint is expr <= 0
+            return False
+    return True
+
+
+@settings(max_examples=100, deadline=None)
+@given(linear_constraints())
+def test_linarith_sat_whenever_grid_point_exists(constraints):
+    solver = LinearSolver()
+    for coeffs, const in constraints:
+        expr_term = num(const)
+        for coef, name in zip(coeffs, _LIN_VARS):
+            expr_term = app("+", expr_term, app("*", num(coef), var(name)))
+        solver.assert_le_terms(expr_term, num(0))
+    if any(_holds(constraints, point) for point in _GRID):
+        assert solver.check()
+
+
+@settings(max_examples=100, deadline=None)
+@given(linear_constraints())
+def test_linarith_unsat_implies_no_grid_point(constraints):
+    solver = LinearSolver()
+    for coeffs, const in constraints:
+        expr_term = num(const)
+        for coef, name in zip(coeffs, _LIN_VARS):
+            expr_term = app("+", expr_term, app("*", num(coef), var(name)))
+        solver.assert_le_terms(expr_term, num(0))
+    if not solver.check():
+        assert not any(_holds(constraints, point) for point in _GRID)
