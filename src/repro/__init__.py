@@ -15,6 +15,8 @@ The package implements the paper's full toolchain:
 - **Bebop**, the boolean-program model checker (:mod:`repro.bebop`);
 - **Newton**, predicate discovery from spurious paths (:mod:`repro.newton`);
 - the **SLAM** toolkit for temporal safety properties (:mod:`repro.slam`);
+- the unified engine spine — context, events, stats, prover backends
+  (:mod:`repro.engine`);
 - the experiment corpus (:mod:`repro.programs`).
 
 Typical use::
@@ -50,6 +52,7 @@ from repro.core import (
     parse_predicate_file,
 )
 from repro.core.replay import TraceReplayer
+from repro.engine import EngineContext, EventBus, StatsRegistry
 from repro.newton import analyze_path, path_from_boolean_steps
 from repro.slam import SafetySpec, SlamToolkit, cegar_loop, check_property
 
@@ -59,6 +62,8 @@ __all__ = [
     "Bebop",
     "C2bp",
     "C2bpOptions",
+    "EngineContext",
+    "EventBus",
     "ExplicitEngine",
     "PointsToAnalysis",
     "Predicate",
@@ -67,6 +72,7 @@ __all__ = [
     "SafetySpec",
     "Satisfiability",
     "SlamToolkit",
+    "StatsRegistry",
     "TraceReplayer",
     "abstract_program",
     "analyze_path",

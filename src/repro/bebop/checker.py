@@ -109,11 +109,12 @@ class BebopResult:
 class Bebop:
     """One model-checking run over a boolean program."""
 
-    def __init__(self, program, main="main"):
+    def __init__(self, program, main="main", context=None):
         if main not in program.procedures:
             raise BebopError("boolean program has no %r procedure" % main)
         self.program = program
         self.main = main
+        self.context = context
         self.manager = BddManager()
         self.graphs = {
             name: build_bool_graph(proc) for name, proc in program.procedures.items()
@@ -199,6 +200,14 @@ class Bebop:
     # -- the fixpoint -----------------------------------------------------------
 
     def run(self):
+        if self.context is not None:
+            with self.context.phase("bebop"):
+                result = self._run()
+            self.context.stats.register("bebop", result.statistics)
+            return result
+        return self._run()
+
+    def _run(self):
         m = self.manager
         # Seed main: identity between entry bank and current values, all
         # contexts allowed (initial values are unconstrained).

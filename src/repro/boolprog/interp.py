@@ -48,12 +48,16 @@ class BoolProgramInterpreter:
         max_steps=200_000,
         stop_on_assert=True,
         listener=None,
+        on_enter=None,
+        on_exit=None,
     ):
         self.program = program
         self.chooser = chooser or RandomChooser()
         self.max_steps = max_steps
         self.stop_on_assert = stop_on_assert
         self.listener = listener
+        self.on_enter = on_enter
+        self.on_exit = on_exit
         self.assert_failures = []
         self._steps = 0
         self.globals = {}
@@ -110,11 +114,17 @@ class BoolProgramInterpreter:
             raise BoolInterpError("call to undefined procedure %r" % name)
         if len(args) != len(proc.formals):
             raise BoolInterpError("arity mismatch calling %r" % name)
-        env = dict(zip(proc.formals, args))
-        for local in proc.locals:
-            env[local] = self.chooser.choose(None, ("local", name, local))
-        self._check_enforce(proc, env)
-        outcome = self._run_slice(proc, proc.body, 0, env)
+        if self.on_enter is not None:
+            self.on_enter(name)
+        try:
+            env = dict(zip(proc.formals, args))
+            for local in proc.locals:
+                env[local] = self.chooser.choose(None, ("local", name, local))
+            self._check_enforce(proc, env)
+            outcome = self._run_slice(proc, proc.body, 0, env)
+        finally:
+            if self.on_exit is not None:
+                self.on_exit(name)
         if isinstance(outcome, _Return):
             return outcome.values
         if proc.returns:

@@ -14,6 +14,10 @@ Examples::
     python -m repro check partition.c partition.preds --entry partition --label L
     python -m repro slam driver.c --lock KeAcquireSpinLock KeReleaseSpinLock
     python -m repro bebop program.bp --entry main
+
+Every subcommand accepts ``--stats-json PATH`` (the unified
+:class:`repro.engine.StatsRegistry` snapshot) and ``--trace-json PATH``
+(the recorded event stream) for offline analysis.
 """
 
 import argparse
@@ -24,6 +28,7 @@ from repro.boolprog import parse_bool_program, print_bool_program
 from repro.cfront import parse_c_program
 from repro.core import C2bp, C2bpOptions, parse_predicate_file
 from repro.core.replay import TraceReplayer
+from repro.engine import EngineContext
 from repro.slam import SafetySpec, check_property
 
 
@@ -33,6 +38,7 @@ def _read(path):
 
 
 def _add_option_flags(parser):
+    """One CLI flag per :class:`C2bpOptions` knob (ablation switches)."""
     parser.add_argument(
         "--max-cube-length",
         type=int,
@@ -43,15 +49,41 @@ def _add_option_flags(parser):
         "--no-cone", action="store_true", help="disable the cone of influence"
     )
     parser.add_argument(
-        "--no-alias", action="store_true", help="ignore the points-to analysis"
+        "--no-skip-unchanged",
+        action="store_true",
+        help="translate assignments even when the WP is syntactically unchanged",
     )
     parser.add_argument(
-        "--no-enforce", action="store_true", help="skip the enforce invariant"
+        "--no-syntactic-heuristics",
+        action="store_true",
+        help="disable the syntactic F/G shortcuts (always call the prover)",
+    )
+    parser.add_argument(
+        "--no-prover-cache",
+        action="store_true",
+        help="disable theorem prover query caching",
     )
     parser.add_argument(
         "--distribute-f",
         action="store_true",
         help="distribute F through && and || (faster, may lose precision)",
+    )
+    parser.add_argument(
+        "--no-enforce", action="store_true", help="skip the enforce invariant"
+    )
+    parser.add_argument(
+        "--enforce-cube-length",
+        type=int,
+        default=3,
+        help="cube length bound for the enforce computation (default 3)",
+    )
+    parser.add_argument(
+        "--no-alias", action="store_true", help="ignore the points-to analysis"
+    )
+    parser.add_argument(
+        "--no-invalidate-derefs",
+        action="store_true",
+        help="keep (rather than invalidate) predicates whose WP dereferences a constant",
     )
 
 
@@ -59,31 +91,63 @@ def _options_from(args):
     return C2bpOptions(
         max_cube_length=(args.max_cube_length or None),
         cone_of_influence=not args.no_cone,
-        use_alias_analysis=not args.no_alias,
-        compute_enforce=not args.no_enforce,
+        skip_unchanged=not args.no_skip_unchanged,
+        syntactic_heuristics=not args.no_syntactic_heuristics,
+        cache_prover=not args.no_prover_cache,
         distribute_f=args.distribute_f,
+        compute_enforce=not args.no_enforce,
+        enforce_cube_length=args.enforce_cube_length,
+        use_alias_analysis=not args.no_alias,
+        invalidate_constant_derefs=not args.no_invalidate_derefs,
     )
+
+
+def _add_instrument_flags(parser):
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write the unified stats registry snapshot to PATH as JSON",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write the recorded engine event stream to PATH as JSON",
+    )
+
+
+def _write_instrumentation(args, context):
+    if getattr(args, "stats_json", None):
+        with open(args.stats_json, "w") as handle:
+            handle.write(context.stats.to_json())
+            handle.write("\n")
+    if getattr(args, "trace_json", None):
+        with open(args.trace_json, "w") as handle:
+            handle.write(context.events.to_json())
+            handle.write("\n")
 
 
 def _abstract(args, out):
     program = parse_c_program(_read(args.program), name=args.program)
     predicates = parse_predicate_file(_read(args.predicates), program)
-    tool = C2bp(program, predicates, options=_options_from(args))
+    context = EngineContext(options=_options_from(args))
+    tool = C2bp(program, predicates, context=context)
     boolean_program = tool.run()
     out.write(print_bool_program(boolean_program))
     out.write(
         "\n// %d predicates, %d theorem prover calls, %.2fs\n"
         % (len(predicates), tool.stats.prover_calls, tool.stats.seconds)
     )
+    _write_instrumentation(args, context)
     return 0
 
 
 def _check(args, out):
     program = parse_c_program(_read(args.program), name=args.program)
     predicates = parse_predicate_file(_read(args.predicates), program)
-    tool = C2bp(program, predicates, options=_options_from(args))
+    context = EngineContext(options=_options_from(args))
+    tool = C2bp(program, predicates, context=context)
     boolean_program = tool.run()
-    result = Bebop(boolean_program, main=args.entry).run()
+    result = Bebop(boolean_program, main=args.entry, context=context).run()
     if args.label:
         for label in args.label:
             proc, _, name = label.rpartition(":")
@@ -95,8 +159,10 @@ def _check(args, out):
         out.write("%d assert(s) not discharged:\n" % len(result.assertion_failures))
         for proc, node, _ in result.assertion_failures:
             out.write("  %s: %s\n" % (proc, node.stmt.comment or "assert"))
+        _write_instrumentation(args, context)
         return 1
     out.write("all asserts discharged.\n")
+    _write_instrumentation(args, context)
     return 0
 
 
@@ -109,32 +175,49 @@ def _slam(args, out):
     else:
         out.write("error: choose a property (--lock A R | --complete-once F)\n")
         return 2
+    context = EngineContext(options=_options_from(args))
     result = check_property(
         _read(args.program),
         spec,
         entry=args.entry,
         max_iterations=args.max_iterations,
+        context=context,
     )
     out.write(
         "verdict: %s (after %d iteration(s), %d predicates)\n"
         % (result.verdict, result.iterations, len(result.predicates))
     )
+    for record in result.cegar.iteration_stats:
+        out.write(
+            "  iteration %d: %d predicates, %d prover calls"
+            " (%d of %d queries answered from cache)\n"
+            % (
+                record.iteration,
+                record.predicates,
+                record.prover_calls,
+                record.cache_hits,
+                record.prover_queries,
+            )
+        )
     if result.verdict == "unsafe":
         out.write("error trace:\n")
         for line in result.error_trace_lines():
             out.write("  %s\n" % line)
+    _write_instrumentation(args, context)
     return 0 if result.verdict == "safe" else 1
 
 
 def _replay(args, out):
     program = parse_c_program(_read(args.program), name=args.program)
     predicates = parse_predicate_file(_read(args.predicates), program)
-    tool = C2bp(program, predicates, options=_options_from(args))
+    context = EngineContext(options=_options_from(args))
+    tool = C2bp(program, predicates, context=context)
     boolean_program = tool.run()
     report = TraceReplayer(
         tool, boolean_program, entry=args.entry, args=[int(a) for a in args.args]
     ).run()
     out.write("replayed %d events\n" % report.events_replayed)
+    _write_instrumentation(args, context)
     if report.ok:
         out.write("trace replays soundly in BP(P, E).\n")
         return 0
@@ -147,7 +230,8 @@ def _replay(args, out):
 
 def _bebop(args, out):
     boolean_program = parse_bool_program(_read(args.program))
-    result = Bebop(boolean_program, main=args.entry).run()
+    context = EngineContext()
+    result = Bebop(boolean_program, main=args.entry, context=context).run()
     if args.label:
         for name in args.label:
             proc, _, label = name.rpartition(":")
@@ -155,6 +239,7 @@ def _bebop(args, out):
             out.write(
                 "%s/%s: %s\n" % (proc, label, result.invariant_string(proc, label=label))
             )
+    _write_instrumentation(args, context)
     if result.error_reached:
         out.write("assertion failure reachable.\n")
         return 1
@@ -173,6 +258,7 @@ def build_parser():
     p_abstract.add_argument("program", help="C source file")
     p_abstract.add_argument("predicates", help="predicate input file")
     _add_option_flags(p_abstract)
+    _add_instrument_flags(p_abstract)
     p_abstract.set_defaults(func=_abstract)
 
     p_check = sub.add_parser("check", help="abstract + model check")
@@ -185,6 +271,7 @@ def build_parser():
         help="print the invariant at LABEL (or PROC:LABEL); repeatable",
     )
     _add_option_flags(p_check)
+    _add_instrument_flags(p_check)
     p_check.set_defaults(func=_check)
 
     p_slam = sub.add_parser("slam", help="check a temporal safety property")
@@ -202,6 +289,8 @@ def build_parser():
         help="FUNC must not be called twice (IRP-style completion)",
     )
     p_slam.add_argument("--max-iterations", type=int, default=10)
+    _add_option_flags(p_slam)
+    _add_instrument_flags(p_slam)
     p_slam.set_defaults(func=_slam)
 
     p_replay = sub.add_parser("replay", help="soundness trace replay")
@@ -210,12 +299,14 @@ def build_parser():
     p_replay.add_argument("--entry", default="main")
     p_replay.add_argument("--args", nargs="*", default=[], help="integer arguments")
     _add_option_flags(p_replay)
+    _add_instrument_flags(p_replay)
     p_replay.set_defaults(func=_replay)
 
     p_bebop = sub.add_parser("bebop", help="model check a boolean program (.bp)")
     p_bebop.add_argument("program", help="boolean program file")
     p_bebop.add_argument("--entry", default="main")
     p_bebop.add_argument("--label", action="append")
+    _add_instrument_flags(p_bebop)
     p_bebop.set_defaults(func=_bebop)
 
     return parser

@@ -22,12 +22,11 @@ from repro.cfront.exprutils import locations, variables
 from repro.cfront.pretty import pretty_expr, pretty_stmt
 from repro.boolprog import ast as B
 from repro.pointers import PointsToAnalysis
-from repro.prover import Prover
 from repro.core.calls import abstract_call
 from repro.core.cubes import CubeSearch
-from repro.core.options import C2bpOptions
 from repro.core.signatures import compute_signatures
 from repro.core.stats import C2bpStats, Timer
+from repro.engine import EngineContext
 
 
 class C2bpError(Exception):
@@ -50,36 +49,53 @@ def _has_constant_deref(expr):
 class C2bp:
     """One abstraction run: ``BP(P, E)`` plus statistics."""
 
-    def __init__(self, program, predicates, options=None, prover=None, points_to=None):
+    def __init__(
+        self,
+        program,
+        predicates,
+        options=None,
+        prover=None,
+        points_to=None,
+        context=None,
+    ):
+        self.context = EngineContext.ensure(context, options=options, prover=prover)
         self.program = program
         self.predicates = predicates
-        self.options = options or C2bpOptions()
-        self.prover = prover or Prover(enable_cache=self.options.cache_prover)
+        self.options = self.context.options
+        self.prover = self.context.prover
         self.points_to = points_to or PointsToAnalysis(program)
-        self.search = CubeSearch(self.prover, self.options)
+        self.search = CubeSearch(self.prover, self.options, events=self.context.events)
         self.signatures = compute_signatures(program, predicates)
         self.stats = C2bpStats()
+        self.context.stats.register("c2bp", self.stats)
         # (procedure name, temp name) -> meaning expression E(t) for the
         # call-site temporaries of Section 4.5.3 (used by trace replay).
         self.temp_meanings = {}
 
     def run(self):
         """Build and return the boolean program ``BP(P, E)``."""
-        with Timer(self.stats):
+        started_calls = self.prover.stats.calls
+        started_queries = self.prover.stats.queries
+        started_hits = self.prover.stats.cache_hits
+        with self.context.phase("c2bp"), Timer(self.stats):
             boolean_program = B.BProgram()
             boolean_program.globals = [p.name for p in self.predicates.globals]
             for func in self.program.defined_functions():
                 before = self.prover.stats.calls
                 procedure = _ProcedureAbstractor(self, func).abstract()
                 boolean_program.add_procedure(procedure)
-                self.stats.per_procedure[func.name] = (
-                    self.prover.stats.calls - before
+                delta = self.prover.stats.calls - before
+                self.stats.per_procedure[func.name] = delta
+                self.context.events.emit(
+                    "c2bp-procedure", procedure=func.name, prover_calls=delta
                 )
             self.stats.program_statements = self.program.statement_count()
             self.stats.predicate_count = len(self.predicates)
-            self.stats.prover_calls = self.prover.stats.calls
-            self.stats.prover_queries = self.prover.stats.queries
-            self.stats.prover_cache_hits = self.prover.stats.cache_hits
+            self.stats.prover_calls = self.prover.stats.calls - started_calls
+            self.stats.prover_queries = self.prover.stats.queries - started_queries
+            self.stats.prover_cache_hits = (
+                self.prover.stats.cache_hits - started_hits
+            )
         return boolean_program
 
     def may_alias(self, func_name):
@@ -335,8 +351,8 @@ class _ProcedureAbstractor:
         )
 
 
-def abstract_program(program, predicates, options=None, prover=None):
+def abstract_program(program, predicates, options=None, prover=None, context=None):
     """Convenience wrapper: run C2bp and return (boolean program, stats)."""
-    tool = C2bp(program, predicates, options=options, prover=prover)
+    tool = C2bp(program, predicates, options=options, prover=prover, context=context)
     boolean_program = tool.run()
     return boolean_program, tool.stats

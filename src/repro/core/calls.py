@@ -80,6 +80,10 @@ def abstract_call(proc_abs, stmt):
             return_var=signature.return_var,
             result_lvalue=stmt.lhs,
         )
+        if meaning is not None and _call_clobbers_actuals(
+            proc_abs, stmt, predicate.expr, formals
+        ):
+            meaning = None
         temps.append(TempPredicate(name, meaning))
         parent.temp_meanings[(proc_abs.func.name, name)] = meaning
     call_stmt = B.BCall([t.name for t in temps], stmt.name, args)
@@ -105,6 +109,38 @@ def abstract_call(proc_abs, stmt):
         update.comment = "update after " + comment
         out.append(update)
     return out
+
+
+def _call_clobbers_actuals(proc_abs, stmt, predicate_expr, formals):
+    """Whether the call may change the value of an actual substituted into
+    a temp meaning ``e[v/r, a/f]``.
+
+    The actuals were evaluated *before* the call, but the meaning is read
+    in the post-call state — e.g. for ``a = helper(a - 1)`` the translated
+    ``p < h`` would become ``a - 1 < a`` and read the freshly assigned
+    ``a``.  When the call can modify an actual (through the result lvalue,
+    an alias, a cell reachable from an argument, or a global) the meaning
+    is undefined and the temporary must not constrain the cube search.
+    """
+    parent = proc_abs.parent
+    pta = parent.points_to
+    func_name = proc_abs.func.name
+    used = variables(predicate_expr)
+    global_names = set(parent.program.global_names())
+    reachable = pta.reachable_from_values(stmt.args, func_name)
+    for formal, actual in zip(formals, stmt.args):
+        if formal not in used:
+            continue
+        actual_vars = variables(actual)
+        if actual_vars & global_names:
+            return True  # a defined callee may write any global
+        actual_locations = set(locations(actual)) | {C.Id(v) for v in actual_vars}
+        for loc in actual_locations:
+            if stmt.lhs is not None and pta.may_alias(loc, stmt.lhs, func_name):
+                return True
+            if pta.location_in(loc, reachable, func_name):
+                return True
+    return False
 
 
 def _abstract_extern_call(proc_abs, stmt, comment):

@@ -34,14 +34,58 @@ class Cube(tuple):
         return set(other).issubset(set(self))
 
 
+_KEEP = "keep"
+_PRUNE = "prune"
+
+
 class CubeSearch:
     """Shared machinery for F/G computations against one prover."""
 
-    def __init__(self, prover, options):
+    def __init__(self, prover, options, events=None):
         self.prover = prover
         self.options = options
+        self.events = events
 
     # -- core search -----------------------------------------------------------
+
+    def _search_cubes(self, candidates, limit, classify):
+        """The shared pruning enumeration behind :meth:`implicant_cubes`
+        and :meth:`inconsistent_cubes`.
+
+        Cubes are enumerated in increasing length; any cube containing an
+        already-kept or already-pruned cube is skipped, so the result is
+        minimal (prime) cubes only.  ``classify(cube)`` returns ``_KEEP``
+        (collect, prune supersets), ``_PRUNE`` (prune supersets only), or
+        ``None`` (undecided — supersets stay eligible).
+        """
+        if limit is None or limit > len(candidates):
+            limit = len(candidates)
+        kept = []
+        pruned = []
+        for length in range(1, limit + 1):
+            for var_indices in itertools.combinations(range(len(candidates)), length):
+                for polarities in itertools.product([True, False], repeat=length):
+                    cube = Cube(zip(var_indices, polarities))
+                    if any(cube.contains(found) for found in kept):
+                        continue
+                    if any(cube.contains(bad) for bad in pruned):
+                        continue
+                    verdict = classify(cube)
+                    if verdict == _KEEP:
+                        kept.append(cube)
+                    elif verdict == _PRUNE:
+                        pruned.append(cube)
+        return kept
+
+    def _cube_query(self, candidates, cube, goal, purpose):
+        """One prover query on a cube's concretization, reported as a
+        ``cube-test`` event."""
+        result = self.prover.implies(self._cube_exprs(candidates, cube), goal)
+        if self.events is not None:
+            self.events.emit(
+                "cube-test", purpose=purpose, cube_size=len(cube), result=result
+            )
+        return result
 
     def implicant_cubes(self, candidates, phi, max_length=None):
         """All prime implicant cubes c over ``candidates`` with E(c) => φ.
@@ -64,25 +108,16 @@ class CubeSearch:
         limit = max_length
         if limit is None:
             limit = self.options.max_cube_length
-        if limit is None or limit > len(candidates):
-            limit = len(candidates)
         not_phi = C.negate(phi)
-        implicants = []
-        refuted = []
-        for length in range(1, limit + 1):
-            for var_indices in itertools.combinations(range(len(candidates)), length):
-                for polarities in itertools.product([True, False], repeat=length):
-                    cube = Cube(zip(var_indices, polarities))
-                    if any(cube.contains(found) for found in implicants):
-                        continue
-                    if any(cube.contains(bad) for bad in refuted):
-                        continue
-                    antecedents = self._cube_exprs(candidates, cube)
-                    if self.prover.implies(antecedents, phi):
-                        implicants.append(cube)
-                    elif self.prover.implies(antecedents, not_phi):
-                        refuted.append(cube)
-        return implicants
+
+        def classify(cube):
+            if self._cube_query(candidates, cube, phi, "implicant"):
+                return _KEEP
+            if self._cube_query(candidates, cube, not_phi, "refute"):
+                return _PRUNE
+            return None
+
+        return self._search_cubes(candidates, limit, classify)
 
     def _syntactic_shortcut(self, candidates, phi):
         for index, candidate in enumerate(candidates):
@@ -142,18 +177,13 @@ class CubeSearch:
         ``F_V(false)`` computation, done directly (the constant-folding
         shortcuts of :meth:`implicant_cubes` would collapse it)."""
         false = C.IntLit(0)
-        found = []
-        limit = min(max_length, len(candidates))
-        for length in range(1, limit + 1):
-            for var_indices in itertools.combinations(range(len(candidates)), length):
-                for polarities in itertools.product([True, False], repeat=length):
-                    cube = Cube(zip(var_indices, polarities))
-                    if any(cube.contains(seen) for seen in found):
-                        continue
-                    antecedents = self._cube_exprs(candidates, cube)
-                    if self.prover.implies(antecedents, false):
-                        found.append(cube)
-        return found
+
+        def classify(cube):
+            if self._cube_query(candidates, cube, false, "inconsistent"):
+                return _KEEP
+            return None
+
+        return self._search_cubes(candidates, max_length, classify)
 
     def enforce_expr(self, candidates):
         """``Ω = ¬F_V(false)``: rules out predicate valuations whose

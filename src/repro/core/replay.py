@@ -56,7 +56,16 @@ class ReplayReport:
 
 
 class _Event:
-    __slots__ = ("kind", "func", "sid", "pre_vals", "post_vals", "outcome", "call_args")
+    __slots__ = (
+        "kind",
+        "func",
+        "sid",
+        "pre_vals",
+        "post_vals",
+        "outcome",
+        "call_args",
+        "consumed",
+    )
 
     def __init__(self, kind, func, sid):
         self.kind = kind  # "entry", "stmt", "branch"
@@ -66,6 +75,7 @@ class _Event:
         self.post_vals = {}
         self.outcome = None
         self.call_args = {}  # formal-predicate name -> concrete value
+        self.consumed = False
 
     def __repr__(self):
         return "<_Event %s %s sid=%s>" % (self.kind, self.func, self.sid)
@@ -97,7 +107,7 @@ class TraceReplayer:
         self.extern_oracle = extern_oracle
         self.report = ReplayReport()
         self._events = []
-        self._cursor = 0
+        self._entry_stack = []
         self._scope_exprs = {
             func.name: {
                 p.name: p.expr for p in self.predicates.in_scope(func.name)
@@ -179,6 +189,8 @@ class TraceReplayer:
             chooser=_ReplayChooser(self),
             stop_on_assert=False,
             listener=self._check_state,
+            on_enter=self._enter_procedure,
+            on_exit=self._exit_procedure,
         )
         try:
             replay.call(self.entry, self._entry_arguments())
@@ -204,27 +216,36 @@ class TraceReplayer:
 
     # -- synchronization helpers -----------------------------------------------------
 
+    # Each recorded event is matched with at most one replayed statement
+    # execution.  Lookups take the first *unconsumed* event with a matching
+    # sid; an event is marked consumed when its statement's replay is
+    # complete (the checkpoint of a BAssign, a branch outcome, a procedure
+    # entry).  This keeps repeated executions of the same source statement
+    # (loops, multiple calls to one procedure) in lockstep with the
+    # recording even though pre/post event nesting is not list-ordered.
+
     def _find_event(self, sid, consume=False):
-        index = self._cursor
-        while index < len(self._events):
-            event = self._events[index]
-            if event.sid == sid:
+        for event in self._events:
+            if event.sid == sid and not event.consumed:
                 if consume:
-                    self._cursor = index + 1
+                    event.consumed = True
                 return event
-            index += 1
         return None
 
     def _find_entry_event(self, func, consume=True):
-        index = self._cursor
-        while index < len(self._events):
-            event = self._events[index]
-            if event.kind == "entry" and event.func == func:
+        for event in self._events:
+            if event.kind == "entry" and event.func == func and not event.consumed:
                 if consume:
-                    self._cursor = index + 1
+                    event.consumed = True
                 return event
-            index += 1
         return None
+
+    def _enter_procedure(self, name):
+        self._entry_stack.append(self._find_entry_event(name, consume=True))
+
+    def _exit_procedure(self, name):
+        if self._entry_stack:
+            self._entry_stack.pop()
 
     # -- the chooser / the state check ---------------------------------------------------
 
@@ -237,7 +258,7 @@ class TraceReplayer:
         # flag transient, legitimate disagreement.
         if stmt.source_sid is None or not isinstance(stmt, B.BAssign):
             return
-        event = self._find_event(stmt.source_sid)
+        event = self._find_event(stmt.source_sid, consume=True)
         if event is None:
             return
         exprs = self._scope_exprs.get(event.func, {})
@@ -272,7 +293,13 @@ class _ReplayChooser:
             return bool(value)
         if kind == "local":
             _, proc, local = what
-            event = replayer._find_entry_event(proc, consume=False)
+            event = None
+            if replayer._entry_stack:
+                top = replayer._entry_stack[-1]
+                if top is not None and top.func == proc:
+                    event = top
+            if event is None:
+                event = replayer._find_entry_event(proc, consume=False)
             if event is None:
                 return False
             return bool(event.post_vals.get(local))

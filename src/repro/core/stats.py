@@ -1,4 +1,11 @@
-"""Statistics collected during abstraction (the Tables 1/2 columns)."""
+"""Statistics collected during abstraction (the Tables 1/2 columns).
+
+:class:`C2bpStats` is one section of the run-wide
+:class:`repro.engine.StatsRegistry` (registered as ``"c2bp"`` by
+:class:`repro.core.abstractor.C2bp`); its prover counters are *deltas
+for that run*, so they stay meaningful when the CEGAR loop reuses one
+prover across iterations.
+"""
 
 import time
 

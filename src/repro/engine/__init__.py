@@ -1,0 +1,38 @@
+"""The unified engine spine: context, events, stats, prover backends.
+
+This package is infrastructure, not paper reproduction: it gives the
+C2bp → Bebop → Newton → SLAM pipeline one instrumented
+prover/stats/config object (:class:`EngineContext`) instead of loose
+``prover=``/``options=`` keywords at every layer boundary.
+
+- :mod:`repro.engine.context` — :class:`EngineContext`, the bundle the
+  pipeline threads through every layer;
+- :mod:`repro.engine.events` — the structured :class:`EventBus`
+  (phase/prover-query/cube-test/cegar-iteration events with timings);
+- :mod:`repro.engine.stats` — the :class:`StatsRegistry` subsuming the
+  per-layer stats objects behind one ``snapshot()``/``to_json()``;
+- :mod:`repro.engine.backends` — the :class:`ProverBackend` protocol and
+  registry (the built-in DPLL(T) stack registers as ``"dpllt"``).
+"""
+
+from repro.engine.backends import (
+    ProverBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.engine.context import EngineContext
+from repro.engine.events import EventBus
+from repro.engine.stats import IterationLog, PhaseAccumulator, StatsRegistry
+
+__all__ = [
+    "EngineContext",
+    "EventBus",
+    "IterationLog",
+    "PhaseAccumulator",
+    "ProverBackend",
+    "StatsRegistry",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

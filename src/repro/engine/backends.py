@@ -1,0 +1,70 @@
+"""The prover backend protocol and registry.
+
+The paper drives two interchangeable Nelson-Oppen provers (Simplify and
+Vampyre) through one narrow interface; this module is our equivalent
+seam.  A *backend* is any object implementing:
+
+- ``check_implication(antecedents, consequent) -> Satisfiability`` —
+  satisfiability of ``/\\ antecedents && !consequent`` (UNSAT means the
+  implication is valid);
+- ``check_satisfiable(exprs) -> Satisfiability`` — joint satisfiability
+  of a conjunction of C boolean expressions;
+- a ``name`` attribute (for stats and trace labelling).
+
+Backends register under a string name so configuration (CLI flags,
+:class:`repro.engine.EngineContext`) can select them without importing
+their modules.  The built-in DPLL(T) stack registers as ``"dpllt"`` and
+is the default.
+"""
+
+from repro.prover.interface import DpllTBackend
+
+_REGISTRY = {}
+
+
+def register_backend(name, factory):
+    """Register ``factory(**kwargs) -> backend`` under ``name``."""
+    _REGISTRY[name] = factory
+    return factory
+
+
+def available_backends():
+    """The registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(spec=None, **kwargs):
+    """Resolve a backend: ``None`` means the default DPLL(T) backend, a
+    string is looked up in the registry, and an object implementing the
+    protocol passes through unchanged."""
+    if spec is None:
+        spec = "dpllt"
+    if isinstance(spec, str):
+        try:
+            factory = _REGISTRY[spec]
+        except KeyError:
+            raise KeyError(
+                "unknown prover backend %r (available: %s)"
+                % (spec, ", ".join(available_backends()))
+            ) from None
+        return factory(**kwargs)
+    return spec
+
+
+register_backend("dpllt", DpllTBackend)
+
+
+class ProverBackend:
+    """Documentation base class for the backend protocol.
+
+    Subclassing is optional — any object with the three members works —
+    but inheriting gives early errors for missing methods.
+    """
+
+    name = "abstract"
+
+    def check_implication(self, antecedents, consequent):
+        raise NotImplementedError
+
+    def check_satisfiable(self, exprs):
+        raise NotImplementedError

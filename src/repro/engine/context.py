@@ -1,0 +1,111 @@
+"""The engine context: one instrumented spine for the whole pipeline.
+
+An :class:`EngineContext` bundles what used to be re-wired by hand at
+every layer boundary:
+
+- the :class:`repro.core.options.C2bpOptions` configuration;
+- one :class:`repro.prover.Prover` front door, backed by a pluggable
+  backend and a *shared*, canonical-form :class:`QueryCache` — so C2bp,
+  Newton, and every CEGAR iteration reuse each other's answers;
+- a structured :class:`repro.engine.events.EventBus`;
+- a :class:`repro.engine.stats.StatsRegistry` subsuming the per-layer
+  stats objects behind one ``snapshot()``/``to_json()`` surface.
+
+Construct one context per verification task and pass it down::
+
+    from repro.engine import EngineContext
+
+    ctx = EngineContext()
+    result = cegar_loop(program, initial_predicates=preds, context=ctx)
+    print(ctx.stats.to_json())
+
+Every pipeline entry point still accepts the old ``options=``/``prover=``
+keywords; they are shims that build a private context
+(:meth:`EngineContext.ensure`), so existing callers keep working.
+"""
+
+import contextlib
+import time
+
+from repro.engine.backends import create_backend
+from repro.engine.events import EventBus
+from repro.engine.stats import StatsRegistry
+from repro.prover import Prover, QueryCache
+
+
+class EngineContext:
+    """Options + prover backend + event sink + unified stats registry."""
+
+    def __init__(
+        self,
+        options=None,
+        prover=None,
+        backend=None,
+        events=None,
+        stats=None,
+        cache=None,
+        record_events=True,
+    ):
+        if options is None:
+            # Imported lazily: repro.core.abstractor imports this package,
+            # so a module-level import would cycle when repro.engine is
+            # the first repro module loaded.
+            from repro.core.options import C2bpOptions
+
+            options = C2bpOptions()
+        self.options = options
+        self.events = events if events is not None else EventBus(record=record_events)
+        self.stats = stats if stats is not None else StatsRegistry()
+        if prover is not None:
+            # Adopt a caller-supplied prover (the legacy ``prover=`` shim):
+            # share its cache and attach our event sink if it has none.
+            self.prover = prover
+            self.cache = prover.cache
+            if prover.events is None:
+                prover.events = self.events
+        else:
+            self.cache = cache if cache is not None else QueryCache()
+            self.prover = Prover(
+                enable_cache=self.options.cache_prover,
+                cache=self.cache,
+                backend=create_backend(backend),
+                events=self.events,
+            )
+        self.stats.register("prover", self.prover.stats)
+        self.stats.register("prover_cache", self.cache)
+        self.stats.register("events", self.events)
+
+    @classmethod
+    def ensure(cls, context=None, options=None, prover=None):
+        """The deprecation shim: pass an existing context through, or wrap
+        legacy ``options=``/``prover=`` keywords in a fresh one.
+
+        When ``context`` is given it wins; the legacy keywords are ignored
+        (callers migrating incrementally may still be passing both).
+        """
+        if context is not None:
+            return context
+        return cls(options=options, prover=prover)
+
+    @contextlib.contextmanager
+    def phase(self, name):
+        """Time a pipeline phase: emits phase-start/phase-end events and
+        accumulates wall-clock seconds in ``stats.phases``."""
+        self.events.emit("phase-start", phase=name)
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stats.phases.add(name, elapsed)
+            self.events.emit("phase-end", phase=name, seconds=round(elapsed, 6))
+
+    def snapshot(self):
+        """Shorthand for ``stats.snapshot()``."""
+        return self.stats.snapshot()
+
+    def __repr__(self):
+        return "EngineContext(backend=%r, cache=%r)" % (
+            getattr(self.prover.backend, "name", "?"),
+            self.cache.snapshot(),
+        )

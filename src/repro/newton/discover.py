@@ -11,6 +11,8 @@ Given the path constraints from :class:`PathSimulator`:
    the assignments feeding the core's variables.
 """
 
+import contextlib
+
 from repro.cfront import cast as C
 from repro.cfront.exprutils import is_pure_predicate, substitute, variables
 from repro.core.predicates import Predicate
@@ -34,19 +36,27 @@ class NewtonResult:
         )
 
 
-def analyze_path(program, steps, prover=None, existing_predicates=None):
+def analyze_path(program, steps, prover=None, existing_predicates=None, context=None):
     """Analyze one C-level path (list of :class:`CPathStep`)."""
-    prover = prover or Prover()
-    simulator = PathSimulator(program)
-    constraints = simulator.simulate(steps)
-    formulas = [c.formula for c in constraints]
-    verdict = prover.is_satisfiable(formulas)
-    if verdict is not Satisfiability.UNSAT:
-        # SAT or UNKNOWN: treat as feasible (never refute a real error).
-        return NewtonResult(True)
-    core = _minimize_core(prover, constraints)
-    predicates = _predicates_from_core(program, simulator, core, existing_predicates)
-    return NewtonResult(False, predicates, core)
+    if context is not None:
+        prover = prover if prover is not None else context.prover
+        phase = context.phase("newton")
+    else:
+        prover = prover or Prover()
+        phase = contextlib.nullcontext()
+    with phase:
+        simulator = PathSimulator(program)
+        constraints = simulator.simulate(steps)
+        formulas = [c.formula for c in constraints]
+        verdict = prover.is_satisfiable(formulas)
+        if verdict is not Satisfiability.UNSAT:
+            # SAT or UNKNOWN: treat as feasible (never refute a real error).
+            return NewtonResult(True)
+        core = _minimize_core(prover, constraints)
+        predicates = _predicates_from_core(
+            program, simulator, core, existing_predicates
+        )
+        return NewtonResult(False, predicates, core)
 
 
 def _minimize_core(prover, constraints):

@@ -28,7 +28,15 @@ non-linear arithmetic (those operators are treated as uninterpreted), in
 which case C2bp conservatively falls back to non-deterministic assignment.
 """
 
-from repro.prover.interface import Prover, ProverStats
+from repro.prover.cache import QueryCache
+from repro.prover.interface import DpllTBackend, Prover, ProverStats
 from repro.prover.smt import Satisfiability, check_formula
 
-__all__ = ["Prover", "ProverStats", "Satisfiability", "check_formula"]
+__all__ = [
+    "DpllTBackend",
+    "Prover",
+    "ProverStats",
+    "QueryCache",
+    "Satisfiability",
+    "check_formula",
+]

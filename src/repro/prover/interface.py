@@ -4,9 +4,21 @@ Mirrors how the paper uses Simplify/Vampyre: a black-box oracle for
 "does this conjunction of C expressions imply that C expression?", with
 query caching (Section 5.2, optimization five) and call counting (the
 "thm. prover calls" column of Tables 1 and 2).
+
+The front door is split from the decision procedure behind it:
+
+- :class:`Prover` owns the counters, the (shareable, canonical-form)
+  :class:`repro.prover.cache.QueryCache`, and optional event reporting;
+- a *backend* answers the actual satisfiability questions.  The built-in
+  :class:`DpllTBackend` runs the from-scratch DPLL(T) stack in
+  :mod:`repro.prover.smt`; alternatives register themselves with
+  :mod:`repro.engine.backends`.
 """
 
+import time
+
 from repro.prover import terms as T
+from repro.prover.cache import QueryCache
 from repro.prover.smt import Satisfiability, check_formula
 
 
@@ -38,14 +50,54 @@ class ProverStats:
         return "ProverStats(%r)" % (self.snapshot(),)
 
 
+class DpllTBackend:
+    """The built-in lazy DPLL(T) decision procedure.
+
+    Implements the :class:`repro.engine.backends.ProverBackend` protocol:
+    both methods answer with a :class:`Satisfiability`.
+    """
+
+    name = "dpllt"
+
+    def __init__(self, max_rounds=400):
+        self.max_rounds = max_rounds
+
+    def check_implication(self, antecedents, consequent):
+        """Satisfiability of ``/\\ antecedents && !consequent`` — UNSAT
+        means the implication is valid."""
+        ctx = T.TranslationContext()
+        antecedent_formulas = [T.translate_formula(e, ctx) for e in antecedents]
+        consequent_formula = T.translate_formula(consequent, ctx)
+        query = T.land(*antecedent_formulas, T.lnot(consequent_formula))
+        axioms = list(ctx.defs) + T.address_axioms(T.land(query, *ctx.defs))
+        return check_formula(query, axioms, max_rounds=self.max_rounds)
+
+    def check_satisfiable(self, exprs):
+        """Joint satisfiability of a conjunction of C boolean expressions."""
+        ctx = T.TranslationContext()
+        formulas = [T.translate_formula(e, ctx) for e in exprs]
+        conjunction = T.land(*formulas)
+        axioms = list(ctx.defs) + T.address_axioms(T.land(conjunction, *ctx.defs))
+        return check_formula(conjunction, axioms, max_rounds=self.max_rounds)
+
+
 class Prover:
     """A cached validity checker over quantifier-free C expressions."""
 
-    def __init__(self, enable_cache=True, max_rounds=400):
+    def __init__(
+        self,
+        enable_cache=True,
+        max_rounds=400,
+        cache=None,
+        backend=None,
+        events=None,
+    ):
         self.stats = ProverStats()
         self.enable_cache = enable_cache
         self.max_rounds = max_rounds
-        self._cache = {}
+        self.backend = backend if backend is not None else DpllTBackend(max_rounds)
+        self.cache = cache if cache is not None else QueryCache()
+        self.events = events
 
     # -- public API -----------------------------------------------------------
 
@@ -58,13 +110,27 @@ class Prover:
         """
         antecedents = tuple(antecedents)
         self.stats.queries += 1
-        key = (frozenset(antecedents), consequent, True)
-        if self.enable_cache and key in self._cache:
-            self.stats.cache_hits += 1
-            return self._cache[key]
-        result = self._decide_implication(antecedents, consequent)
+        key = QueryCache.key("implies", antecedents, consequent)
         if self.enable_cache:
-            self._cache[key] = result
+            hit, value = self.cache.lookup(key)
+            if hit:
+                self.stats.cache_hits += 1
+                self._emit("implies", cached=True, result=value, seconds=0.0)
+                return value
+        started = time.perf_counter()
+        outcome = self.backend.check_implication(antecedents, consequent)
+        elapsed = time.perf_counter() - started
+        self.stats.calls += 1
+        result = outcome is Satisfiability.UNSAT
+        if result:
+            self.stats.valid += 1
+        elif outcome is Satisfiability.UNKNOWN:
+            self.stats.unknown += 1
+        else:
+            self.stats.invalid += 1
+        if self.enable_cache:
+            self.cache.store(key, result)
+        self._emit("implies", cached=False, result=result, seconds=elapsed)
         return result
 
     def is_valid(self, expr):
@@ -75,44 +141,39 @@ class Prover:
         for path feasibility).  Returns a :class:`Satisfiability`."""
         exprs = tuple(exprs)
         self.stats.queries += 1
-        key = (frozenset(exprs), None, False)
-        if self.enable_cache and key in self._cache:
-            self.stats.cache_hits += 1
-            return self._cache[key]
+        key = QueryCache.key("sat", exprs)
+        if self.enable_cache:
+            hit, value = self.cache.lookup(key)
+            if hit:
+                self.stats.cache_hits += 1
+                self._emit("sat", cached=True, result=value, seconds=0.0)
+                return value
+        started = time.perf_counter()
         self.stats.calls += 1
-        ctx = T.TranslationContext()
-        formulas = [T.translate_formula(e, ctx) for e in exprs]
-        conjunction = T.land(*formulas)
-        axioms = list(ctx.defs) + T.address_axioms(T.land(conjunction, *ctx.defs))
-        result = check_formula(conjunction, axioms, max_rounds=self.max_rounds)
+        result = self.backend.check_satisfiable(exprs)
+        elapsed = time.perf_counter() - started
         if result is Satisfiability.UNKNOWN:
             self.stats.unknown += 1
         if self.enable_cache:
-            self._cache[key] = result
+            self.cache.store(key, result)
+        self._emit("sat", cached=False, result=result, seconds=elapsed)
         return result
 
     def reset_statistics(self):
         self.stats.reset()
 
     def clear_cache(self):
-        self._cache.clear()
+        self.cache.clear()
 
     # -- internals -----------------------------------------------------------
 
-    def _decide_implication(self, antecedents, consequent):
-        self.stats.calls += 1
-        ctx = T.TranslationContext()
-        antecedent_formulas = [T.translate_formula(e, ctx) for e in antecedents]
-        consequent_formula = T.translate_formula(consequent, ctx)
-        # Valid iff (antecedents /\ not consequent) is unsatisfiable.
-        query = T.land(*antecedent_formulas, T.lnot(consequent_formula))
-        axioms = list(ctx.defs) + T.address_axioms(T.land(query, *ctx.defs))
-        outcome = check_formula(query, axioms, max_rounds=self.max_rounds)
-        if outcome is Satisfiability.UNSAT:
-            self.stats.valid += 1
-            return True
-        if outcome is Satisfiability.UNKNOWN:
-            self.stats.unknown += 1
-        else:
-            self.stats.invalid += 1
-        return False
+    def _emit(self, query, cached, result, seconds):
+        if self.events is None:
+            return
+        self.events.emit(
+            "prover-query",
+            query=query,
+            cached=cached,
+            result=result.name if isinstance(result, Satisfiability) else result,
+            seconds=round(seconds, 6),
+        )

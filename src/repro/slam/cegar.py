@@ -6,24 +6,69 @@
 Termination is not guaranteed (assertion-violation checking is
 undecidable); the loop is bounded by ``max_iterations`` and returns
 "unknown" if the bound is hit or Newton cannot find new predicates.
+
+The loop threads one :class:`repro.engine.EngineContext` through every
+layer, so all iterations share a single prover and its canonical-form
+query cache: cube tests whose answers did not change with the new
+predicates are cache hits, not fresh decision-procedure runs.  Each
+:class:`IterationStats` records the *per-iteration delta* of raw prover
+calls, total queries, and cache hits, which is how the cross-iteration
+reuse shows up in ``--stats-json`` output.
 """
 
 import time
 
 from repro.bebop import Bebop, ExplicitEngine
 from repro.core import C2bp, PredicateSet
+from repro.engine import EngineContext, IterationLog
 from repro.newton import analyze_path, path_from_boolean_steps
-from repro.prover import Prover
 
 
 class IterationStats:
-    __slots__ = ("predicates", "prover_calls", "error_reached", "seconds")
+    """One CEGAR iteration's accounting.
 
-    def __init__(self, predicates, prover_calls, error_reached, seconds):
+    ``prover_calls``/``prover_queries``/``cache_hits`` are deltas for this
+    iteration only (C2bp plus Newton), not running totals.
+    """
+
+    __slots__ = (
+        "iteration",
+        "predicates",
+        "prover_calls",
+        "prover_queries",
+        "cache_hits",
+        "error_reached",
+        "seconds",
+    )
+
+    def __init__(
+        self,
+        predicates,
+        prover_calls,
+        error_reached,
+        seconds,
+        iteration=0,
+        prover_queries=0,
+        cache_hits=0,
+    ):
+        self.iteration = iteration
         self.predicates = predicates
         self.prover_calls = prover_calls
+        self.prover_queries = prover_queries
+        self.cache_hits = cache_hits
         self.error_reached = error_reached
         self.seconds = seconds
+
+    def snapshot(self):
+        return {
+            "iteration": self.iteration,
+            "predicates": self.predicates,
+            "prover_calls": self.prover_calls,
+            "prover_queries": self.prover_queries,
+            "cache_hits": self.cache_hits,
+            "error_reached": self.error_reached,
+            "seconds": round(self.seconds, 6),
+        }
 
     def __repr__(self):
         return (
@@ -68,58 +113,82 @@ def cegar_loop(
     max_iterations=10,
     options=None,
     prover=None,
+    context=None,
 ):
     """Run abstraction/check/refine until a verdict or the bound."""
+    ctx = EngineContext.ensure(context, options=options, prover=prover)
     predicates = initial_predicates or PredicateSet()
-    prover = prover or Prover()
+    engine_prover = ctx.prover
     started = time.perf_counter()
     stats = []
+    iteration_log = IterationLog()
+    ctx.stats.register("iterations", iteration_log)
     result = None
     boolean_program = None
     for iteration in range(1, max_iterations + 1):
         iter_start = time.perf_counter()
-        tool = C2bp(program, predicates, options=options, prover=prover)
+        calls_before = engine_prover.stats.calls
+        queries_before = engine_prover.stats.queries
+        hits_before = engine_prover.stats.cache_hits
+        tool = C2bp(program, predicates, context=ctx)
         boolean_program = tool.run()
-        check = Bebop(boolean_program, main=main).run()
-        elapsed = time.perf_counter() - iter_start
-        stats.append(
-            IterationStats(
-                len(predicates), tool.stats.prover_calls, check.error_reached, elapsed
-            )
-        )
+        check = Bebop(boolean_program, main=main, context=ctx).run()
         if not check.error_reached:
             result = CegarResult("safe", iteration, predicates,
                                  boolean_program=boolean_program)
-            break
-        # A reachable failing assert: extract a concrete boolean path.
-        engine = ExplicitEngine(boolean_program, main=main)
-        bool_path = engine.find_assertion_failure()
-        if bool_path is None:
-            # The symbolic engine says reachable but no explicit witness
-            # was found within budget: give up rather than guess.
-            result = CegarResult("unknown", iteration, predicates,
-                                 boolean_program=boolean_program)
-            break
-        c_path = path_from_boolean_steps(program, bool_path)
-        newton = analyze_path(
-            program, c_path, prover=prover, existing_predicates=predicates
+        else:
+            # A reachable failing assert: extract a concrete boolean path.
+            engine = ExplicitEngine(boolean_program, main=main)
+            bool_path = engine.find_assertion_failure()
+            if bool_path is None:
+                # The symbolic engine says reachable but no explicit witness
+                # was found within budget: give up rather than guess.
+                result = CegarResult("unknown", iteration, predicates,
+                                     boolean_program=boolean_program)
+            else:
+                c_path = path_from_boolean_steps(program, bool_path)
+                newton = analyze_path(
+                    program, c_path, existing_predicates=predicates, context=ctx
+                )
+                if newton.feasible:
+                    result = CegarResult(
+                        "unsafe", iteration, predicates, trace=c_path,
+                        boolean_program=boolean_program,
+                    )
+                elif not newton.new_predicates:
+                    result = CegarResult("unknown", iteration, predicates,
+                                         boolean_program=boolean_program)
+                else:
+                    for predicate in newton.new_predicates:
+                        predicates.add(predicate)
+        record = IterationStats(
+            len(predicates),
+            engine_prover.stats.calls - calls_before,
+            check.error_reached,
+            time.perf_counter() - iter_start,
+            iteration=iteration,
+            prover_queries=engine_prover.stats.queries - queries_before,
+            cache_hits=engine_prover.stats.cache_hits - hits_before,
         )
-        if newton.feasible:
-            result = CegarResult(
-                "unsafe", iteration, predicates, trace=c_path,
-                boolean_program=boolean_program,
-            )
+        stats.append(record)
+        iteration_log.append(record.snapshot())
+        ctx.events.emit("cegar-iteration", **record.snapshot())
+        if result is not None:
             break
-        if not newton.new_predicates:
-            result = CegarResult("unknown", iteration, predicates,
-                                 boolean_program=boolean_program)
-            break
-        for predicate in newton.new_predicates:
-            predicates.add(predicate)
     if result is None:
         result = CegarResult("unknown", max_iterations, predicates,
                              boolean_program=boolean_program)
     result.iteration_stats = stats
-    result.total_prover_calls = prover.stats.calls
+    result.total_prover_calls = engine_prover.stats.calls
     result.seconds = time.perf_counter() - started
+    ctx.stats.register(
+        "cegar",
+        {
+            "verdict": result.verdict,
+            "iterations": result.iterations,
+            "predicates": len(result.predicates),
+            "total_prover_calls": result.total_prover_calls,
+            "seconds": round(result.seconds, 6),
+        },
+    )
     return result

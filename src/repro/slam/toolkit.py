@@ -67,6 +67,7 @@ class SlamToolkit:
         extra_predicates=(),
         max_iterations=10,
         options=None,
+        context=None,
     ):
         # Each check instruments a fresh parse (instrumentation mutates).
         program = parse_c_program(self.source, name=self.name)
@@ -84,6 +85,7 @@ class SlamToolkit:
             main=entry,
             max_iterations=max_iterations,
             options=options,
+            context=context,
         )
         return SlamResult(result, spec, entry)
 

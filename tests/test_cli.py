@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -149,3 +150,68 @@ def test_abstract_with_option_flags(partition_files):
     )
     assert code == 0
     assert "void partition()" in output
+
+
+def test_abstract_with_all_ablation_flags(partition_files):
+    c_file, pred_file = partition_files
+    code, output = run_cli(
+        [
+            "abstract", c_file, pred_file,
+            "--max-cube-length", "2",
+            "--no-cone",
+            "--no-skip-unchanged",
+            "--no-syntactic-heuristics",
+            "--no-prover-cache",
+            "--distribute-f",
+            "--no-enforce",
+            "--enforce-cube-length", "2",
+            "--no-alias",
+            "--no-invalidate-derefs",
+        ]
+    )
+    assert code == 0
+    assert "void partition()" in output
+
+
+def test_slam_stats_and_trace_json(tmp_path):
+    c_file = tmp_path / "drv.c"
+    c_file.write_text(
+        "void main(void) { KeAcquireSpinLock(); KeReleaseSpinLock(); }"
+    )
+    stats_file = tmp_path / "stats.json"
+    trace_file = tmp_path / "trace.json"
+    code, output = run_cli(
+        [
+            "slam", str(c_file),
+            "--lock", "KeAcquireSpinLock", "KeReleaseSpinLock",
+            "--stats-json", str(stats_file),
+            "--trace-json", str(trace_file),
+        ]
+    )
+    assert code == 0
+    assert "answered from cache" in output
+    stats = json.loads(stats_file.read_text())
+    assert stats["cegar"]["verdict"] == "safe"
+    assert stats["iterations"], "per-iteration records should be present"
+    first = stats["iterations"][0]
+    for field in ("iteration", "prover_calls", "prover_queries", "cache_hits",
+                  "seconds"):
+        assert field in first
+    assert stats["phases"]["c2bp"]["count"] >= 1
+    assert stats["prover"]["calls"] == stats["cegar"]["total_prover_calls"]
+    trace = json.loads(trace_file.read_text())
+    kinds = {event["kind"] for event in trace["events"]}
+    assert "phase-start" in kinds and "prover-query" in kinds
+
+
+def test_check_stats_json(partition_files, tmp_path):
+    c_file, pred_file = partition_files
+    stats_file = tmp_path / "stats.json"
+    code, _output = run_cli(
+        ["check", c_file, pred_file, "--entry", "partition",
+         "--stats-json", str(stats_file)]
+    )
+    assert code == 0
+    stats = json.loads(stats_file.read_text())
+    assert stats["c2bp"]["prover_calls"] > 0
+    assert "bebop" in stats and stats["bebop"]["worklist_steps"] > 0
