@@ -7,9 +7,21 @@ reproduced tables on disk next to the timing report; EXPERIMENTS.md
 references these files.
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_json(name, payload):
+    """Write a machine-readable result document (``<name>.json``) next to
+    the rendered tables; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def write_table(name, header, rows, notes=()):

@@ -1,0 +1,200 @@
+"""The incremental cube engine and ``--jobs`` against the fresh baseline.
+
+Three configurations over the Table-2 corpus:
+
+- ``fresh``: ``incremental_cubes=False`` — re-encode and rebuild a SAT
+  solver for every cube query (the pre-session behaviour);
+- ``incremental``: one assumption-based session per strengthening call,
+  persistent solver state, shared theory lemmas;
+- ``incremental+jobs``: the same plus process-parallel statement
+  abstraction (``jobs=4``).
+
+All three must print byte-identical boolean programs.  The process-wide
+construction counters (:data:`repro.prover.sat.COUNTERS`,
+:data:`repro.prover.cnf.COUNTERS`) quantify the savings: the incremental
+engine must perform strictly fewer CNF encodings and build at least 2x
+fewer solver states than the fresh baseline.  Results land in
+``benchmarks/results/BENCH_incremental.json`` plus a rendered table.
+
+``-k smoke`` selects the fixture-free fast checks used by CI.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import write_json, write_table
+
+from repro import C2bp, parse_c_program, parse_predicate_file
+from repro.boolprog.printer import print_bool_program
+from repro.core import C2bpOptions
+from repro.programs import all_table2_programs, get_program
+from repro.prover import cnf as cnf_module
+from repro.prover import sat as sat_module
+
+CONFIGS = [
+    ("fresh", C2bpOptions(incremental_cubes=False)),
+    ("incremental", C2bpOptions(incremental_cubes=True)),
+    ("incremental+jobs", C2bpOptions(incremental_cubes=True, jobs=4)),
+]
+
+#: The two cheapest corpus members, used by the CI smoke job.
+SMOKE_PROGRAMS = ("partition", "listfind")
+
+
+def _run_config(options, studies):
+    """Abstract every study under one configuration; returns per-program
+    rows plus the process-wide construction counters.
+
+    The counters are only meaningful for in-process configurations — with
+    ``jobs > 1`` the solver work happens in forked workers, so the parallel
+    row reports the merged prover statistics instead."""
+    sat_module.reset_counters()
+    cnf_module.reset_counters()
+    programs = {}
+    started = time.perf_counter()
+    for study in studies:
+        program = parse_c_program(study.source, study.name)
+        predicates = parse_predicate_file(study.predicate_text, program)
+        tool = C2bp(program, predicates, options=options)
+        boolean_program = tool.run()
+        programs[study.name] = {
+            "text": print_bool_program(boolean_program),
+            "prover_calls": tool.stats.prover_calls,
+            "assumption_solves": tool.prover.stats.assumption_solves,
+            "lemmas_reused": tool.prover.stats.lemmas_reused,
+            "cnf_encodings_saved": tool.prover.stats.cnf_encodings_saved,
+            "seconds": tool.stats.seconds,
+        }
+    return {
+        "seconds": time.perf_counter() - started,
+        "programs": programs,
+        "counters": {
+            "solver_states": sat_module.COUNTERS["solver_states"],
+            "solves": sat_module.COUNTERS["solves"],
+            "cnf_encodings": cnf_module.COUNTERS["encodings"],
+            "cnf_memo_hits": cnf_module.COUNTERS["memo_hits"],
+        },
+    }
+
+
+def test_bench_incremental_configs(benchmark):
+    studies = all_table2_programs()
+
+    def run_all():
+        return {
+            label: _run_config(options, studies) for label, options in CONFIGS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Differential identity: every configuration prints the same program.
+    for study in studies:
+        texts = {
+            label: results[label]["programs"][study.name]["text"]
+            for label in results
+        }
+        assert len(set(texts.values())) == 1, "configs disagree on %s" % study.name
+
+    fresh = results["fresh"]["counters"]
+    incremental = results["incremental"]["counters"]
+    # The headline claims: strictly fewer CNF encodings, and at least 2x
+    # fewer solver-state constructions, than the fresh baseline.
+    assert incremental["cnf_encodings"] < fresh["cnf_encodings"]
+    assert fresh["solver_states"] >= 2 * incremental["solver_states"]
+    total_assumption_solves = sum(
+        row["assumption_solves"]
+        for row in results["incremental"]["programs"].values()
+    )
+    assert total_assumption_solves > 0
+
+    payload = {
+        label: {
+            "seconds": round(entry["seconds"], 3),
+            "counters": entry["counters"],
+            "programs": {
+                name: {
+                    key: value
+                    for key, value in row.items()
+                    if key != "text"  # identity already asserted above
+                }
+                for name, row in entry["programs"].items()
+            },
+        }
+        for label, entry in results.items()
+    }
+    write_json("BENCH_incremental", payload)
+
+    rows = []
+    for label, entry in results.items():
+        counters = entry["counters"]
+        rows.append(
+            [
+                label,
+                "%.2f" % entry["seconds"],
+                counters["solver_states"],
+                counters["solves"],
+                counters["cnf_encodings"],
+                counters["cnf_memo_hits"],
+                sum(
+                    row["assumption_solves"]
+                    for row in entry["programs"].values()
+                ),
+            ]
+        )
+    write_table(
+        "BENCH_incremental",
+        [
+            "config",
+            "seconds",
+            "solver states",
+            "solves",
+            "CNF encodings",
+            "CNF memo hits",
+            "assumption solves",
+        ],
+        rows,
+        notes=[
+            "Table-2 corpus under three configurations.  'fresh' rebuilds "
+            "encoding + solver per cube query; 'incremental' opens one "
+            "assumption-based session per strengthening call; "
+            "'incremental+jobs' adds --jobs 4 statement parallelism (its "
+            "process-wide counters stay in the forked workers, so read its "
+            "seconds column and the per-program prover stats in "
+            "BENCH_incremental.json).  All configurations print identical "
+            "boolean programs.",
+        ],
+    )
+
+
+def test_smoke_incremental_engine():
+    """CI smoke (no benchmark fixture): the incremental engine actually
+    engages on the two smallest corpus programs and agrees with the
+    fresh baseline."""
+    studies = [get_program(name) for name in SMOKE_PROGRAMS]
+    incremental = _run_config(C2bpOptions(incremental_cubes=True), studies)
+    fresh = _run_config(C2bpOptions(incremental_cubes=False), studies)
+    for study in studies:
+        assert (
+            incremental["programs"][study.name]["text"]
+            == fresh["programs"][study.name]["text"]
+        )
+        assert incremental["programs"][study.name]["assumption_solves"] > 0
+    assert incremental["counters"]["cnf_encodings"] < fresh["counters"]["cnf_encodings"]
+    assert fresh["counters"]["solver_states"] >= (
+        2 * incremental["counters"]["solver_states"]
+    )
+
+
+def test_smoke_parallel_jobs():
+    """CI smoke: --jobs produces the identical program on a multi-procedure
+    study with call-site temporaries."""
+    study = get_program("qsort")
+    serial = _run_config(C2bpOptions(jobs=1), [study])
+    parallel = _run_config(C2bpOptions(jobs=4), [study])
+    assert (
+        serial["programs"][study.name]["text"]
+        == parallel["programs"][study.name]["text"]
+    )

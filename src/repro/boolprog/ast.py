@@ -209,6 +209,64 @@ def expr_variables(expr):
     return result
 
 
+def rename_expr_variables(expr, mapping):
+    """The expression with every :class:`BVar` named in ``mapping``
+    renamed.  Expressions are immutable values, so affected nodes are
+    rebuilt; unaffected subtrees are shared."""
+    if isinstance(expr, BVar):
+        new_name = mapping.get(expr.name)
+        return expr if new_name is None else BVar(new_name)
+    if isinstance(expr, BNot):
+        return BNot(rename_expr_variables(expr.operand, mapping))
+    if isinstance(expr, BAnd):
+        return BAnd(
+            rename_expr_variables(expr.left, mapping),
+            rename_expr_variables(expr.right, mapping),
+        )
+    if isinstance(expr, BOr):
+        return BOr(
+            rename_expr_variables(expr.left, mapping),
+            rename_expr_variables(expr.right, mapping),
+        )
+    if isinstance(expr, BImplies):
+        return BImplies(
+            rename_expr_variables(expr.left, mapping),
+            rename_expr_variables(expr.right, mapping),
+        )
+    if isinstance(expr, BChoose):
+        return BChoose(
+            rename_expr_variables(expr.pos, mapping),
+            rename_expr_variables(expr.neg, mapping),
+        )
+    return expr  # BConst, BNondet, BUnknown
+
+
+def rename_stmt_variables(stmts, mapping):
+    """Rename variables (including assignment and call targets) across a
+    statement list, recursing into compound bodies.  Statement nodes are
+    updated in place — labels, source ids, and comments survive — while
+    the expressions they hold are rebuilt.  Returns ``stmts``."""
+    for stmt in stmts:
+        if isinstance(stmt, BAssign):
+            stmt.targets = [mapping.get(t, t) for t in stmt.targets]
+            stmt.values = [rename_expr_variables(v, mapping) for v in stmt.values]
+        elif isinstance(stmt, (BAssume, BAssert)):
+            stmt.cond = rename_expr_variables(stmt.cond, mapping)
+        elif isinstance(stmt, BIf):
+            stmt.cond = rename_expr_variables(stmt.cond, mapping)
+            rename_stmt_variables(stmt.then_body, mapping)
+            rename_stmt_variables(stmt.else_body, mapping)
+        elif isinstance(stmt, BWhile):
+            stmt.cond = rename_expr_variables(stmt.cond, mapping)
+            rename_stmt_variables(stmt.body, mapping)
+        elif isinstance(stmt, BReturn):
+            stmt.values = [rename_expr_variables(v, mapping) for v in stmt.values]
+        elif isinstance(stmt, BCall):
+            stmt.targets = [mapping.get(t, t) for t in stmt.targets]
+            stmt.args = [rename_expr_variables(a, mapping) for a in stmt.args]
+    return stmts
+
+
 # -- statements ----------------------------------------------------------------
 
 

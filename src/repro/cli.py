@@ -85,6 +85,20 @@ def _add_option_flags(parser):
         action="store_true",
         help="keep (rather than invalidate) predicates whose WP dereferences a constant",
     )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="fresh prover state per cube instead of the incremental "
+        "assumption-based session (the pre-session baseline)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for statement abstraction (default 1: serial; "
+        "the translated program is identical for any N)",
+    )
 
 
 def _options_from(args):
@@ -99,6 +113,8 @@ def _options_from(args):
         enforce_cube_length=args.enforce_cube_length,
         use_alias_analysis=not args.no_alias,
         invalidate_constant_derefs=not args.no_invalidate_derefs,
+        incremental_cubes=not args.no_incremental,
+        jobs=max(args.jobs, 1),
     )
 
 

@@ -15,7 +15,20 @@ procedure in isolation, statement by statement:
   whenever some concrete state allowed by the current predicates could
   fail, which is the sound (may-overreport) direction SLAM refines away;
 - each procedure carries the ``enforce`` data invariant ``¬F(false)``.
+
+Statement abstraction is embarrassingly parallel: each top-level
+statement's translation depends only on the immutable inputs (program,
+predicates, signatures, points-to facts, options) — the only
+cross-statement state is the call-site temporary counter (renamed
+deterministically afterwards) and the prover cache (a pure accelerator).
+With ``options.jobs > 1`` the statements of all procedures plus the
+per-procedure ``enforce`` computations become tasks for a forked worker
+pool; the translated pieces, prover statistics, learned cache entries,
+and events are merged back in task order, so the output program, the
+stats totals, and the event stream are identical to a serial run.
 """
+
+import multiprocessing
 
 from repro.cfront import cast as C
 from repro.cfront.exprutils import locations, variables
@@ -74,6 +87,14 @@ class C2bp:
 
     def run(self):
         """Build and return the boolean program ``BP(P, E)``."""
+        jobs = getattr(self.options, "jobs", 1) or 1
+        if jobs > 1:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:
+                mp_context = None  # no fork on this platform: run serially
+            if mp_context is not None:
+                return self._run_parallel(mp_context, jobs)
         started_calls = self.prover.stats.calls
         started_queries = self.prover.stats.queries
         started_hits = self.prover.stats.cache_hits
@@ -98,6 +119,107 @@ class C2bp:
             )
         return boolean_program
 
+    def _run_parallel(self, mp_context, jobs):
+        """The ``--jobs N`` path: fan top-level statements and per-procedure
+        enforce computations out to a forked worker pool, then merge."""
+        global _PARALLEL_PARENT
+        started_calls = self.prover.stats.calls
+        started_queries = self.prover.stats.queries
+        started_hits = self.prover.stats.cache_hits
+        with self.context.phase("c2bp"), Timer(self.stats):
+            boolean_program = B.BProgram()
+            boolean_program.globals = [p.name for p in self.predicates.globals]
+            funcs = list(self.program.defined_functions())
+            tasks = []
+            for func in funcs:
+                for index in range(len(func.body)):
+                    tasks.append(("stmt", func.name, index))
+                if self.options.compute_enforce and self.predicates.in_scope(
+                    func.name
+                ):
+                    tasks.append(("enforce", func.name, -1))
+            results = []
+            if tasks:
+                _PARALLEL_PARENT = self
+                try:
+                    with mp_context.Pool(processes=min(jobs, len(tasks))) as pool:
+                        results = pool.map(_parallel_worker, tasks, chunksize=1)
+                finally:
+                    _PARALLEL_PARENT = None
+            merged = {
+                func.name: {"parts": [], "enforce": None, "calls": 0}
+                for func in funcs
+            }
+            for task, result in zip(tasks, results):
+                kind, func_name, _ = task
+                self.prover.stats.merge(result["prover"])
+                self.prover.cache.absorb(result["cache"])
+                for name, value in result["c2bp"].items():
+                    setattr(self.stats, name, getattr(self.stats, name) + value)
+                for event in result["events"]:
+                    data = {
+                        key: value
+                        for key, value in event.items()
+                        if key not in ("kind", "t")
+                    }
+                    self.context.events.emit(event["kind"], **data)
+                merged[func_name]["calls"] += result["prover"]["calls"]
+                if kind == "stmt":
+                    merged[func_name]["parts"].append(result)
+                else:
+                    merged[func_name]["enforce"] = result["enforce"]
+            for func in funcs:
+                entry = merged[func.name]
+                body = []
+                renamed_temps = []
+                mapping = {}
+                for part in entry["parts"]:
+                    # Worker temp names are task-namespaced (__rw<stmt>_<k>);
+                    # renumber to the serial __r<N> scheme in first-use order.
+                    for worker_name in part["temps"]:
+                        final_name = "__r%d" % len(renamed_temps)
+                        mapping[worker_name] = final_name
+                        renamed_temps.append(final_name)
+                    body.extend(part["stmts"])
+                    for (_, worker_name), meaning in part["temp_meanings"]:
+                        self.temp_meanings[(func.name, mapping[worker_name])] = (
+                            meaning
+                        )
+                if mapping:
+                    B.rename_stmt_variables(body, mapping)
+                signature = self.signatures[func.name]
+                local_predicates = self.predicates.for_procedure(func.name)
+                formal_names = [p.name for p in signature.formal_predicates]
+                local_names = [
+                    p.name
+                    for p in local_predicates
+                    if p not in signature.formal_predicates
+                ] + renamed_temps
+                boolean_program.add_procedure(
+                    B.BProcedure(
+                        func.name,
+                        formal_names,
+                        local_names,
+                        len(signature.return_predicates),
+                        body,
+                        entry["enforce"],
+                    )
+                )
+                self.stats.per_procedure[func.name] = entry["calls"]
+                self.context.events.emit(
+                    "c2bp-procedure",
+                    procedure=func.name,
+                    prover_calls=entry["calls"],
+                )
+            self.stats.program_statements = self.program.statement_count()
+            self.stats.predicate_count = len(self.predicates)
+            self.stats.prover_calls = self.prover.stats.calls - started_calls
+            self.stats.prover_queries = self.prover.stats.queries - started_queries
+            self.stats.prover_cache_hits = (
+                self.prover.stats.cache_hits - started_hits
+            )
+        return boolean_program
+
     def may_alias(self, func_name):
         """A two-location may-alias oracle bound to one procedure's scope,
         or None (assume-everything) when alias pruning is disabled."""
@@ -109,7 +231,7 @@ class C2bp:
 class _ProcedureAbstractor:
     """Pass two for a single procedure."""
 
-    def __init__(self, parent, func):
+    def __init__(self, parent, func, temp_prefix="__r"):
         self.parent = parent
         self.func = func
         self.signature = parent.signatures[func.name]
@@ -118,12 +240,13 @@ class _ProcedureAbstractor:
         self.local_predicates = parent.predicates.for_procedure(func.name)
         self._may_alias = parent.may_alias(func.name)
         self._temp_counter = 0
+        self._temp_prefix = temp_prefix
         self._extra_locals = []
 
     # -- conveniences shared with the call translator --------------------------
 
     def fresh_temp_name(self):
-        name = "__r%d" % self._temp_counter
+        name = "%s%d" % (self._temp_prefix, self._temp_counter)
         self._temp_counter += 1
         self._extra_locals.append(name)
         return name
@@ -349,6 +472,85 @@ class _ProcedureAbstractor:
         return [loop] + self._guard_assume(
             C.negate(stmt.cond), stmt, "loop exit: " + comment
         )
+
+
+# -- the worker side of --jobs -------------------------------------------------
+#
+# The pool uses the fork start method, so workers inherit the parent C2bp
+# (program, predicates, signatures, points-to facts, and a snapshot of the
+# prover cache) through module state — nothing heavyweight is pickled.
+
+_PARALLEL_PARENT = None  # set by C2bp._run_parallel around Pool creation
+_WORKER_STATE = None  # per worker process: (worker C2bp, [cache watermark])
+
+
+def _worker_c2bp():
+    """The per-process C2bp, built lazily from the forked parent state."""
+    global _WORKER_STATE
+    if _WORKER_STATE is None:
+        parent = _PARALLEL_PARENT
+        context = EngineContext(
+            options=parent.options.copy(jobs=1),
+            # The forked copy of the parent cache: pre-seeded with every
+            # answer known at fork time (a CEGAR iteration's workers start
+            # with all previous iterations' queries answered).
+            cache=parent.prover.cache,
+        )
+        tool = C2bp(
+            parent.program,
+            parent.predicates,
+            points_to=parent.points_to,
+            context=context,
+        )
+        _WORKER_STATE = (tool, [len(tool.prover.cache)])
+    return _WORKER_STATE
+
+
+def _parallel_worker(task):
+    """Translate one top-level statement (or compute one procedure's
+    enforce invariant) and return the piece plus its accounting."""
+    tool, cache_watermark = _worker_c2bp()
+    kind, func_name, index = task
+    func = tool.program.functions[func_name]
+    tool.prover.stats.reset()
+    tool.stats.__init__()
+    tool.temp_meanings.clear()
+    events = tool.context.events
+    events_start = len(events.events)
+    if kind == "stmt":
+        proc_abs = _ProcedureAbstractor(
+            tool, func, temp_prefix="__rw%d_" % index
+        )
+        stmt = func.body[index]
+        translated = proc_abs._abstract_stmt(stmt)
+        if stmt.labels:
+            if not translated:
+                translated = [B.BSkip()]
+            translated[0].labels = list(stmt.labels) + list(translated[0].labels)
+        payload = {"stmts": translated, "temps": list(proc_abs._extra_locals)}
+    else:
+        scope_predicates = tool.predicates.in_scope(func_name)
+        payload = {
+            "enforce": (
+                tool.search.enforce_expr(scope_predicates)
+                if scope_predicates
+                else None
+            ),
+            "temps": [],
+        }
+    cache = tool.prover.cache
+    payload["cache"] = cache.export_since(cache_watermark[0])
+    cache_watermark[0] = len(cache)
+    payload["prover"] = tool.prover.stats.snapshot()
+    payload["c2bp"] = {
+        "assignments_abstracted": tool.stats.assignments_abstracted,
+        "assignments_skipped_unchanged": tool.stats.assignments_skipped_unchanged,
+        "calls_abstracted": tool.stats.calls_abstracted,
+        "conditionals_abstracted": tool.stats.conditionals_abstracted,
+    }
+    payload["temp_meanings"] = list(tool.temp_meanings.items())
+    payload["events"] = events.events[events_start:]
+    return payload
 
 
 def abstract_program(program, predicates, options=None, prover=None, context=None):

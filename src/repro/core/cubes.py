@@ -54,9 +54,14 @@ class CubeSearch:
 
         Cubes are enumerated in increasing length; any cube containing an
         already-kept or already-pruned cube is skipped, so the result is
-        minimal (prime) cubes only.  ``classify(cube)`` returns ``_KEEP``
-        (collect, prune supersets), ``_PRUNE`` (prune supersets only), or
-        ``None`` (undecided — supersets stay eligible).
+        minimal (prime) cubes only.  ``classify(cube)`` returns a pair
+        ``(verdict, record)``: verdict ``_KEEP`` (collect, prune
+        supersets), ``_PRUNE`` (prune supersets only), or ``None``
+        (undecided — supersets stay eligible), with ``record`` the cube to
+        put on the kept/pruned list.  ``record`` is normally the cube
+        itself; when the prover reports an assumption core it is the
+        smaller sub-cube whose literals alone force the verdict, which
+        prunes strictly more supersets without further queries.
         """
         if limit is None or limit > len(candidates):
             limit = len(candidates)
@@ -70,22 +75,35 @@ class CubeSearch:
                         continue
                     if any(cube.contains(bad) for bad in pruned):
                         continue
-                    verdict = classify(cube)
+                    verdict, record = classify(cube)
                     if verdict == _KEEP:
-                        kept.append(cube)
+                        kept.append(record)
                     elif verdict == _PRUNE:
-                        pruned.append(cube)
+                        pruned.append(record)
         return kept
 
-    def _cube_query(self, candidates, cube, goal, purpose):
-        """One prover query on a cube's concretization, reported as a
-        ``cube-test`` event."""
-        result = self.prover.implies(self._cube_exprs(candidates, cube), goal)
+    def _open_session(self, candidates, goal):
+        """A cube-decision session over the candidates' concretizations
+        against ``goal`` (incremental when enabled and the backend
+        supports it; fresh per-cube queries otherwise)."""
+        return self.prover.cube_session(
+            [candidate.expr for candidate in candidates],
+            goal,
+            incremental=getattr(self.options, "incremental_cubes", True),
+        )
+
+    def _cube_query(self, session, cube, purpose):
+        """One cube decision, reported as a ``cube-test`` event.  Returns
+        ``(result, record)`` where ``record`` is the sub-cube to prune
+        with: the assumption core when one shrank the cube, else the cube
+        itself."""
+        result, core = session.implies_cube(cube)
         if self.events is not None:
             self.events.emit(
                 "cube-test", purpose=purpose, cube_size=len(cube), result=result
             )
-        return result
+        record = Cube(core) if core is not None else cube
+        return result, record
 
     def implicant_cubes(self, candidates, phi, max_length=None):
         """All prime implicant cubes c over ``candidates`` with E(c) => φ.
@@ -103,19 +121,26 @@ class CubeSearch:
             shortcut = self._syntactic_shortcut(candidates, phi)
             if shortcut is not None:
                 return shortcut
-        if self.prover.is_valid(phi):
+        # The validity precheck is the empty-cube decision; it shares the
+        # cache key with Prover.is_valid(phi) and warms the session whose
+        # solver state every subsequent cube of this call reuses.
+        implies_phi = self._open_session(candidates, phi)
+        valid, _ = implies_phi.implies_cube(())
+        if valid:
             return [Cube()]
         limit = max_length
         if limit is None:
             limit = self.options.max_cube_length
-        not_phi = C.negate(phi)
+        implies_not_phi = self._open_session(candidates, C.negate(phi))
 
         def classify(cube):
-            if self._cube_query(candidates, cube, phi, "implicant"):
-                return _KEEP
-            if self._cube_query(candidates, cube, not_phi, "refute"):
-                return _PRUNE
-            return None
+            result, record = self._cube_query(implies_phi, cube, "implicant")
+            if result:
+                return _KEEP, record
+            result, record = self._cube_query(implies_not_phi, cube, "refute")
+            if result:
+                return _PRUNE, record
+            return None, None
 
         return self._search_cubes(candidates, limit, classify)
 
@@ -126,14 +151,6 @@ class CubeSearch:
             if C.negate(candidate.expr) == phi or candidate.expr == C.negate(phi):
                 return [Cube([(index, False)])]
         return None
-
-    @staticmethod
-    def _cube_exprs(candidates, cube):
-        exprs = []
-        for index, polarity in cube:
-            expr = candidates[index].expr
-            exprs.append(expr if polarity else C.negate(expr))
-        return exprs
 
     # -- boolean program expressions ---------------------------------------------
 
@@ -176,12 +193,13 @@ class CubeSearch:
         """Minimal cubes whose concretizations are unsatisfiable — the
         ``F_V(false)`` computation, done directly (the constant-folding
         shortcuts of :meth:`implicant_cubes` would collapse it)."""
-        false = C.IntLit(0)
+        session = self._open_session(candidates, C.IntLit(0))
 
         def classify(cube):
-            if self._cube_query(candidates, cube, false, "inconsistent"):
-                return _KEEP
-            return None
+            result, record = self._cube_query(session, cube, "inconsistent")
+            if result:
+                return _KEEP, record
+            return None, None
 
         return self._search_cubes(candidates, max_length, classify)
 

@@ -53,5 +53,16 @@ class C2bpOptions:
     #: and is "undefined ... and thus invalidated" (Section 2.1).
     invalidate_constant_derefs: bool = True
 
+    #: Answer the cube queries of one F/G strengthening call on a single
+    #: persistent SAT solver via assumption literals (encode once, reuse
+    #: learned clauses and theory lemmas across cubes) instead of a fresh
+    #: encode-and-solve per cube.  Off is the pre-session baseline.
+    incremental_cubes: bool = True
+
+    #: Worker processes for statement abstraction; 1 (the default) runs
+    #: serially in-process.  The translated program is identical for any
+    #: job count — parallelism only changes wall-clock time.
+    jobs: int = 1
+
     def copy(self, **overrides):
         return dataclasses.replace(self, **overrides)

@@ -11,6 +11,15 @@ seam.  A *backend* is any object implementing:
   of a conjunction of C boolean expressions;
 - a ``name`` attribute (for stats and trace labelling).
 
+Backends may additionally implement the *incremental cube* capability:
+
+- ``open_cube_session(candidates, goal) -> session`` — a session object
+  deciding cubes over the fixed candidate set against the fixed goal via
+  ``decide(cube) -> (Satisfiability, core)`` with persistent solver state
+  (see :class:`repro.prover.incremental.IncrementalCubeSession`).  A
+  backend without the method (or returning ``None``) makes the engine
+  fall back to fresh per-cube ``check_implication`` calls.
+
 Backends register under a string name so configuration (CLI flags,
 :class:`repro.engine.EngineContext`) can select them without importing
 their modules.  The built-in DPLL(T) stack registers as ``"dpllt"`` and
@@ -68,3 +77,8 @@ class ProverBackend:
 
     def check_satisfiable(self, exprs):
         raise NotImplementedError
+
+    def open_cube_session(self, candidates, goal):
+        """Optional capability: an incremental cube-decision session, or
+        ``None`` when the backend only supports one-shot queries."""
+        return None

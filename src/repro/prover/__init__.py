@@ -29,11 +29,19 @@ which case C2bp conservatively falls back to non-deterministic assignment.
 """
 
 from repro.prover.cache import QueryCache
-from repro.prover.interface import DpllTBackend, Prover, ProverStats
+from repro.prover.incremental import IncrementalCubeSession
+from repro.prover.interface import (
+    CubeProverSession,
+    DpllTBackend,
+    Prover,
+    ProverStats,
+)
 from repro.prover.smt import Satisfiability, check_formula
 
 __all__ = [
+    "CubeProverSession",
     "DpllTBackend",
+    "IncrementalCubeSession",
     "Prover",
     "ProverStats",
     "QueryCache",

@@ -5,7 +5,23 @@ nodes get fresh auxiliary variables.  The encoding is equisatisfiable and,
 because we constrain both directions of each definition, the SAT model
 restricted to atom variables is exactly a propositional model of the
 original formula.
+
+:class:`CnfEncoder` is the stateful front: it memoizes sub-encodings, so a
+subformula shared between queries of one session (or repeated inside a
+single query — ``land`` duplicates abound) is encoded once and later
+occurrences reuse its definition literal.  The memo is only sound while
+every clause the encoder has emitted stays asserted, so an encoder must be
+paired with exactly one solver for its whole lifetime.
 """
+
+#: Process-wide encoding counters, used by the benchmarks to compare the
+#: fresh-encode-per-query baseline against the incremental cube engine.
+COUNTERS = {"encodings": 0, "memo_hits": 0}
+
+
+def reset_counters():
+    for key in COUNTERS:
+        COUNTERS[key] = 0
 
 
 class AtomMap:
@@ -36,45 +52,69 @@ class AtomMap:
         return list(self._atom_to_var)
 
 
+class CnfEncoder:
+    """A memoizing Tseitin encoder bound to one solver's clause stream."""
+
+    def __init__(self, atom_map=None):
+        self.atom_map = atom_map or AtomMap()
+        self._memo = {}
+        self.encodings = 0
+        self.memo_hits = 0
+
+    def encode(self, formula, clauses):
+        """Encode one top-level formula into ``clauses``; returns the
+        literal that is true iff the formula is."""
+        self.encodings += 1
+        COUNTERS["encodings"] += 1
+        return self._encode(formula, clauses)
+
+    def _encode(self, formula, clauses):
+        kind = formula[0]
+        if kind in ("le", "eq"):
+            return self.atom_map.var_for(formula)
+        if kind == "not":
+            return -self._encode(formula[1], clauses)
+        cached = self._memo.get(formula)
+        if cached is not None:
+            self.memo_hits += 1
+            COUNTERS["memo_hits"] += 1
+            return cached
+        if kind == "true":
+            out = self.atom_map.fresh_var()
+            clauses.append([out])
+        elif kind == "false":
+            out = self.atom_map.fresh_var()
+            clauses.append([-out])
+        elif kind == "and":
+            left = self._encode(formula[1], clauses)
+            right = self._encode(formula[2], clauses)
+            out = self.atom_map.fresh_var()
+            clauses.append([-out, left])
+            clauses.append([-out, right])
+            clauses.append([out, -left, -right])
+        elif kind == "or":
+            left = self._encode(formula[1], clauses)
+            right = self._encode(formula[2], clauses)
+            out = self.atom_map.fresh_var()
+            clauses.append([-out, left, right])
+            clauses.append([out, -left])
+            clauses.append([out, -right])
+        else:
+            raise ValueError("unknown formula node %r" % (formula,))
+        self._memo[formula] = out
+        return out
+
+
 def tseitin(formula, atom_map, clauses):
     """Encode ``formula`` into ``clauses``; returns the literal that is
-    true iff the formula is."""
-    kind = formula[0]
-    if kind == "true":
-        var = atom_map.fresh_var()
-        clauses.append([var])
-        return var
-    if kind == "false":
-        var = atom_map.fresh_var()
-        clauses.append([-var])
-        return var
-    if kind in ("le", "eq"):
-        return atom_map.var_for(formula)
-    if kind == "not":
-        return -tseitin(formula[1], atom_map, clauses)
-    if kind == "and":
-        left = tseitin(formula[1], atom_map, clauses)
-        right = tseitin(formula[2], atom_map, clauses)
-        out = atom_map.fresh_var()
-        clauses.append([-out, left])
-        clauses.append([-out, right])
-        clauses.append([out, -left, -right])
-        return out
-    if kind == "or":
-        left = tseitin(formula[1], atom_map, clauses)
-        right = tseitin(formula[2], atom_map, clauses)
-        out = atom_map.fresh_var()
-        clauses.append([-out, left, right])
-        clauses.append([out, -left])
-        clauses.append([out, -right])
-        return out
-    raise ValueError("unknown formula node %r" % (formula,))
+    true iff the formula is.  (One-shot convenience: no cross-call memo.)"""
+    return CnfEncoder(atom_map)._encode(formula, clauses)
 
 
 def formula_to_cnf(formula, atom_map=None):
     """CNF clauses asserting ``formula``; returns (clauses, atom_map)."""
-    atom_map = atom_map or AtomMap()
+    encoder = CnfEncoder(atom_map)
     clauses = []
-    root = tseitin(formula, atom_map, clauses)
+    root = encoder.encode(formula, clauses)
     clauses.append([root])
-    return clauses, atom_map
+    return clauses, encoder.atom_map

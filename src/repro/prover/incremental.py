@@ -1,0 +1,175 @@
+"""The incremental assumption-based cube decision engine.
+
+One ``F_V(φ)`` strengthening call tests up to ``3^k`` cubes against a
+*fixed* goal: "does ``E(c) => φ`` hold?" for every candidate cube ``c``.
+The from-scratch pipeline re-translates, re-encodes (Tseitin), rebuilds a
+SAT solver, and rediscovers the same theory lemmas for every single cube.
+An :class:`IncrementalCubeSession` does the shared work once per
+strengthening call:
+
+- ``¬goal``, the definitional side constraints, and the address axioms are
+  translated and CNF-encoded **once** on a persistent
+  :class:`~repro.prover.sat.SatSolver`;
+- every candidate predicate literal (both polarities) is encoded once and
+  guarded by a fresh *selector* variable ``s`` with the clause
+  ``s -> literal``;
+- a cube is decided by ``solve(assumptions=[selectors of its literals])``
+  — UNSAT means the cube's concretization implies the goal;
+- the DPLL(T) lemma loop lives in the session: theory-refutation blocking
+  clauses are added to the *same* solver, so lemmas (and the CDCL core's
+  learned clauses) accumulate across all cubes of the call instead of
+  being rediscovered per cube.
+
+On an UNSAT answer the solver's assumption core is mapped back to cube
+literals, giving the *sub-cube* that already forces the implication — the
+caller can record the smaller cube and prune strictly more supersets
+without further queries.
+
+Theory consistency is checked only over the atoms *relevant* to the
+current cube (the base encoding's atoms plus the active literals'), so an
+assignment to the atoms of inactive candidate literals — present in the
+solver because the whole candidate set is encoded up front — cannot
+perturb the theory verdict relative to a fresh per-cube query.
+"""
+
+from repro.prover import terms as T
+from repro.prover.cnf import CnfEncoder
+from repro.prover.sat import SatSolver
+from repro.prover.smt import Satisfiability, _minimize_core
+from repro.prover.theory import check_literals
+
+
+class IncrementalCubeSession:
+    """Assumption-based cube decisions against one fixed goal formula.
+
+    ``candidates`` is the ordered list of candidate predicate C
+    expressions (positive forms); ``goal`` is the goal C expression.  A
+    *cube* is an iterable of ``(candidate index, polarity)`` pairs;
+    :meth:`decide` answers whether the cube's concretization implies the
+    goal, together with the assumption core as a sub-cube."""
+
+    def __init__(self, candidates, goal, max_rounds=400):
+        self.max_rounds = max_rounds
+        # Counters mirrored into ProverStats by the session's owner.
+        self.assumption_solves = 0
+        self.lemmas_learned = 0
+        self.lemma_reuse_hits = 0
+        self.decides = 0
+
+        ctx = T.TranslationContext()
+        goal_formula = T.translate_formula(goal, ctx)
+        positive = [T.translate_formula(expr, ctx) for expr in candidates]
+        literal_formulas = {}
+        for index, formula in enumerate(positive):
+            literal_formulas[(index, True)] = formula
+            literal_formulas[(index, False)] = T.lnot(formula)
+        # Address axioms are true facts; computing them over the whole
+        # candidate set (not per cube) keeps them query-independent.
+        scope = T.land(T.lnot(goal_formula), *positive, *ctx.defs)
+        axioms = list(ctx.defs) + T.address_axioms(scope)
+        base = T.land(T.lnot(goal_formula), *axioms)
+
+        self.encoder = CnfEncoder()
+        self.solver = SatSolver()
+        self._atom_map = self.encoder.atom_map
+        clauses = []
+        self._trivially_valid = base == T.FALSE
+        self._base_atom_vars = set()
+        if not self._trivially_valid:
+            root = self.encoder.encode(base, clauses)
+            clauses.append([root])
+            self._base_atom_vars = {
+                self._atom_map.var_for(atom) for atom in T.formula_atoms(base)
+            }
+        # One selector per candidate literal: assuming it asserts the literal.
+        self._selectors = {}
+        self._selector_literal = {}
+        self._literal_atom_vars = {}
+        for key, formula in literal_formulas.items():
+            selector = self._atom_map.fresh_var()
+            self._selectors[key] = selector
+            self._selector_literal[selector] = key
+            if formula == T.FALSE:
+                # The literal is constantly false: any cube containing it
+                # has an unsatisfiable concretization, so the implication
+                # holds vacuously — assuming the selector must conflict.
+                clauses.append([-selector])
+                self._literal_atom_vars[key] = frozenset()
+            elif formula == T.TRUE:
+                # Constantly true: assuming the selector constrains nothing.
+                self._literal_atom_vars[key] = frozenset()
+            else:
+                literal_root = self.encoder.encode(formula, clauses)
+                clauses.append([-selector, literal_root])
+                self._literal_atom_vars[key] = frozenset(
+                    self._atom_map.var_for(atom)
+                    for atom in T.formula_atoms(formula)
+                )
+        for clause in clauses:
+            self.solver.add_clause(clause)
+
+    def decide(self, cube):
+        """Decide ``E(cube) => goal``.
+
+        Returns ``(outcome, core)``: ``outcome`` is a
+        :class:`Satisfiability` where UNSAT means the implication is
+        valid, and ``core`` is the sub-cube (tuple of (index, polarity)
+        pairs, sorted) whose literals already force the implication —
+        only present on UNSAT."""
+        cube = tuple(cube)
+        self.decides += 1
+        if self._trivially_valid:
+            return Satisfiability.UNSAT, ()
+        assumptions = [self._selectors[key] for key in cube]
+        relevant = set(self._base_atom_vars)
+        for key in cube:
+            relevant |= self._literal_atom_vars[key]
+        lemmas_before = self.lemmas_learned
+        outcome = Satisfiability.UNKNOWN
+        core = None
+        for _ in range(self.max_rounds):
+            result = self.solver.solve(assumptions=assumptions)
+            self.assumption_solves += 1
+            if not result.sat:
+                outcome = Satisfiability.UNSAT
+                core = tuple(
+                    sorted(self._selector_literal[s] for s in result.core)
+                )
+                break
+            literals = self._theory_literals(result.model, relevant)
+            if not literals or check_literals(literals):
+                outcome = Satisfiability.SAT
+                break
+            blocked = _minimize_core(literals)
+            blocking = [
+                (-self._atom_map.var_for(atom) if polarity else self._atom_map.var_for(atom))
+                for atom, polarity in blocked
+            ]
+            self.solver.add_clause(blocking)
+            self.lemmas_learned += 1
+        if (
+            self.decides > 1
+            and lemmas_before > 0
+            and self.lemmas_learned == lemmas_before
+        ):
+            # Earlier cubes' theory lemmas sufficed — nothing rediscovered.
+            self.lemma_reuse_hits += 1
+        return outcome, core
+
+    def _theory_literals(self, model, relevant_vars):
+        literals = []
+        for var, value in model.items():
+            if var not in relevant_vars:
+                continue
+            atom = self._atom_map.atom_of(var)
+            if atom is not None:
+                literals.append((atom, value))
+        return literals
+
+    def counters(self):
+        return {
+            "assumption_solves": self.assumption_solves,
+            "lemmas_learned": self.lemmas_learned,
+            "lemma_reuse_hits": self.lemma_reuse_hits,
+            "decides": self.decides,
+        }

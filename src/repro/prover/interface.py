@@ -13,12 +13,23 @@ The front door is split from the decision procedure behind it:
   :class:`DpllTBackend` runs the from-scratch DPLL(T) stack in
   :mod:`repro.prover.smt`; alternatives register themselves with
   :mod:`repro.engine.backends`.
+
+For the cube-heavy ``F_V``/``G_V`` strengthening loops the per-query path
+is wasteful: the goal is fixed and only the cube literals vary.
+:meth:`Prover.cube_session` opens a :class:`CubeProverSession` that keeps
+the canonical-form cache and all counters as the outer layer but answers
+cache misses through the backend's incremental assumption engine
+(:class:`repro.prover.incremental.IncrementalCubeSession`) when the
+backend provides one (the ``open_cube_session`` capability), falling back
+to fresh per-cube ``check_implication`` calls otherwise.
 """
 
 import time
 
+from repro.cfront import cast as C
 from repro.prover import terms as T
 from repro.prover.cache import QueryCache
+from repro.prover.incremental import IncrementalCubeSession
 from repro.prover.smt import Satisfiability, check_formula
 
 
@@ -32,6 +43,13 @@ class ProverStats:
         self.valid = 0
         self.invalid = 0
         self.unknown = 0
+        # Incremental cube-engine counters.
+        self.cube_sessions = 0  # CubeProverSession objects opened
+        self.assumption_solves = 0  # SAT solves under selector assumptions
+        self.cnf_encodings_saved = 0  # cube decides answered w/o re-encoding
+        self.lemmas_learned = 0  # theory lemmas added to session solvers
+        self.lemmas_reused = 0  # decides settled by earlier cubes' lemmas
+        self.core_shrinks = 0  # unsat cores strictly smaller than the cube
 
     def reset(self):
         self.__init__()
@@ -44,7 +62,19 @@ class ProverStats:
             "valid": self.valid,
             "invalid": self.invalid,
             "unknown": self.unknown,
+            "cube_sessions": self.cube_sessions,
+            "assumption_solves": self.assumption_solves,
+            "cnf_encodings_saved": self.cnf_encodings_saved,
+            "lemmas_learned": self.lemmas_learned,
+            "lemmas_reused": self.lemmas_reused,
+            "core_shrinks": self.core_shrinks,
         }
+
+    def merge(self, snapshot):
+        """Add a :meth:`snapshot` dict into these counters (used to fold
+        parallel workers' prover accounting back into the parent)."""
+        for name, value in snapshot.items():
+            setattr(self, name, getattr(self, name, 0) + value)
 
     def __repr__(self):
         return "ProverStats(%r)" % (self.snapshot(),)
@@ -54,7 +84,8 @@ class DpllTBackend:
     """The built-in lazy DPLL(T) decision procedure.
 
     Implements the :class:`repro.engine.backends.ProverBackend` protocol:
-    both methods answer with a :class:`Satisfiability`.
+    both check methods answer with a :class:`Satisfiability`, and
+    :meth:`open_cube_session` provides the incremental cube capability.
     """
 
     name = "dpllt"
@@ -79,6 +110,106 @@ class DpllTBackend:
         conjunction = T.land(*formulas)
         axioms = list(ctx.defs) + T.address_axioms(T.land(conjunction, *ctx.defs))
         return check_formula(conjunction, axioms, max_rounds=self.max_rounds)
+
+    def open_cube_session(self, candidates, goal):
+        """An :class:`IncrementalCubeSession` deciding cubes over
+        ``candidates`` against the fixed ``goal``."""
+        return IncrementalCubeSession(candidates, goal, max_rounds=self.max_rounds)
+
+
+class CubeProverSession:
+    """Cached cube decisions against one fixed goal.
+
+    The outer layer — canonical-form :class:`QueryCache`, stats counters,
+    event reporting — is identical to :meth:`Prover.implies`, so cached
+    answers are shared with plain implication queries across the whole
+    engine context.  Cache misses go to the backend's incremental
+    assumption engine when available (built lazily, so a fully cached
+    strengthening call never pays for an encoding)."""
+
+    def __init__(self, prover, candidates, goal, incremental=True):
+        self.prover = prover
+        self.candidates = tuple(candidates)
+        self._negated = tuple(C.negate(expr) for expr in self.candidates)
+        self.goal = goal
+        self._incremental = incremental
+        self._session = None
+        self._synced = None
+        prover.stats.cube_sessions += 1
+
+    def cube_exprs(self, cube):
+        """The concretization of a cube as C expressions."""
+        return tuple(
+            self.candidates[index] if polarity else self._negated[index]
+            for index, polarity in cube
+        )
+
+    def implies_cube(self, cube):
+        """Does the cube's concretization imply the goal?
+
+        Returns ``(result, core)`` where ``core`` — when the backend
+        reports one strictly smaller than the cube — is the sub-cube that
+        already forces the implication (usable to prune supersets without
+        further queries); ``None`` otherwise."""
+        cube = tuple(cube)
+        prover = self.prover
+        stats = prover.stats
+        exprs = self.cube_exprs(cube)
+        stats.queries += 1
+        key = QueryCache.key("implies", exprs, self.goal)
+        if prover.enable_cache:
+            hit, value = prover.cache.lookup(key)
+            if hit:
+                stats.cache_hits += 1
+                prover._emit("implies", cached=True, result=value, seconds=0.0)
+                return value, None
+        started = time.perf_counter()
+        core = None
+        if self._incremental and self._session is None:
+            opener = getattr(prover.backend, "open_cube_session", None)
+            self._session = opener(self.candidates, self.goal) if opener else None
+            if self._session is None:
+                self._incremental = False
+            else:
+                self._synced = self._session.counters()
+        if self._session is not None:
+            if self._session.decides > 0:
+                # The fresh baseline would have re-encoded the whole query.
+                stats.cnf_encodings_saved += 1
+            outcome, raw_core = self._session.decide(cube)
+            self._sync_session_counters()
+            if raw_core is not None and len(raw_core) < len(cube):
+                core = raw_core
+                stats.core_shrinks += 1
+        else:
+            outcome = prover.backend.check_implication(exprs, self.goal)
+        elapsed = time.perf_counter() - started
+        stats.calls += 1
+        result = outcome is Satisfiability.UNSAT
+        if result:
+            stats.valid += 1
+        elif outcome is Satisfiability.UNKNOWN:
+            stats.unknown += 1
+        else:
+            stats.invalid += 1
+        if prover.enable_cache:
+            prover.cache.store(key, result)
+        prover._emit("implies", cached=False, result=result, seconds=elapsed)
+        return result, core
+
+    def _sync_session_counters(self):
+        current = self._session.counters()
+        stats = self.prover.stats
+        stats.assumption_solves += (
+            current["assumption_solves"] - self._synced["assumption_solves"]
+        )
+        stats.lemmas_learned += (
+            current["lemmas_learned"] - self._synced["lemmas_learned"]
+        )
+        stats.lemmas_reused += (
+            current["lemma_reuse_hits"] - self._synced["lemma_reuse_hits"]
+        )
+        self._synced = current
 
 
 class Prover:
@@ -132,6 +263,15 @@ class Prover:
             self.cache.store(key, result)
         self._emit("implies", cached=False, result=result, seconds=elapsed)
         return result
+
+    def cube_session(self, candidates, goal, incremental=True):
+        """Open a :class:`CubeProverSession` for one strengthening call:
+        repeated cube implication tests over ``candidates`` against the
+        fixed ``goal``.  With ``incremental=False`` (or a backend without
+        the ``open_cube_session`` capability) every cache miss runs a
+        fresh ``check_implication`` — the pre-session behaviour, kept as
+        the benchmark baseline."""
+        return CubeProverSession(self, candidates, goal, incremental=incremental)
 
     def is_valid(self, expr):
         return self.implies((), expr)

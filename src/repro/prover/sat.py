@@ -1,24 +1,47 @@
-"""A CDCL propositional SAT solver.
+"""A CDCL propositional SAT solver with incremental solving.
 
 Standard architecture: two-watched-literal propagation, first-UIP conflict
 analysis with clause learning, activity-based (VSIDS-style) branching with
 exponential decay, and geometric restarts.  Variables are positive integers;
 literals are nonzero integers where ``-v`` is the negation of ``v``.
 
-The solver is deliberately self-contained — the DPLL(T) loop layers theory
-reasoning on top by adding blocking clauses and re-solving.
+The solver is *incremental*: one :class:`SatSolver` keeps its working state
+(assignments at level 0, watch lists, learned clauses, branching activity)
+alive across ``solve`` calls.  Clauses may be added between calls, and each
+call may carry *assumptions* — literals treated as the first decisions of
+the search.  An UNSAT answer under assumptions reports the subset of
+assumptions involved in the final conflict (``SatResult.core``), which is
+how the cube engine prunes supersets of an already-refuted cube without
+further queries.
+
+The DPLL(T) loop layers theory reasoning on top by adding blocking clauses
+and re-solving; because the state persists, theory lemmas and learned
+clauses accumulate instead of being rediscovered on every query.
 """
+
+#: Process-wide construction counters, used by the benchmarks to compare
+#: the fresh-solver-per-query baseline against the incremental engine.
+COUNTERS = {"solver_states": 0, "solves": 0}
+
+
+def reset_counters():
+    for key in COUNTERS:
+        COUNTERS[key] = 0
 
 
 class SatResult:
     """Outcome of a solve: ``sat`` plus a model (assignment dict) when
-    satisfiable."""
+    satisfiable.  When unsatisfiable under assumptions, ``core`` is the
+    subset of the assumption literals involved in the final conflict (an
+    unsat-core-lite: sound — the conjunction of ``core`` already forces
+    the conflict — but not necessarily minimal)."""
 
-    __slots__ = ("sat", "model")
+    __slots__ = ("sat", "model", "core")
 
-    def __init__(self, sat, model=None):
+    def __init__(self, sat, model=None, core=()):
         self.sat = sat
         self.model = model or {}
+        self.core = tuple(core)
 
     def __bool__(self):
         return self.sat
@@ -28,14 +51,18 @@ class SatResult:
 
 
 class SatSolver:
-    """One solver instance; clauses may be added between ``solve`` calls."""
+    """One incremental solver instance; clauses may be added between
+    ``solve`` calls and the search state persists across them."""
 
     def __init__(self):
-        self._clauses = []
+        self._pending = []  # clauses added since the last solve
         self._num_vars = 0
+        self._state = None  # persistent working state, built lazily
+        self._unsat = False  # an empty clause was added
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.learned_clauses = 0
 
     def add_clause(self, literals):
         """Add a clause (iterable of nonzero ints).  Returns False if the
@@ -46,27 +73,46 @@ class SatSolver:
             if clause[i] == -clause[i + 1]:
                 return True
         if not clause:
-            self._clauses.append([])
+            self._unsat = True
             return False
         for lit in clause:
             self._num_vars = max(self._num_vars, abs(lit))
-        self._clauses.append(clause)
+        self._pending.append(clause)
         return True
 
     # -- solving ------------------------------------------------------------
 
     def solve(self, assumptions=()):
-        """Decide satisfiability of the clause set under ``assumptions``."""
-        if any(not clause for clause in self._clauses):
+        """Decide satisfiability of the clause set under ``assumptions``.
+
+        Assumptions are applied as the first decisions; the rest of the
+        state (level-0 assignments, learned clauses, activity) carries over
+        from previous calls."""
+        COUNTERS["solves"] += 1
+        if self._unsat:
             return SatResult(False)
-        state = _SolverState(self._num_vars, self._clauses, self)
-        return state.search(list(assumptions))
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            self._num_vars = max(self._num_vars, abs(lit))
+        if self._state is None:
+            self._state = _SolverState(self._num_vars, self)
+        state = self._state
+        state.grow(self._num_vars)
+        state.backjump(0)
+        for clause in self._pending:
+            if not state.attach_incremental(clause):
+                self._unsat = True
+                self._pending = []
+                return SatResult(False)
+        self._pending = []
+        return state.search(assumptions)
 
 
 class _SolverState:
-    """The per-solve working state (assignments, watches, activity)."""
+    """The persistent working state (assignments, watches, activity)."""
 
-    def __init__(self, num_vars, clauses, stats):
+    def __init__(self, num_vars, stats):
+        COUNTERS["solver_states"] += 1
         self.num_vars = num_vars
         self.stats = stats
         # values[v] in (None, True, False)
@@ -79,8 +125,18 @@ class _SolverState:
         self.activity_inc = 1.0
         self.watches = {}  # literal -> list of clauses watching it
         self.clauses = []
-        for clause in clauses:
-            self._attach(list(clause))
+        self._qhead = 0
+
+    def grow(self, num_vars):
+        """Extend the per-variable arrays for newly introduced variables."""
+        if num_vars <= self.num_vars:
+            return
+        extra = num_vars - self.num_vars
+        self.values.extend([None] * extra)
+        self.levels.extend([0] * extra)
+        self.reasons.extend([None] * extra)
+        self.activity.extend([0.0] * extra)
+        self.num_vars = num_vars
 
     # -- clause attachment ----------------------------------------------------
 
@@ -91,6 +147,32 @@ class _SolverState:
             return
         for lit in clause[:2]:
             self.watches.setdefault(lit, []).append(clause)
+
+    def attach_incremental(self, clause):
+        """Attach a clause added between solves.  Must be called at decision
+        level 0.  Level-0 assignments from earlier solves may already
+        falsify some literals, so the watches are chosen among the
+        non-false ones (and a clause unit under the level-0 trail is
+        propagated immediately).  Returns False on a root-level conflict."""
+        if len(clause) == 1:
+            self.clauses.append(clause)
+            return self._enqueue(clause[0], reason=clause) is not False
+        non_false = [i for i, lit in enumerate(clause) if self._value_of(lit) is not False]
+        if not non_false:
+            return False
+        # Move a non-false literal into each watch slot (slot 1 keeps a
+        # false literal only when the clause is unit under the trail).
+        first = non_false[0]
+        clause[0], clause[first] = clause[first], clause[0]
+        if len(non_false) >= 2:
+            second = non_false[1]  # > first >= 0, untouched by the first swap
+            clause[1], clause[second] = clause[second], clause[1]
+        self.clauses.append(clause)
+        for lit in clause[:2]:
+            self.watches.setdefault(lit, []).append(clause)
+        if len(non_false) == 1 and self._value_of(clause[0]) is None:
+            self._enqueue(clause[0], reason=clause)
+        return True
 
     # -- assignment plumbing ---------------------------------------------------
 
@@ -117,7 +199,7 @@ class _SolverState:
 
     def _propagate(self):
         """Unit propagation; returns a conflicting clause or None."""
-        index = getattr(self, "_qhead", 0)
+        index = self._qhead
         while index < len(self.trail):
             lit = self.trail[index]
             index += 1
@@ -199,6 +281,35 @@ class _SolverState:
                 break
         return learned, backjump
 
+    def _analyze_final(self, failed_lit, assumptions):
+        """The assumptions responsible for falsifying ``failed_lit``.
+
+        Walks the implication graph backwards from the (falsified)
+        assumption: every decision ancestor is an earlier assumption
+        (assumptions are always applied before free decisions), and
+        level-0 ancestors are facts independent of the assumptions."""
+        assume_set = set(assumptions)
+        involved = set()
+        seen = set()
+        stack = [abs(failed_lit)]
+        while stack:
+            var = stack.pop()
+            if var in seen or self.levels[var] == 0:
+                continue
+            seen.add(var)
+            reason = self.reasons[var]
+            if reason is None:
+                assigned = var if self.values[var] else -var
+                if assigned in assume_set:
+                    involved.add(assigned)
+            else:
+                for q in reason:
+                    if abs(q) != var:
+                        stack.append(abs(q))
+        if failed_lit in assume_set:
+            involved.add(failed_lit)
+        return tuple(lit for lit in assumptions if lit in involved)
+
     def _bump(self, var):
         self.activity[var] += self.activity_inc
         if self.activity[var] > 1e100:
@@ -206,7 +317,7 @@ class _SolverState:
                 self.activity[i] *= 1e-100
             self.activity_inc *= 1e-100
 
-    def _backjump(self, level):
+    def backjump(self, level):
         while self._decision_level() > level:
             limit = self.trail_lim.pop()
             for lit in self.trail[limit:]:
@@ -214,15 +325,20 @@ class _SolverState:
                 self.values[var] = None
                 self.reasons[var] = None
             del self.trail[limit:]
-        self._qhead = len(self.trail)
+        self._qhead = min(self._qhead, len(self.trail))
 
     # -- search ------------------------------------------------------------------
 
     def search(self, assumptions):
-        # Enqueue unit clauses at level 0.
+        # Enqueue unit clauses at level 0 (idempotent across solves).
         for clause in self.clauses:
             if len(clause) == 1:
                 if self._enqueue(clause[0], reason=clause) is False:
+                    # Contradictory units: the clause set itself is unsat,
+                    # independent of assumptions.  Latch the owner's flag —
+                    # the propagation queue has consumed the conflicting
+                    # trail, so a later solve would not rediscover it.
+                    self.stats._unsat = True
                     return SatResult(False)
         conflict_budget = 128
         while True:
@@ -230,7 +346,7 @@ class _SolverState:
             if result is not None:
                 return result
             conflict_budget = int(conflict_budget * 1.5)
-            self._backjump(0)
+            self.backjump(0)
 
     def _search_until_restart(self, assumptions, conflict_budget):
         conflicts_here = 0
@@ -240,10 +356,15 @@ class _SolverState:
                 self.stats.conflicts += 1
                 conflicts_here += 1
                 if self._decision_level() == 0:
+                    # Level 0 holds only forced literals (assumptions open
+                    # level 1), so this conflict proves the clause set
+                    # unsat regardless of assumptions — latch it.
+                    self.stats._unsat = True
                     return SatResult(False)
                 learned, backjump = self._analyze(conflict)
-                self._backjump(backjump)
+                self.backjump(backjump)
                 self._attach(learned)
+                self.stats.learned_clauses += 1
                 self._enqueue(learned[0], reason=learned)
                 self.activity_inc *= 1.05
                 if conflicts_here >= conflict_budget:
@@ -254,7 +375,8 @@ class _SolverState:
             for lit in assumptions:
                 value = self._value_of(lit)
                 if value is False:
-                    return SatResult(False)
+                    core = self._analyze_final(lit, assumptions)
+                    return SatResult(False, core=core)
                 if value is None:
                     pending = lit
                     break

@@ -9,7 +9,7 @@ dry (UNSAT) or a theory-consistent model is found (SAT).
 
 import enum
 
-from repro.prover.cnf import AtomMap, tseitin
+from repro.prover.cnf import formula_to_cnf
 from repro.prover.sat import SatSolver
 from repro.prover.terms import land
 from repro.prover.theory import check_literals
@@ -35,10 +35,7 @@ def check_formula(formula, axioms=(), max_rounds=_MAX_THEORY_ROUNDS):
         return Satisfiability.SAT
     if whole == ("false",):
         return Satisfiability.UNSAT
-    atom_map = AtomMap()
-    clauses = []
-    root = tseitin(whole, atom_map, clauses)
-    clauses.append([root])
+    clauses, atom_map = formula_to_cnf(whole)
     solver = SatSolver()
     for clause in clauses:
         solver.add_clause(clause)
