@@ -1,0 +1,273 @@
+"""The Bebop fast path against the legacy engine.
+
+Two workloads, both run under each engine:
+
+- **Table 2**: the five case-study programs, abstracted once, then model
+  checked — one Bebop run per program (compile cost is not amortized);
+- **Table 1**: the eight drivers x {lock, IRP} through the full CEGAR
+  loop, where the fast path also reuses the BDD manager and the compiled
+  transfer relations of unchanged procedures across iterations.
+
+Both engines must agree exactly — same invariant strings at every label,
+same assertion failures, same CEGAR verdicts and iteration counts.  The
+process-wide BDD counters (:data:`repro.bdd.manager.COUNTERS`) quantify
+the savings; the headline assertion is a >=2x reduction in ``ite``
+operations over the combined corpus, with reduced wall-clock.  Results
+land in ``benchmarks/results/BENCH_bebop.json`` plus a rendered table.
+
+``-k smoke`` selects the fixture-free fast checks used by CI.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _tables import write_json, write_table
+
+from repro import (
+    Bebop,
+    C2bp,
+    SafetySpec,
+    check_property,
+    parse_c_program,
+    parse_predicate_file,
+)
+from repro.bdd import manager as bdd_module
+from repro.core import C2bpOptions
+from repro.engine import EngineContext
+from repro.programs import all_drivers, all_table2_programs, get_driver, get_program
+
+LOCK = SafetySpec.lock_discipline("KeAcquireSpinLock", "KeReleaseSpinLock")
+IRP = SafetySpec.complete_exactly_once("IoCompleteRequest")
+
+#: The fixture-free CI smoke subset.
+SMOKE_PROGRAMS = ("partition", "listfind")
+SMOKE_DRIVER = "floppy"
+
+
+def _abstract(studies):
+    """Abstract each study once; both engines check the same program."""
+    abstracted = []
+    for study in studies:
+        program = parse_c_program(study.source, study.name)
+        predicates = parse_predicate_file(study.predicate_text, program)
+        abstracted.append((study, C2bp(program, predicates).run()))
+    return abstracted
+
+
+def _check_table2(abstracted, legacy):
+    """Model check every abstracted study under one engine."""
+    bdd_module.reset_counters()
+    started = time.perf_counter()
+    programs = {}
+    results = {}
+    for study, boolean_program in abstracted:
+        checker = Bebop(boolean_program, main=study.entry, legacy=legacy)
+        result = checker.run()
+        results[study.name] = result
+        programs[study.name] = {
+            "worklist_steps": result.steps,
+            "assertion_failures": len(result.assertion_failures),
+            "ite_calls": checker.manager.ite_calls,
+            "bdd_nodes": checker.manager.live_nodes,
+        }
+    return {
+        "seconds": time.perf_counter() - started,
+        "ite": bdd_module.COUNTERS["ite"],
+        "counters": dict(bdd_module.COUNTERS),
+        "programs": programs,
+        "results": results,
+    }
+
+
+def _check_table1(pairs, legacy):
+    """Run the CEGAR loop for every (driver, property) under one engine."""
+    bdd_module.reset_counters()
+    started = time.perf_counter()
+    runs = {}
+    for driver, key, spec in pairs:
+        context = EngineContext(options=C2bpOptions(bebop_legacy=legacy))
+        result = check_property(
+            driver.source, spec, entry=driver.entry, max_iterations=8,
+            context=context,
+        )
+        snapshot = context.stats.snapshot()
+        runs["%s/%s" % (driver.name, key)] = {
+            "verdict": result.verdict,
+            "iterations": result.iterations,
+            "seconds": round(result.cegar.seconds, 3),
+            "transfers_reused": (
+                snapshot.get("bebop_reuse", {}).get("transfers_reused", 0)
+            ),
+            "result": result,
+        }
+    return {
+        "seconds": time.perf_counter() - started,
+        "ite": bdd_module.COUNTERS["ite"],
+        "counters": dict(bdd_module.COUNTERS),
+        "runs": runs,
+    }
+
+
+def _assert_identical_invariants(abstracted, fast, legacy):
+    for study, _ in abstracted:
+        fast_result = fast["results"][study.name]
+        legacy_result = legacy["results"][study.name]
+        assert fast_result.all_invariants() == legacy_result.all_invariants(), (
+            "engines disagree on %s" % study.name
+        )
+        assert len(fast_result.assertion_failures) == len(
+            legacy_result.assertion_failures
+        ), study.name
+
+
+def test_bench_bebop_engines(benchmark):
+    studies = all_table2_programs()
+    pairs = [
+        (driver, key, spec)
+        for driver in all_drivers()
+        for key, spec in (("lock", LOCK), ("irp", IRP))
+    ]
+
+    def run_all():
+        abstracted = _abstract(studies)
+        return {
+            "abstracted": abstracted,
+            "table2_fast": _check_table2(abstracted, legacy=False),
+            "table2_legacy": _check_table2(abstracted, legacy=True),
+            "table1_fast": _check_table1(pairs, legacy=False),
+            "table1_legacy": _check_table1(pairs, legacy=True),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Differential identity on every benchmark program.
+    _assert_identical_invariants(
+        results["abstracted"], results["table2_fast"], results["table2_legacy"]
+    )
+    for name, fast_run in results["table1_fast"]["runs"].items():
+        legacy_run = results["table1_legacy"]["runs"][name]
+        assert fast_run["verdict"] == legacy_run["verdict"], name
+        assert fast_run["iterations"] == legacy_run["iterations"], name
+        fast_bp = fast_run["result"].cegar.boolean_program
+        assert (
+            Bebop(fast_bp).run().all_invariants()
+            == Bebop(fast_bp, legacy=True).run().all_invariants()
+        ), name
+
+    # The headline: >=2x fewer ite operations over the combined corpus,
+    # and the CEGAR runs actually reuse compiled transfers.
+    fast_ite = results["table2_fast"]["ite"] + results["table1_fast"]["ite"]
+    legacy_ite = results["table2_legacy"]["ite"] + results["table1_legacy"]["ite"]
+    assert legacy_ite >= 2 * fast_ite, (fast_ite, legacy_ite)
+    assert any(
+        run["transfers_reused"] > 0
+        for run in results["table1_fast"]["runs"].values()
+    )
+    fast_seconds = results["table2_fast"]["seconds"] + results["table1_fast"]["seconds"]
+    legacy_seconds = (
+        results["table2_legacy"]["seconds"] + results["table1_legacy"]["seconds"]
+    )
+    assert fast_seconds < legacy_seconds, (fast_seconds, legacy_seconds)
+
+    payload = {"combined": {
+        "fast_ite": fast_ite,
+        "legacy_ite": legacy_ite,
+        "ite_reduction": round(legacy_ite / max(fast_ite, 1), 2),
+        "fast_seconds": round(fast_seconds, 3),
+        "legacy_seconds": round(legacy_seconds, 3),
+    }}
+    for label in ("table2_fast", "table2_legacy"):
+        entry = results[label]
+        payload[label] = {
+            "seconds": round(entry["seconds"], 3),
+            "counters": entry["counters"],
+            "programs": entry["programs"],
+        }
+    for label in ("table1_fast", "table1_legacy"):
+        entry = results[label]
+        payload[label] = {
+            "seconds": round(entry["seconds"], 3),
+            "counters": entry["counters"],
+            "runs": {
+                name: {key: value for key, value in run.items() if key != "result"}
+                for name, run in entry["runs"].items()
+            },
+        }
+    write_json("BENCH_bebop", payload)
+
+    rows = []
+    for workload in ("table2", "table1"):
+        fast = results[workload + "_fast"]
+        legacy = results[workload + "_legacy"]
+        rows.append(
+            [
+                workload,
+                fast["ite"],
+                legacy["ite"],
+                "%.2fx" % (legacy["ite"] / max(fast["ite"], 1)),
+                "%.2f" % fast["seconds"],
+                "%.2f" % legacy["seconds"],
+                fast["counters"]["renames_shifted"],
+                fast["counters"]["and_exists"],
+            ]
+        )
+    rows.append(
+        [
+            "combined",
+            fast_ite,
+            legacy_ite,
+            "%.2fx" % (legacy_ite / max(fast_ite, 1)),
+            "%.2f" % fast_seconds,
+            "%.2f" % legacy_seconds,
+            "",
+            "",
+        ]
+    )
+    write_table(
+        "BENCH_bebop",
+        [
+            "workload",
+            "fast ite",
+            "legacy ite",
+            "reduction",
+            "fast s",
+            "legacy s",
+            "shift renames",
+            "and-exists steps",
+        ],
+        rows,
+        notes=[
+            "Table-2 programs are abstracted once and model checked by both "
+            "engines; Table-1 drivers run the full CEGAR loop per property "
+            "(the fast path reuses one BDD manager and the compiled "
+            "transfer relations of unchanged procedures across iterations). "
+            "Both engines report identical invariants, assertion failures, "
+            "and verdicts on every benchmark program; the fast path does it "
+            "with >=2x fewer ite operations.",
+        ],
+    )
+
+
+def test_smoke_fast_vs_legacy():
+    """CI smoke (no benchmark fixture): fast and legacy engines agree on
+    the two smallest corpus programs and the fast path does less work."""
+    abstracted = _abstract([get_program(name) for name in SMOKE_PROGRAMS])
+    fast = _check_table2(abstracted, legacy=False)
+    legacy = _check_table2(abstracted, legacy=True)
+    _assert_identical_invariants(abstracted, fast, legacy)
+    assert legacy["ite"] > 1.5 * fast["ite"], (fast["ite"], legacy["ite"])
+
+
+def test_smoke_cegar_reuse():
+    """CI smoke: the multi-iteration floppy/IRP run reuses compiled
+    transfer relations and matches the legacy verdict."""
+    driver = get_driver(SMOKE_DRIVER)
+    table = _check_table1([(driver, "irp", IRP)], legacy=False)
+    run = table["runs"]["%s/irp" % SMOKE_DRIVER]
+    assert run["iterations"] > 1
+    assert run["transfers_reused"] > 0
+    legacy = _check_table1([(driver, "irp", IRP)], legacy=True)
+    assert run["verdict"] == legacy["runs"]["%s/irp" % SMOKE_DRIVER]["verdict"]

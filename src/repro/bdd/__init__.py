@@ -3,10 +3,12 @@
 Bebop [5] represents sets of boolean-program states and statement transfer
 functions implicitly with BDDs; this package is the stand-in for the BDD
 library it builds on.  Hash-consed nodes, memoized ``ite``, quantification,
-order-safe renaming via quantified equivalences, model iteration, and cube
-enumeration are provided.
+simultaneous renaming (level shift or compose), fused relational-product
+kernels (``and_exists``/``and_not``/``exists_set``), bounded op-caches,
+mark-and-sweep garbage collection, model iteration, and cube enumeration
+are provided.
 """
 
-from repro.bdd.manager import BddManager, BddNode
+from repro.bdd.manager import BddManager, BddNode, COUNTERS, reset_counters
 
-__all__ = ["BddManager", "BddNode"]
+__all__ = ["BddManager", "BddNode", "COUNTERS", "reset_counters"]

@@ -7,12 +7,44 @@ order is the natural integer order.  The manager exposes:
 - constants ``true``/``false`` and single-variable BDDs;
 - ``ite`` and the derived boolean connectives;
 - ``restrict`` (cofactor), ``exists``/``forall`` over variable sets;
-- ``rename`` via quantified equivalences (safe for any ordering);
+- fused kernels for the model checker's hot path: ``and_exists`` (the
+  relational product ``exists V (f and g)`` in one recursive pass),
+  ``and_not`` (``f and not g``, the frontier difference), and
+  ``exists_set`` (simultaneous quantification over a variable set);
+- ``rename`` as a *simultaneous* substitution: order-compatible maps are
+  applied as a direct level shift, arbitrary maps (including swaps such
+  as ``{a: b, b: a}``) fall back to an ``ite``-based compose — the old
+  pair-by-pair quantified-equivalence loop silently clobbered overlapping
+  mappings;
 - model extraction (``pick_assignment``), full model iteration
-  (``assignments``), cube enumeration (``cubes``), and model counting.
+  (``assignments``), cube enumeration (``cubes``), and model counting;
+- bounded op-caches (cleared wholesale past ``max_cache_entries``, with
+  an eviction counter) and mark-and-sweep ``collect_garbage`` over caller
+  -supplied roots, so a manager can live across many runs.
+
+Operation counters are kept both per-manager (``stats_snapshot``) and in
+the process-wide :data:`COUNTERS` dict so benchmarks can compare
+configurations that construct many managers.
 """
 
 import itertools
+
+#: Process-wide operation counters (one BddManager per Bebop run means
+#: per-manager counters vanish with the manager; benchmarks read these).
+COUNTERS = {
+    "ite": 0,
+    "and_exists": 0,
+    "and_not": 0,
+    "exists_set": 0,
+    "renames_shifted": 0,
+    "renames_composed": 0,
+    "cache_evictions": 0,
+}
+
+
+def reset_counters():
+    for key in COUNTERS:
+        COUNTERS[key] = 0
 
 
 class BddNode:
@@ -41,14 +73,38 @@ class _Terminal:
         return "BddTerminal(%r)" % self.value
 
 
+_EMPTY = frozenset()
+
+
 class BddManager:
-    def __init__(self):
+    #: Default bound on each op-cache; past it the cache is dropped
+    #: wholesale (a generation flip, counted in ``cache_evictions``).
+    DEFAULT_MAX_CACHE_ENTRIES = 1 << 20
+
+    def __init__(self, max_cache_entries=None):
         self.false = _Terminal(False, 0)
         self.true = _Terminal(True, 1)
         self._next_id = 2
         self._unique = {}  # (var, low id, high id) -> node
         self._ite_cache = {}
         self._quant_cache = {}
+        self._apply_cache = {}  # fused kernels: and_exists / and_not / exists_set
+        self.max_cache_entries = (
+            self.DEFAULT_MAX_CACHE_ENTRIES if max_cache_entries is None else max_cache_entries
+        )
+        self._varset_ids = {}  # frozenset -> (small id, max var)
+        self.ite_calls = 0
+        self.and_exists_steps = 0
+        self.and_not_steps = 0
+        self.exists_set_steps = 0
+        self.renames_shifted = 0
+        self.renames_composed = 0
+        self.cache_hits = 0
+        self.cache_lookups = 0
+        self.cache_evictions = 0
+        self.peak_nodes = 0
+        self.gc_runs = 0
+        self.nodes_collected = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -61,6 +117,8 @@ class BddManager:
             node = BddNode(var, low, high, self._next_id)
             self._next_id += 1
             self._unique[key] = node
+            if len(self._unique) > self.peak_nodes:
+                self.peak_nodes = len(self._unique)
         return node
 
     def var(self, index):
@@ -73,10 +131,45 @@ class BddManager:
     def constant(self, value):
         return self.true if value else self.false
 
+    def cube(self, literals):
+        """The conjunction of ``(var, polarity)`` literals, built directly
+        with the unique table — no ``ite`` traffic.  Returns false on
+        contradictory literals; duplicates collapse."""
+        by_var = {}
+        for var, polarity in literals:
+            polarity = bool(polarity)
+            if by_var.setdefault(var, polarity) != polarity:
+                return self.false
+        node = self.true
+        for var in sorted(by_var, reverse=True):
+            if by_var[var]:
+                node = self._mk(var, self.false, node)
+            else:
+                node = self._mk(var, node, self.false)
+        return node
+
+    # -- op-cache plumbing -------------------------------------------------------
+
+    def _cache_put(self, cache, key, value):
+        if len(cache) >= self.max_cache_entries:
+            cache.clear()
+            self.cache_evictions += 1
+            COUNTERS["cache_evictions"] += 1
+        cache[key] = value
+
+    def _varset_id(self, variables):
+        entry = self._varset_ids.get(variables)
+        if entry is None:
+            entry = (len(self._varset_ids), max(variables) if variables else -1)
+            self._varset_ids[variables] = entry
+        return entry
+
     # -- core: if-then-else -----------------------------------------------------
 
     def ite(self, f, g, h):
         """The BDD of ``(f and g) or (not f and h)``."""
+        self.ite_calls += 1
+        COUNTERS["ite"] += 1
         if f is self.true:
             return g
         if f is self.false:
@@ -86,8 +179,10 @@ class BddManager:
         if g is self.true and h is self.false:
             return f
         key = (f._id, g._id, h._id)
+        self.cache_lookups += 1
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
         top = min(node.var for node in (f, g, h) if isinstance(node, BddNode))
         f_low, f_high = self._cofactors(f, top)
@@ -96,7 +191,7 @@ class BddManager:
         low = self.ite(f_low, g_low, h_low)
         high = self.ite(f_high, g_high, h_high)
         result = self._mk(top, low, high)
-        self._ite_cache[key] = result
+        self._cache_put(self._ite_cache, key, result)
         return result
 
     @staticmethod
@@ -157,7 +252,7 @@ class BddManager:
                 self.restrict(f.low, var, value),
                 self.restrict(f.high, var, value),
             )
-        self._quant_cache[key] = result
+        self._cache_put(self._quant_cache, key, result)
         return result
 
     def exists(self, f, variables):
@@ -181,26 +276,252 @@ class BddManager:
             result = self._mk(
                 f.var, self._exists_one(f.low, var), self._exists_one(f.high, var)
             )
-        self._quant_cache[key] = result
+        self._cache_put(self._quant_cache, key, result)
         return result
 
     def forall(self, f, variables):
         return self.lnot(self.exists(self.lnot(f), variables))
 
+    # -- fused kernels -------------------------------------------------------------
+
+    def exists_set(self, f, variables):
+        """``exists variables . f`` in one pass over the whole set."""
+        variables = frozenset(variables)
+        if not variables or isinstance(f, _Terminal):
+            return f
+        vsid, vmax = self._varset_id(variables)
+        return self._exists_set(f, variables, vsid, vmax)
+
+    def _exists_set(self, f, vs, vsid, vmax):
+        if isinstance(f, _Terminal) or f.var > vmax:
+            return f
+        self.exists_set_steps += 1
+        COUNTERS["exists_set"] += 1
+        key = ("eset", f._id, vsid)
+        self.cache_lookups += 1
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        low = self._exists_set(f.low, vs, vsid, vmax)
+        high = self._exists_set(f.high, vs, vsid, vmax)
+        if f.var in vs:
+            result = self.lor(low, high)
+        else:
+            result = self._mk(f.var, low, high)
+        self._cache_put(self._apply_cache, key, result)
+        return result
+
+    def and_exists(self, f, g, variables):
+        """The relational product ``exists variables . (f and g)`` without
+        materializing the conjunction (Bebop's transfer application)."""
+        variables = frozenset(variables)
+        vsid, vmax = self._varset_id(variables)
+        return self._and_exists(f, g, variables, vsid, vmax)
+
+    def _and_exists(self, f, g, vs, vsid, vmax):
+        if f is self.false or g is self.false:
+            return self.false
+        if f is self.true:
+            return self._exists_set(g, vs, vsid, vmax) if vs else g
+        if g is self.true:
+            return self._exists_set(f, vs, vsid, vmax) if vs else f
+        self.and_exists_steps += 1
+        COUNTERS["and_exists"] += 1
+        if f._id > g._id:
+            f, g = g, f
+        key = ("aex", f._id, g._id, vsid)
+        self.cache_lookups += 1
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        top = min(f.var, g.var)
+        f_low, f_high = self._cofactors(f, top)
+        g_low, g_high = self._cofactors(g, top)
+        if top in vs:
+            low = self._and_exists(f_low, g_low, vs, vsid, vmax)
+            if low is self.true:
+                result = self.true
+            else:
+                high = self._and_exists(f_high, g_high, vs, vsid, vmax)
+                result = self.lor(low, high)
+        else:
+            low = self._and_exists(f_low, g_low, vs, vsid, vmax)
+            high = self._and_exists(f_high, g_high, vs, vsid, vmax)
+            result = self._mk(top, low, high)
+        self._cache_put(self._apply_cache, key, result)
+        return result
+
+    def equiv_vars(self, a, b):
+        """``a <-> b`` for two variables, built directly — no ``ite``."""
+        if a == b:
+            return self.true
+        if a > b:
+            a, b = b, a
+        return self._mk(a, self.nvar(b), self.var(b))
+
+    def complement(self, f):
+        """``not f`` by direct node rebuild — no ``ite`` traffic."""
+        if f is self.true:
+            return self.false
+        if f is self.false:
+            return self.true
+        key = ("cmpl", f._id)
+        self.cache_lookups += 1
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = self._mk(f.var, self.complement(f.low), self.complement(f.high))
+        self._cache_put(self._apply_cache, key, result)
+        return result
+
+    def and_not(self, f, g):
+        """``f and not g`` — the frontier difference, fused so the
+        negation is never materialized."""
+        if f is self.false or g is self.true:
+            return self.false
+        if g is self.false:
+            return f
+        if f is g:
+            return self.false
+        if f is self.true:
+            return self.lnot(g)
+        self.and_not_steps += 1
+        COUNTERS["and_not"] += 1
+        key = ("anot", f._id, g._id)
+        self.cache_lookups += 1
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        top = min(f.var, g.var)
+        f_low, f_high = self._cofactors(f, top)
+        g_low, g_high = self._cofactors(g, top)
+        result = self._mk(top, self.and_not(f_low, g_low), self.and_not(f_high, g_high))
+        self._cache_put(self._apply_cache, key, result)
+        return result
+
     # -- renaming -----------------------------------------------------------------
 
     def rename(self, f, mapping):
-        """Rename variables per ``mapping`` (old -> new).
+        """Rename variables per ``mapping`` (old -> new), *simultaneously*.
 
-        Implemented as ``exists old (f and (old <-> new))`` pair by pair,
-        which is correct for any variable order provided each ``new`` is not
-        constrained by ``f`` and the mapping is injective.
+        Substitution semantics: every occurrence of an ``old`` variable is
+        replaced by its ``new`` variable in one step, so overlapping maps
+        such as the swap ``{a: b, b: a}`` are handled correctly (the
+        historical pair-by-pair quantified-equivalence loop clobbered
+        them).  Non-injective maps are rejected.  When the relabeled
+        support keeps the variable order — the common case with the
+        interleaved current/shadow numbering — the rename is a direct
+        level shift; otherwise an ``ite``-based compose reorders levels.
         """
-        for old, new in mapping.items():
-            if old == new:
+        mapping = {old: new for old, new in mapping.items() if old != new}
+        if not mapping or isinstance(f, _Terminal):
+            return f
+        targets = list(mapping.values())
+        if len(set(targets)) != len(targets):
+            raise ValueError("rename mapping is not injective: %r" % (mapping,))
+        support = self.support(f)
+        if not any(old in support for old in mapping):
+            return f
+        ordered = sorted(support)
+        relabeled = [mapping.get(v, v) for v in ordered]
+        if all(a < b for a, b in zip(relabeled, relabeled[1:])):
+            self.renames_shifted += 1
+            COUNTERS["renames_shifted"] += 1
+            return self._shift(f, mapping, {})
+        self.renames_composed += 1
+        COUNTERS["renames_composed"] += 1
+        return self._compose(f, mapping, {})
+
+    def _shift(self, f, mapping, memo):
+        """Order-preserving relabel: rebuild nodes with mapped indices."""
+        if isinstance(f, _Terminal):
+            return f
+        cached = memo.get(f._id)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            mapping.get(f.var, f.var),
+            self._shift(f.low, mapping, memo),
+            self._shift(f.high, mapping, memo),
+        )
+        memo[f._id] = result
+        return result
+
+    def _compose(self, f, mapping, memo):
+        """General simultaneous substitution via ``ite`` recombination."""
+        if isinstance(f, _Terminal):
+            return f
+        cached = memo.get(f._id)
+        if cached is not None:
+            return cached
+        low = self._compose(f.low, mapping, memo)
+        high = self._compose(f.high, mapping, memo)
+        result = self.ite(self.var(mapping.get(f.var, f.var)), high, low)
+        memo[f._id] = result
+        return result
+
+    # -- garbage collection ---------------------------------------------------------
+
+    def collect_garbage(self, roots=()):
+        """Drop unique-table entries unreachable from ``roots`` and clear
+        every op-cache (a generation flip).
+
+        Old BDD objects referencing collected nodes stay structurally
+        valid for traversal, but lose hash-consing identity with nodes
+        built afterwards — callers must not mix pre- and post-collection
+        BDDs in ``is``-based comparisons.  Returns the number of nodes
+        collected.
+        """
+        live = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Terminal) or node._id in live:
                 continue
-            f = self._exists_one(self.land(f, self.iff(self.var(old), self.var(new))), old)
-        return f
+            live.add(node._id)
+            stack.append(node.low)
+            stack.append(node.high)
+        before = len(self._unique)
+        self._unique = {
+            key: node for key, node in self._unique.items() if node._id in live
+        }
+        collected = before - len(self._unique)
+        self._ite_cache.clear()
+        self._quant_cache.clear()
+        self._apply_cache.clear()
+        self.gc_runs += 1
+        self.nodes_collected += collected
+        return collected
+
+    @property
+    def live_nodes(self):
+        """Internal nodes currently interned (terminals excluded)."""
+        return len(self._unique)
+
+    def stats_snapshot(self):
+        """Operation and cache counters as a JSON-ready dict."""
+        lookups = self.cache_lookups
+        return {
+            "ite_calls": self.ite_calls,
+            "and_exists_steps": self.and_exists_steps,
+            "and_not_steps": self.and_not_steps,
+            "exists_set_steps": self.exists_set_steps,
+            "renames_shifted": self.renames_shifted,
+            "renames_composed": self.renames_composed,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": lookups,
+            "cache_hit_rate": round(self.cache_hits / lookups, 4) if lookups else 0.0,
+            "cache_evictions": self.cache_evictions,
+            "allocated_nodes": self._next_id,
+            "live_nodes": len(self._unique),
+            "peak_nodes": self.peak_nodes,
+            "gc_runs": self.gc_runs,
+            "nodes_collected": self.nodes_collected,
+        }
 
     # -- inspection ------------------------------------------------------------------
 

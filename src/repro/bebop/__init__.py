@@ -18,5 +18,6 @@ symbolic engine.
 
 from repro.bebop.checker import Bebop, BebopResult
 from repro.bebop.explicit import ExplicitEngine
+from repro.bebop.reuse import BebopReuse
 
-__all__ = ["Bebop", "BebopResult", "ExplicitEngine"]
+__all__ = ["Bebop", "BebopResult", "BebopReuse", "ExplicitEngine"]

@@ -99,6 +99,22 @@ def _add_option_flags(parser):
         help="worker processes for statement abstraction (default 1: serial; "
         "the translated program is identical for any N)",
     )
+    _add_bebop_flags(parser)
+
+
+def _add_bebop_flags(parser):
+    parser.add_argument(
+        "--bebop-legacy",
+        action="store_true",
+        help="model check with the legacy Bebop engine (per-visit transfer "
+        "BDDs, full path-edge propagation) instead of the compiled fast path",
+    )
+    parser.add_argument(
+        "--no-bebop-reuse",
+        action="store_true",
+        help="fresh BDD manager and transfer compilation every CEGAR "
+        "iteration instead of cross-iteration reuse",
+    )
 
 
 def _options_from(args):
@@ -115,6 +131,8 @@ def _options_from(args):
         invalidate_constant_derefs=not args.no_invalidate_derefs,
         incremental_cubes=not args.no_incremental,
         jobs=max(args.jobs, 1),
+        bebop_legacy=args.bebop_legacy,
+        bebop_reuse=not args.no_bebop_reuse,
     )
 
 
@@ -246,7 +264,11 @@ def _replay(args, out):
 
 def _bebop(args, out):
     boolean_program = parse_bool_program(_read(args.program))
-    context = EngineContext()
+    context = EngineContext(
+        options=C2bpOptions(
+            bebop_legacy=args.bebop_legacy, bebop_reuse=not args.no_bebop_reuse
+        )
+    )
     result = Bebop(boolean_program, main=args.entry, context=context).run()
     if args.label:
         for name in args.label:
@@ -322,6 +344,7 @@ def build_parser():
     p_bebop.add_argument("program", help="boolean program file")
     p_bebop.add_argument("--entry", default="main")
     p_bebop.add_argument("--label", action="append")
+    _add_bebop_flags(p_bebop)
     _add_instrument_flags(p_bebop)
     p_bebop.set_defaults(func=_bebop)
 

@@ -64,5 +64,16 @@ class C2bpOptions:
     #: job count — parallelism only changes wall-clock time.
     jobs: int = 1
 
+    #: Run Bebop on the legacy engine (transfer BDDs re-derived at every
+    #: worklist visit, full path-edge propagation) instead of the fast
+    #: path (compiled transfer relations + frontier propagation).  Kept
+    #: for differential testing and as the benchmark baseline; invariants
+    #: are identical either way.
+    bebop_legacy: bool = False
+
+    #: Share one BDD manager and the compiled transfer relations of
+    #: unchanged procedures across CEGAR iterations (fast path only).
+    bebop_reuse: bool = True
+
     def copy(self, **overrides):
         return dataclasses.replace(self, **overrides)

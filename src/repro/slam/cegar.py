@@ -18,7 +18,7 @@ reuse shows up in ``--stats-json`` output.
 
 import time
 
-from repro.bebop import Bebop, ExplicitEngine
+from repro.bebop import Bebop, BebopReuse, ExplicitEngine
 from repro.core import C2bp, PredicateSet
 from repro.engine import EngineContext, IterationLog
 from repro.newton import analyze_path, path_from_boolean_steps
@@ -39,6 +39,8 @@ class IterationStats:
         "cache_hits",
         "error_reached",
         "seconds",
+        "bebop_transfers_compiled",
+        "bebop_transfers_reused",
     )
 
     def __init__(
@@ -50,6 +52,8 @@ class IterationStats:
         iteration=0,
         prover_queries=0,
         cache_hits=0,
+        bebop_transfers_compiled=0,
+        bebop_transfers_reused=0,
     ):
         self.iteration = iteration
         self.predicates = predicates
@@ -58,6 +62,8 @@ class IterationStats:
         self.cache_hits = cache_hits
         self.error_reached = error_reached
         self.seconds = seconds
+        self.bebop_transfers_compiled = bebop_transfers_compiled
+        self.bebop_transfers_reused = bebop_transfers_reused
 
     def snapshot(self):
         return {
@@ -68,6 +74,8 @@ class IterationStats:
             "cache_hits": self.cache_hits,
             "error_reached": self.error_reached,
             "seconds": round(self.seconds, 6),
+            "bebop_transfers_compiled": self.bebop_transfers_compiled,
+            "bebop_transfers_reused": self.bebop_transfers_reused,
         }
 
     def __repr__(self):
@@ -119,6 +127,15 @@ def cegar_loop(
     ctx = EngineContext.ensure(context, options=options, prover=prover)
     predicates = initial_predicates or PredicateSet()
     engine_prover = ctx.prover
+    # One BDD manager + compiled-transfer cache for the whole loop: each
+    # refinement changes a few procedures; the rest check with the
+    # transfer relations compiled in earlier iterations.
+    reuse = None
+    if not getattr(ctx.options, "bebop_legacy", False) and getattr(
+        ctx.options, "bebop_reuse", True
+    ):
+        reuse = BebopReuse()
+        ctx.stats.register("bebop_reuse", reuse.snapshot)
     started = time.perf_counter()
     stats = []
     iteration_log = IterationLog()
@@ -132,7 +149,8 @@ def cegar_loop(
         hits_before = engine_prover.stats.cache_hits
         tool = C2bp(program, predicates, context=ctx)
         boolean_program = tool.run()
-        check = Bebop(boolean_program, main=main, context=ctx).run()
+        bebop = Bebop(boolean_program, main=main, context=ctx, reuse=reuse)
+        check = bebop.run()
         if not check.error_reached:
             result = CegarResult("safe", iteration, predicates,
                                  boolean_program=boolean_program)
@@ -169,12 +187,19 @@ def cegar_loop(
             iteration=iteration,
             prover_queries=engine_prover.stats.queries - queries_before,
             cache_hits=engine_prover.stats.cache_hits - hits_before,
+            bebop_transfers_compiled=bebop.transfers_compiled,
+            bebop_transfers_reused=bebop.transfers_reused,
         )
         stats.append(record)
         iteration_log.append(record.snapshot())
         ctx.events.emit("cegar-iteration", **record.snapshot())
         if result is not None:
             break
+        if reuse is not None:
+            # Reclaim the finished iteration's path edges and summaries.
+            # (Never after the last iteration: the returned result still
+            # queries its BDDs.)
+            reuse.end_iteration()
     if result is None:
         result = CegarResult("unknown", max_iterations, predicates,
                              boolean_program=boolean_program)

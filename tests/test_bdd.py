@@ -211,3 +211,118 @@ def test_forall():
     f = m.lor(x, y)
     assert m.forall(f, [0]) is y
     assert m.forall(m.true, [0, 1]) is m.true
+
+
+# -- fused kernels and fast-path machinery ------------------------------------
+
+
+@given(formulas(), formulas())
+@settings(max_examples=60, deadline=None)
+def test_and_exists_matches_land_then_exists(f_formula, g_formula):
+    m = BddManager()
+    f = build_bdd(m, f_formula)
+    g = build_bdd(m, g_formula)
+    for variables in ([], [0], [1, 3], [0, 1, 2, 3]):
+        assert m.and_exists(f, g, variables) is m.exists(m.land(f, g), variables)
+
+
+@given(formulas(), formulas())
+@settings(max_examples=60, deadline=None)
+def test_and_not_matches_land_lnot(f_formula, g_formula):
+    m = BddManager()
+    f = build_bdd(m, f_formula)
+    g = build_bdd(m, g_formula)
+    assert m.and_not(f, g) is m.land(f, m.lnot(g))
+
+
+@given(formulas())
+@settings(max_examples=60, deadline=None)
+def test_exists_set_matches_exists(formula):
+    m = BddManager()
+    f = build_bdd(m, formula)
+    for variables in ([], [2], [0, 3], list(range(NUM_VARS))):
+        assert m.exists_set(f, variables) is m.exists(f, variables)
+
+
+@given(formulas())
+@settings(max_examples=60, deadline=None)
+def test_complement_matches_lnot(formula):
+    m = BddManager()
+    f = build_bdd(m, formula)
+    assert m.complement(f) is m.lnot(f)
+
+
+def test_equiv_vars_matches_iff():
+    m = BddManager()
+    assert m.equiv_vars(0, 3) is m.iff(m.var(0), m.var(3))
+    assert m.equiv_vars(3, 0) is m.iff(m.var(0), m.var(3))
+    assert m.equiv_vars(2, 2) is m.true
+
+
+def test_cube_builds_conjunction():
+    m = BddManager()
+    literals = [(0, True), (2, False), (5, True)]
+    expected = m.land(m.land(m.var(0), m.lnot(m.var(2))), m.var(5))
+    assert m.cube(literals) is expected
+    assert m.cube([]) is m.true
+    assert m.cube([(1, True), (1, False)]) is m.false
+    assert m.cube([(1, True), (1, True)]) is m.var(1)
+
+
+def test_rename_simultaneous_swap():
+    # {a->b, b->a} must swap, not clobber (the legacy pair-by-pair
+    # implementation collapsed this to an identity or worse).
+    m = BddManager()
+    f = m.land(m.var(0), m.lnot(m.var(2)))
+    swapped = m.rename(f, {0: 2, 2: 0})
+    assert swapped is m.land(m.var(2), m.lnot(m.var(0)))
+    # A three-cycle.
+    g = m.land(m.land(m.var(0), m.lnot(m.var(2))), m.var(4))
+    rotated = m.rename(g, {0: 2, 2: 4, 4: 0})
+    assert rotated is m.land(m.land(m.var(2), m.lnot(m.var(4))), m.var(0))
+
+
+def test_rename_rejects_non_injective():
+    import pytest
+
+    m = BddManager()
+    f = m.land(m.var(0), m.var(1))
+    with pytest.raises(ValueError):
+        m.rename(f, {0: 2, 1: 2})
+
+
+def test_rename_shift_vs_compose_agree():
+    m = BddManager()
+    f = m.lor(m.land(m.var(0), m.var(2)), m.lnot(m.var(4)))
+    shifted = m.rename(f, {0: 1, 2: 3, 4: 5})  # order-preserving: shift
+    composed = m.rename(f, {0: 5, 4: 1})  # order-breaking: compose
+    assert shifted is m.lor(m.land(m.var(1), m.var(3)), m.lnot(m.var(5)))
+    assert composed is m.lor(m.land(m.var(5), m.var(2)), m.lnot(m.var(1)))
+    assert m.stats_snapshot()["renames_shifted"] >= 1
+    assert m.stats_snapshot()["renames_composed"] >= 1
+
+
+def test_op_cache_eviction_bounded():
+    m = BddManager(max_cache_entries=8)
+    for i in range(16):
+        m.lor(m.var(2 * i), m.var(2 * i + 1))
+    snapshot = m.stats_snapshot()
+    assert snapshot["cache_evictions"] >= 1
+    assert len(m._ite_cache) <= 8
+    # Results stay correct after eviction.
+    assert m.lor(m.var(0), m.var(0)) is m.var(0)
+
+
+def test_collect_garbage_keeps_roots():
+    m = BddManager()
+    keep = m.land(m.var(0), m.var(1))
+    for i in range(10, 30):
+        m.land(m.var(i), m.lnot(m.var(i + 1)))  # garbage
+    before = m.live_nodes
+    collected = m.collect_garbage([keep])
+    assert collected > 0
+    assert m.live_nodes < before
+    # The kept BDD still works and new building resumes cleanly.
+    assert m.evaluate(keep, {0: True, 1: True}) is True
+    assert m.land(keep, m.var(2)) is not m.false
+    assert m.stats_snapshot()["gc_runs"] == 1
