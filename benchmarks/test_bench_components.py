@@ -6,6 +6,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 import random
 
 from repro.bdd import BddManager

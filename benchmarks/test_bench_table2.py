@@ -18,6 +18,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 from _tables import write_table
 
 from repro import Bebop, C2bp, parse_c_program, parse_predicate_file

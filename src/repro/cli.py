@@ -99,6 +99,12 @@ def _add_option_flags(parser):
         help="worker processes for statement abstraction (default 1: serial; "
         "the translated program is identical for any N)",
     )
+    parser.add_argument(
+        "--validate-bp",
+        action="store_true",
+        help="run the boolean-program validator on BP(P, E) before using it "
+        "(debug aid: malformed output fails at generation time)",
+    )
     _add_bebop_flags(parser)
 
 
@@ -133,6 +139,7 @@ def _options_from(args):
         jobs=max(args.jobs, 1),
         bebop_legacy=args.bebop_legacy,
         bebop_reuse=not args.no_bebop_reuse,
+        validate_output=args.validate_bp,
     )
 
 
@@ -285,6 +292,30 @@ def _bebop(args, out):
     return 0
 
 
+def _fuzz(args, out):
+    from repro.fuzz import FuzzSession, SoundnessOracle
+
+    session = FuzzSession(
+        seed=args.fuzz_seed,
+        oracle=SoundnessOracle(explicit_budget=args.explicit_budget),
+        jobs_stride=args.jobs_stride,
+        shrink=args.shrink,
+        corpus_dir=args.corpus_dir,
+        max_shrink_attempts=args.max_shrink_attempts,
+        progress=(
+            (lambda case, report: out.write(
+                "%s: %s\n" % (case.name, "ok" if report.ok else report.kind)
+            ))
+            if args.verbose
+            else None
+        ),
+    )
+    result = session.run(args.count, start=args.start)
+    for line in result.summary_lines():
+        out.write(line + "\n")
+    return 0 if result.ok else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -339,6 +370,53 @@ def build_parser():
     _add_option_flags(p_replay)
     _add_instrument_flags(p_replay)
     p_replay.set_defaults(func=_replay)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="generative soundness fuzzing (Theorem 1 + differentials)"
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=50, help="number of cases (default 50)"
+    )
+    p_fuzz.add_argument(
+        "--fuzz-seed", default="0", help="generator seed (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--start", type=int, default=0, help="first case index (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug any failing case to a minimal reproducer",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        help="write shrunk failures to DIR as corpus JSON entries",
+    )
+    p_fuzz.add_argument(
+        "--jobs-stride",
+        type=int,
+        default=5,
+        metavar="K",
+        help="run the --jobs differential on every K-th case "
+        "(0 disables; default 5)",
+    )
+    p_fuzz.add_argument(
+        "--explicit-budget",
+        type=int,
+        default=60_000,
+        help="explicit-state engine config budget per case (default 60000)",
+    )
+    p_fuzz.add_argument(
+        "--max-shrink-attempts",
+        type=int,
+        default=600,
+        help="oracle evaluations the shrinker may spend per failure",
+    )
+    p_fuzz.add_argument(
+        "--verbose", action="store_true", help="print a line per case"
+    )
+    p_fuzz.set_defaults(func=_fuzz)
 
     p_bebop = sub.add_parser("bebop", help="model check a boolean program (.bp)")
     p_bebop.add_argument("program", help="boolean program file")

@@ -117,7 +117,17 @@ class C2bp:
             self.stats.prover_cache_hits = (
                 self.prover.stats.cache_hits - started_hits
             )
+        self._maybe_validate(boolean_program)
         return boolean_program
+
+    def _maybe_validate(self, boolean_program):
+        """The ``--validate-bp`` debug gate: reject a malformed translation
+        here, where the C2bp inputs are still on hand, rather than letting
+        Bebop trip over it later."""
+        if getattr(self.options, "validate_output", False):
+            from repro.boolprog.validate import validate_bool_program
+
+            validate_bool_program(boolean_program)
 
     def _run_parallel(self, mp_context, jobs):
         """The ``--jobs N`` path: fan top-level statements and per-procedure
@@ -218,6 +228,7 @@ class C2bp:
             self.stats.prover_cache_hits = (
                 self.prover.stats.cache_hits - started_hits
             )
+        self._maybe_validate(boolean_program)
         return boolean_program
 
     def may_alias(self, func_name):

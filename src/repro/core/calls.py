@@ -84,6 +84,10 @@ def abstract_call(proc_abs, stmt):
             proc_abs, stmt, predicate.expr, formals
         ):
             meaning = None
+        if meaning is not None and _binding_clobbers_meaning(
+            proc_abs, stmt, predicate.expr, signature
+        ):
+            meaning = None
         temps.append(TempPredicate(name, meaning))
         parent.temp_meanings[(proc_abs.func.name, name)] = meaning
     call_stmt = B.BCall([t.name for t in temps], stmt.name, args)
@@ -91,8 +95,13 @@ def abstract_call(proc_abs, stmt):
     call_stmt.comment = comment
     out.append(call_stmt)
 
-    # 3. Update the affected caller-local predicates.
+    # 3. Update the affected caller-local predicates — plus any *global*
+    # predicate the return binding itself may change (the callee's own
+    # abstraction accounts for writes inside the callee, but ``v = R(...)``
+    # with a global ``v`` is a caller-side store that happens after the
+    # callee exits; see also the Bebop-side fix of the same shape in PR 4).
     affected = _affected_predicates(proc_abs, stmt, include_globals=False)
+    affected += _binding_affected_globals(proc_abs, stmt, affected)
     if affected:
         unaffected = [
             p for p in proc_abs.scope_predicates if p not in affected
@@ -141,6 +150,63 @@ def _call_clobbers_actuals(proc_abs, stmt, predicate_expr, formals):
             if pta.location_in(loc, reachable, func_name):
                 return True
     return False
+
+
+def _binding_clobbers_meaning(proc_abs, stmt, predicate_expr, signature):
+    """Whether the result binding ``v = R(...)`` may change a *global*
+    mentioned in a return predicate ``e``.
+
+    The temp's meaning ``e[v/r, a/f]`` is read in the post-binding state,
+    but the temp carries the truth of ``e`` at callee *exit* — before the
+    store to ``v``.  For ``g = helper(...)`` with return predicate
+    ``g > 1`` the two states disagree whenever the returned value moves
+    ``g`` across the bound.  (Formals substituted by actuals are covered
+    by :func:`_call_clobbers_actuals`; the return variable itself is the
+    one occurrence the ``v/r`` substitution makes valid.)
+    """
+    if stmt.lhs is None:
+        return False
+    parent = proc_abs.parent
+    pta = parent.points_to
+    func_name = proc_abs.func.name
+    global_names = set(parent.program.global_names())
+    mentioned = variables(predicate_expr) - {signature.return_var}
+    checked = {C.Id(v) for v in mentioned & global_names}
+    for loc in locations(predicate_expr):
+        if variables(loc) <= global_names:
+            checked.add(loc)
+    for loc in checked:
+        if pta.may_alias(loc, stmt.lhs, func_name):
+            return True
+    return False
+
+
+def _binding_affected_globals(proc_abs, stmt, already_affected):
+    """Global predicates the result binding ``v = R(...)`` may change.
+
+    ``_affected_predicates(include_globals=False)`` trusts the callee's
+    own abstraction to keep global predicate variables current — correct
+    for writes *inside* the callee, but the store of the return value
+    into ``v`` happens in the caller after the callee exits, so a global
+    predicate over (an alias of) ``v`` must be re-strengthened here like
+    any caller-local one.
+    """
+    if stmt.lhs is None:
+        return []
+    parent = proc_abs.parent
+    pta = parent.points_to
+    func_name = proc_abs.func.name
+    affected = []
+    for predicate in proc_abs.scope_predicates:
+        if getattr(predicate, "scope", "x") is not None:
+            continue  # not a global predicate
+        if predicate in already_affected:
+            continue
+        for loc in locations(predicate.expr):
+            if pta.may_alias(loc, stmt.lhs, func_name):
+                affected.append(predicate)
+                break
+    return affected
 
 
 def _abstract_extern_call(proc_abs, stmt, comment):

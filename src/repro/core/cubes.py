@@ -132,6 +132,16 @@ class CubeSearch:
         if limit is None:
             limit = self.options.max_cube_length
         implies_not_phi = self._open_session(candidates, C.negate(phi))
+        # The mirror precheck: an unsatisfiable φ is implied only by cubes
+        # that are themselves inconsistent — every one a false disjunct, so
+        # F(φ) is false without enumerating.  Deciding this up front also
+        # keeps the engines aligned: the incremental session would refute
+        # each cube with an *empty* assumption core (pruning everything),
+        # while a fresh-query baseline keeps the vacuous implicants it
+        # happens to test first.
+        refuted, _ = implies_not_phi.implies_cube(())
+        if refuted:
+            return []
 
         def classify(cube):
             result, record = self._cube_query(implies_phi, cube, "implicant")

@@ -75,5 +75,12 @@ class C2bpOptions:
     #: unchanged procedures across CEGAR iterations (fast path only).
     bebop_reuse: bool = True
 
+    #: Run :func:`repro.boolprog.validate.validate_bool_program` on the
+    #: translated program before returning it (``--validate-bp``), so a
+    #: malformed ``BP(P, E)`` fails at generation time instead of
+    #: surfacing as a downstream Bebop error.  The fuzz oracle always
+    #: enables this.
+    validate_output: bool = False
+
     def copy(self, **overrides):
         return dataclasses.replace(self, **overrides)

@@ -81,13 +81,31 @@ class PredicateSet:
             self.add(predicate)
 
     def add(self, predicate):
+        """Add with cross-scope deduplication, returning the retained
+        predicate.  A boolean variable is named after its expression, so a
+        procedure-local predicate whose expression already exists globally
+        would declare a second variable with the same name in that
+        procedure's scope; the global one already tracks it everywhere, so
+        the local is shadowed (and a newly added global absorbs identical
+        locals)."""
         if predicate.is_global:
-            if predicate not in self.globals:
-                self.globals.append(predicate)
-        else:
-            bucket = self.by_procedure.setdefault(predicate.scope, [])
-            if predicate not in bucket:
-                bucket.append(predicate)
+            for existing in self.globals:
+                if existing.expr == predicate.expr:
+                    return existing
+            self.globals.append(predicate)
+            for name, bucket in self.by_procedure.items():
+                self.by_procedure[name] = [
+                    p for p in bucket if p.expr != predicate.expr
+                ]
+            return predicate
+        for existing in self.globals:
+            if existing.expr == predicate.expr:
+                return existing
+        bucket = self.by_procedure.setdefault(predicate.scope, [])
+        for existing in bucket:
+            if existing == predicate:
+                return existing
+        bucket.append(predicate)
         return predicate
 
     def for_procedure(self, name):

@@ -108,6 +108,7 @@ class TraceReplayer:
         self.report = ReplayReport()
         self._events = []
         self._entry_stack = []
+        self._update_sids = _collect_update_sids(boolean_program)
         self._scope_exprs = {
             func.name: {
                 p.name: p.expr for p in self.predicates.in_scope(func.name)
@@ -252,11 +253,21 @@ class TraceReplayer:
     def _check_state(self, proc_name, stmt, env, globals_env):
         from repro.boolprog import ast as B
 
-        # Only plain assignments are checkpoints.  A BCall's listener fires
-        # before the post-call update assignment (same source sid) has
-        # re-strengthened the caller's predicates, so checking there would
-        # flag transient, legitimate disagreement.
-        if stmt.source_sid is None or not isinstance(stmt, B.BAssign):
+        # Plain assignments are checkpoints.  A BCall whose sid has a
+        # post-call update assignment is not: its listener fires before the
+        # update (same source sid) has re-strengthened the caller's
+        # predicates, so checking there would flag transient, legitimate
+        # disagreement — the update assignment is the checkpoint and
+        # consumes the event.  A BCall *without* an update assignment is
+        # final when its listener fires, so it checks (and consumes — an
+        # unconsumed call event would shadow later executions of the same
+        # call site in a loop) its own event.
+        if stmt.source_sid is None:
+            return
+        if isinstance(stmt, B.BCall):
+            if stmt.source_sid in self._update_sids:
+                return
+        elif not isinstance(stmt, B.BAssign):
             return
         event = self._find_event(stmt.source_sid, consume=True)
         if event is None:
@@ -328,6 +339,31 @@ class _ReplayChooser:
                 return bool(event.post_vals.get(hint))
             return False
         return False
+
+
+def _collect_update_sids(boolean_program):
+    """Sids whose BCall is followed by a post-call update BAssign (same
+    source sid) — for those, the update is the replay checkpoint."""
+    from repro.boolprog import ast as B
+
+    sids = set()
+
+    def visit(stmts):
+        for prev, nxt in zip(stmts, stmts[1:]):
+            if (
+                isinstance(prev, B.BCall)
+                and isinstance(nxt, B.BAssign)
+                and prev.source_sid is not None
+                and nxt.source_sid == prev.source_sid
+            ):
+                sids.add(prev.source_sid)
+        for stmt in stmts:
+            for block in stmt.substatements():
+                visit(block)
+
+    for proc in boolean_program.procedures.values():
+        visit(proc.body)
+    return sids
 
 
 def _is_branch(stmt):

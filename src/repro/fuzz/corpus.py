@@ -1,0 +1,77 @@
+"""The checked-in regression corpus.
+
+Every failure the fuzzer ever finds is shrunk and written here as a small
+JSON document (source text, predicate text, run plan, and a description
+of what went wrong when it was found).  ``tests/test_corpus.py`` replays
+every entry through all engine configurations on every run, so a fixed
+bug stays fixed.
+
+Entries are self-contained text — they do not keep the generator's
+structural form — so hand-written reproducers (like the PR-4
+call/global-return case) live alongside shrunk ones.
+"""
+
+import json
+import os
+import re
+
+from repro.fuzz.gen import FuzzCase
+
+
+def corpus_entry(case, kind, detail, found_by=None):
+    """The JSON-serializable form of a (usually shrunk) failing case."""
+    return {
+        "name": case.name,
+        "kind": kind,
+        "description": detail,
+        "found_by": found_by or "repro fuzz",
+        "source": case.source,
+        "predicates": case.predicate_text,
+        "entry": case.entry,
+        "args_list": [list(args) for args in case.args_list],
+        "oracle_seeds": list(case.oracle_seeds),
+    }
+
+
+def write_entry(directory, entry):
+    """Write one corpus entry; returns the path.  The filename is derived
+    from the entry name, never overwriting an existing different entry."""
+    os.makedirs(directory, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_-]+", "-", entry["name"]).strip("-") or "case"
+    path = os.path.join(directory, stem + ".json")
+    suffix = 1
+    while os.path.exists(path):
+        with open(path) as handle:
+            if json.load(handle) == entry:
+                return path  # identical entry already checked in
+        path = os.path.join(directory, "%s-%d.json" % (stem, suffix))
+        suffix += 1
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(directory):
+    """All corpus entries as :class:`FuzzCase` objects (name-sorted)."""
+    cases = []
+    if not os.path.isdir(directory):
+        return cases
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        with open(os.path.join(directory, filename)) as handle:
+            entry = json.load(handle)
+        cases.append(case_from_entry(entry))
+    return cases
+
+
+def case_from_entry(entry):
+    return FuzzCase(
+        entry["name"],
+        source=entry["source"],
+        predicate_text=entry["predicates"],
+        args_list=[tuple(a) for a in entry.get("args_list", [[]])],
+        oracle_seeds=entry.get("oracle_seeds", [0]),
+        entry=entry.get("entry", "main"),
+    )

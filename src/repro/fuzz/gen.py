@@ -1,0 +1,445 @@
+"""Seeded random program generation for the soundness fuzzer.
+
+The generator produces well-typed programs in the supported C subset —
+scalar assignments, pointer stores through a may-aliased pointer,
+procedure calls (including the call-result-into-a-global shape that bit
+PR 4), bounded loops, branches, nondeterministic reads, extern calls,
+and asserts — together with a predicate set biased toward the program's
+own guard conditions (the predicates SLAM itself would discover).
+
+Programs are kept as a small *structural* representation (:class:`GStmt`
+trees inside a :class:`GProgram`) rather than flat text so the shrinker
+(:mod:`repro.fuzz.shrink`) can delete statements, unwrap branches, and
+drop predicates while every intermediate candidate stays parseable.
+Rendering is deterministic; all randomness flows through the single
+``random.Random`` owned by :class:`ProgramGenerator`.
+
+Generated programs always terminate: loops are bounded by dedicated
+fresh counters, and the only recursion-free call graph is main ->
+helper.  Division and modulo are never generated (no division-by-zero
+traps), and the alias pointer is initialized before any dereference.
+"""
+
+import copy
+import random
+import re
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Scalar locals every generated main owns (whether or not they are used;
+#: unused declarations are legal and keep rendering simple).
+MAIN_VARS = ("a", "b", "c")
+HELPER_VARS = ("p", "h")
+POINTER = "pt"
+EXTERN = "mystery"
+
+
+# -- the structural statement language -------------------------------------------
+
+
+class GStmt:
+    """Base class; subclasses are plain data and deep-copyable."""
+
+    def render(self, lines, indent):
+        raise NotImplementedError
+
+    def blocks(self):
+        """Mutable nested statement lists (for the shrinker)."""
+        return []
+
+
+class GAssign(GStmt):
+    def __init__(self, lhs, rhs):
+        self.lhs = lhs  # variable name, or "*pt" for a pointer store
+        self.rhs = rhs  # rendered expression text
+
+    def render(self, lines, indent):
+        lines.append("%s%s = %s;" % (indent, self.lhs, self.rhs))
+
+
+class GCall(GStmt):
+    def __init__(self, target, callee, args):
+        self.target = target  # variable name, or None for a bare call
+        self.callee = callee
+        self.args = list(args)
+
+    def render(self, lines, indent):
+        call = "%s(%s)" % (self.callee, ", ".join(self.args))
+        if self.target is None:
+            lines.append("%s%s;" % (indent, call))
+        else:
+            lines.append("%s%s = %s;" % (indent, self.target, call))
+
+
+class GIf(GStmt):
+    def __init__(self, cond, then_block, else_block):
+        self.cond = cond
+        self.then_block = list(then_block)
+        self.else_block = list(else_block)
+
+    def render(self, lines, indent):
+        lines.append("%sif (%s) {" % (indent, self.cond))
+        render_block(self.then_block, lines, indent + "    ")
+        if self.else_block:
+            lines.append("%s} else {" % indent)
+            render_block(self.else_block, lines, indent + "    ")
+        lines.append("%s}" % indent)
+
+    def blocks(self):
+        return [self.then_block, self.else_block]
+
+
+class GLoop(GStmt):
+    """A loop bounded by a dedicated fresh counter (guarantees termination)."""
+
+    def __init__(self, counter, bound, body):
+        self.counter = counter
+        self.bound = bound
+        self.body = list(body)
+
+    def render(self, lines, indent):
+        lines.append("%s%s = 0;" % (indent, self.counter))
+        lines.append("%swhile (%s < %d) {" % (indent, self.counter, self.bound))
+        lines.append("%s    %s = %s + 1;" % (indent, self.counter, self.counter))
+        render_block(self.body, lines, indent + "    ")
+        lines.append("%s}" % indent)
+
+    def blocks(self):
+        return [self.body]
+
+
+class GAssert(GStmt):
+    def __init__(self, cond):
+        self.cond = cond
+
+    def render(self, lines, indent):
+        lines.append("%sassert(%s);" % (indent, self.cond))
+
+
+def render_block(block, lines, indent):
+    for stmt in block:
+        stmt.render(lines, indent)
+
+
+# -- the whole program ------------------------------------------------------------
+
+
+class GProgram:
+    """A generated program plus its predicate set, re-renderable at will."""
+
+    def __init__(self):
+        self.globals = []  # global int names
+        self.helper = None  # (params, body, return expr) or None
+        self.main_params = []  # formal int parameter names of main
+        self.main_body = []  # [GStmt]
+        # (scope, text) pairs; scope is "global", "main", or "helper".
+        self.predicates = []
+
+    def clone(self):
+        return copy.deepcopy(self)
+
+    # -- rendering -------------------------------------------------------------
+
+    def helper_body_blocks(self):
+        return [self.helper[1]] if self.helper is not None else []
+
+    def _words_used(self):
+        lines = []
+        render_block(self.main_body, lines, "")
+        if self.helper is not None:
+            render_block(self.helper[1], lines, "")
+            lines.append(self.helper[2])
+        lines.extend(text for _, text in self.predicates)
+        return set(_WORD.findall("\n".join(lines)))
+
+    def _counters(self, block, found):
+        for stmt in block:
+            if isinstance(stmt, GLoop):
+                found.add(stmt.counter)
+            for sub in stmt.blocks():
+                self._counters(sub, found)
+        return found
+
+    def render_source(self):
+        used = self._words_used()
+        lines = []
+        for name in self.globals:
+            lines.append("int %s;" % name)
+        if self.helper is not None:
+            params, body, ret = self.helper
+            counters = sorted(self._counters(body, set()))
+            decls = [v for v in HELPER_VARS if v not in params] + counters
+            lines.append("int helper(%s) {" % ", ".join("int %s" % p for p in params))
+            if decls:
+                lines.append("    int %s;" % ", ".join(decls))
+            render_block(body, lines, "    ")
+            lines.append("    return %s;" % ret)
+            lines.append("}")
+        params = ", ".join("int %s" % p for p in self.main_params) or "void"
+        counters = sorted(self._counters(self.main_body, set()))
+        lines.append("void main(%s) {" % params)
+        lines.append("    int %s;" % ", ".join(list(MAIN_VARS) + counters))
+        if POINTER in used:
+            lines.append("    int *%s;" % POINTER)
+            lines.append("    %s = &a;" % POINTER)
+        for var in MAIN_VARS:
+            lines.append("    %s = 0;" % var)
+        render_block(self.main_body, lines, "    ")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def render_predicates(self):
+        sections = {"global": [], "main": [], "helper": []}
+        for scope, text in self.predicates:
+            if text not in sections[scope]:
+                sections[scope].append(text)
+        parts = []
+        for scope, name in (("global", "global"), ("helper", "helper"), ("main", "main")):
+            if scope == "helper" and self.helper is None:
+                continue
+            if sections[scope]:
+                parts.append("%s\n%s\n" % (name, ", ".join(sections[scope])))
+        return "\n".join(parts) if parts else "main\na == 0\n"
+
+
+class FuzzCase:
+    """One generated (or corpus-loaded) program + predicates + run plan."""
+
+    def __init__(self, name, gprog=None, source=None, predicate_text=None,
+                 args_list=((),), oracle_seeds=(0,), entry="main"):
+        self.name = name
+        self.gprog = gprog
+        self._source = source
+        self._predicate_text = predicate_text
+        self.args_list = [tuple(a) for a in args_list]
+        self.oracle_seeds = list(oracle_seeds)
+        self.entry = entry
+
+    @property
+    def source(self):
+        if self.gprog is not None:
+            return self.gprog.render_source()
+        return self._source
+
+    @property
+    def predicate_text(self):
+        if self.gprog is not None:
+            return self.gprog.render_predicates()
+        return self._predicate_text
+
+    def with_program(self, gprog):
+        clone = FuzzCase(
+            self.name,
+            gprog=gprog,
+            args_list=self.args_list,
+            oracle_seeds=self.oracle_seeds,
+            entry=self.entry,
+        )
+        return clone
+
+    def fingerprint(self):
+        return (self.source, self.predicate_text, tuple(self.args_list),
+                tuple(self.oracle_seeds))
+
+    def __repr__(self):
+        return "FuzzCase(%s)" % self.name
+
+
+# -- the generator ---------------------------------------------------------------
+
+
+class ProgramGenerator:
+    """Deterministic program generation from one seeded ``random.Random``.
+
+    ``generate(index)`` derives a per-case RNG from (seed, index) so cases
+    are independent of generation order; the same (seed, index) always
+    yields a byte-identical case.
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+
+    def generate(self, index):
+        rng = random.Random("fuzz:%s:%d" % (self.seed, index))
+        builder = _CaseBuilder(rng)
+        gprog = builder.build()
+        nargs = len(gprog.main_params)
+        args_list = [
+            tuple(rng.randint(-3, 4) for _ in range(nargs))
+            for _ in range(2 if nargs else 1)
+        ]
+        oracle_seeds = [rng.randint(0, 10_000) for _ in range(2)]
+        return FuzzCase(
+            "fuzz-%s-%d" % (self.seed, index),
+            gprog=gprog,
+            args_list=args_list,
+            oracle_seeds=oracle_seeds,
+        )
+
+    def cases(self, count, start=0):
+        for index in range(start, start + count):
+            yield self.generate(index)
+
+
+class _CaseBuilder:
+    def __init__(self, rng):
+        self.rng = rng
+        self.use_global = rng.random() < 0.6
+        self.use_helper = rng.random() < 0.6
+        self.use_pointer = rng.random() < 0.4
+        self.helper_writes_global = self.use_global and rng.random() < 0.6
+        self._counter_id = 0
+        self._guards = []  # harvested (scope, cond) pairs
+        self._main_params = []
+
+    # -- expressions -----------------------------------------------------------
+
+    def _scope_vars(self, scope):
+        if scope == "helper":
+            names = list(HELPER_VARS)
+        else:
+            names = list(MAIN_VARS) + list(self._main_params)
+            if self.use_pointer:
+                names.append("*" + POINTER)
+        if self.use_global:
+            names.append("g")
+        return names
+
+    def expr(self, scope, depth=0):
+        rng = self.rng
+        choice = rng.randint(0, 3 if depth < 2 else 1)
+        if choice == 0:
+            return str(rng.randint(-3, 3))
+        if choice == 1:
+            return rng.choice(self._scope_vars(scope))
+        op = rng.choice(["+", "-", "*"])
+        return "(%s %s %s)" % (self.expr(scope, depth + 1), op, self.expr(scope, depth + 1))
+
+    def cond(self, scope):
+        rng = self.rng
+        op = rng.choice(["<", "<=", "==", "!=", ">", ">="])
+        left = rng.choice(self._scope_vars(scope))
+        right = self.expr(scope, depth=1)
+        text = "%s %s %s" % (left, op, right)
+        self._guards.append((scope, text))
+        return text
+
+    # -- statements ------------------------------------------------------------
+
+    def _fresh_counter(self):
+        name = "k%d" % self._counter_id
+        self._counter_id += 1
+        return name
+
+    def stmt(self, scope, depth):
+        rng = self.rng
+        roll = rng.random()
+        if depth < 2 and roll < 0.14:
+            else_block = self.block(scope, depth + 1) if rng.random() < 0.6 else []
+            return GIf(self.cond(scope), self.block(scope, depth + 1), else_block)
+        if depth < 2 and roll < 0.22:
+            return GLoop(
+                self._fresh_counter(), rng.randint(2, 3), self.block(scope, depth + 1)
+            )
+        if roll < 0.30:
+            # Asserts are biased toward (but not guaranteed) to hold; the
+            # oracle treats a concretely failing assert as end-of-trace.
+            if rng.random() < 0.7:
+                cond = "%s < %d" % (rng.choice(self._scope_vars(scope)), rng.randint(20, 99))
+            else:
+                cond = self.cond(scope)
+            return GAssert(cond)
+        if scope == "main" and self.use_helper and roll < 0.45:
+            targets = list(MAIN_VARS) + [None]
+            if self.use_global:
+                # The PR-4 shape: a call result bound to a global the
+                # callee itself may write.
+                targets += ["g", "g"]
+            return GCall(rng.choice(targets), "helper", [self.expr(scope, 1)])
+        if roll < 0.52:
+            return GAssign(rng.choice(self._assign_targets(scope)), "*")
+        if roll < 0.58 and scope == "main":
+            return GCall(rng.choice(list(MAIN_VARS)), EXTERN, [self.expr(scope, 1)])
+        return GAssign(rng.choice(self._assign_targets(scope)), self.expr(scope))
+
+    def _assign_targets(self, scope):
+        if scope == "helper":
+            targets = ["h", "h", "p"]
+            if self.helper_writes_global:
+                targets.append("g")
+            return targets
+        targets = list(MAIN_VARS) * 2
+        if self.use_global:
+            targets.append("g")
+        if self.use_pointer:
+            targets.extend(["*" + POINTER, "*" + POINTER])
+        return targets
+
+    def block(self, scope, depth):
+        count = self.rng.randint(1, 3 if depth else 5)
+        block = [self.stmt(scope, depth) for _ in range(count)]
+        if scope == "main" and self.use_pointer and depth == 0:
+            # Occasionally retarget the alias pointer so stores through it
+            # exercise the Morris-axiom disjunctions on both cells.
+            if self.rng.random() < 0.5:
+                index = self.rng.randint(0, len(block))
+                block.insert(index, GAssign(POINTER, "&" + self.rng.choice(["a", "b"])))
+        return block
+
+    # -- predicates ------------------------------------------------------------
+
+    def _predicate_scope(self, scope, text):
+        words = set(_WORD.findall(text))
+        if scope == "helper":
+            return "helper"
+        if words & (set(MAIN_VARS) | set(self._main_params) | {POINTER}):
+            return "main"
+        if self.use_global and "g" in words:
+            return "global"
+        return "main"
+
+    def predicates(self):
+        rng = self.rng
+        preds = []
+        # Bias toward the program's own guards (what Newton would find).
+        harvested = [g for g in self._guards if rng.random() < 0.6]
+        for scope, text in harvested[:3]:
+            preds.append((self._predicate_scope(scope, text), text))
+        for _ in range(rng.randint(1, 3)):
+            scope = "helper" if (self.use_helper and rng.random() < 0.3) else "main"
+            vars_ = self._scope_vars(scope)
+            left = rng.choice(vars_)
+            op = rng.choice(["<", "<=", "==", ">", ">="])
+            right = rng.choice([str(rng.randint(-3, 3)), rng.choice(vars_)])
+            text = "%s %s %s" % (left, op, right)
+            preds.append((self._predicate_scope(scope, text), text))
+        if self.use_global and rng.random() < 0.7:
+            preds.append(("global", "g %s %d" % (rng.choice(["==", ">", "<="]), rng.randint(-2, 3))))
+        return preds[:6]
+
+    # -- assembly ---------------------------------------------------------------
+
+    def build(self):
+        rng = self.rng
+        prog = GProgram()
+        if self.use_global:
+            prog.globals = ["g"]
+        self._main_params = ["n%d" % i for i in range(rng.randint(0, 2))]
+        prog.main_params = list(self._main_params)
+        if self.use_helper:
+            body = [GAssign("h", self.expr("helper"))]
+            if rng.random() < 0.6:
+                body.append(
+                    GIf(
+                        self.cond("helper"),
+                        [GAssign("h", self.expr("helper"))],
+                        [GAssign("h", self.expr("helper"))] if rng.random() < 0.5 else [],
+                    )
+                )
+            if self.helper_writes_global:
+                body.append(GAssign("g", self.expr("helper")))
+            ret = rng.choice(["h", "h", "p", str(rng.randint(-2, 2))])
+            prog.helper = (["p"], body, ret)
+        prog.main_body = self.block("main", 0)
+        prog.predicates = self.predicates()
+        return prog

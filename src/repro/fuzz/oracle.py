@@ -1,0 +1,257 @@
+"""The fuzzing oracles: Theorem-1 trace inclusion plus cross-engine
+differentials.
+
+For one :class:`repro.fuzz.gen.FuzzCase` the oracle checks, in order:
+
+1. **Well-formedness** — the abstraction (run with ``validate_output``)
+   must produce a boolean program :mod:`repro.boolprog.validate` accepts;
+2. **Abstraction determinism** — the printed ``BP(P, E)`` must be
+   byte-identical between the incremental cube engine and the
+   ``--no-incremental`` baseline, and (on a configurable stride, since a
+   fork pool per case is costly) between ``--jobs 1`` and ``--jobs 2``;
+3. **Engine agreement** — Bebop's compiled fast path and the
+   ``--bebop-legacy`` engine must report identical invariants and
+   identical assertion-failure sites, and the explicit-state engine must
+   agree on the reachable-failure *verdict* (budget-capped: recursion-free
+   generated programs explore quickly, but the check is skipped rather
+   than failed when the state budget runs out);
+4. **Theorem 1** — every concrete trace (over the case's argument tuples
+   and extern-oracle seeds) must replay cleanly inside ``BP(P, E)`` via
+   :class:`repro.core.replay.TraceReplayer`: no blocked ``assume``, no
+   predicate/boolean-variable mismatch.  A concretely failing ``assert``
+   ends the trace (the prefix property is covered by the model-checking
+   differentials; the replayer needs a complete run).
+
+Any deviation is reported as a :class:`CaseReport` with a stable failure
+``kind`` — the shrinker preserves the kind while minimizing.
+"""
+
+import random
+
+from repro.bebop import Bebop, ExplicitEngine
+from repro.boolprog.printer import print_bool_program
+from repro.boolprog.validate import ValidationError
+from repro.cfront import parse_c_program
+from repro.cfront.errors import CFrontError
+from repro.cfront.interp import (
+    AssertionFailure,
+    InterpError,
+    Interpreter,
+)
+from repro.core import C2bp, C2bpOptions, parse_predicate_file
+from repro.core.predicates import PredicateParseError
+from repro.core.replay import TraceReplayer
+from repro.engine import EngineContext
+
+#: Failure kinds, from most to least interesting.
+KIND_SOUNDNESS = "soundness"          # Theorem-1 replay violation
+KIND_ENGINE = "engine-divergence"     # fast / legacy / explicit disagree
+KIND_ABSTRACTION = "abstraction-divergence"  # incremental / jobs text differs
+KIND_INVALID_BP = "invalid-bp"        # validator rejected BP(P, E)
+KIND_GENERATOR = "generator-invalid"  # case does not parse / typecheck
+KIND_INTERP = "interp-error"          # concrete execution trapped
+
+
+class CaseReport:
+    """The oracle's verdict on one case."""
+
+    __slots__ = (
+        "case",
+        "kind",
+        "detail",
+        "replays",
+        "assert_trips",
+        "explicit_checked",
+        "jobs_checked",
+        "prover_calls",
+    )
+
+    def __init__(self, case):
+        self.case = case
+        self.kind = None
+        self.detail = ""
+        self.replays = 0
+        self.assert_trips = 0
+        self.explicit_checked = False
+        self.jobs_checked = False
+        self.prover_calls = 0
+
+    @property
+    def ok(self):
+        return self.kind is None
+
+    def fail(self, kind, detail):
+        self.kind = kind
+        self.detail = detail
+        return self
+
+    def __repr__(self):
+        status = "ok" if self.ok else "%s: %s" % (self.kind, self.detail)
+        return "CaseReport(%s, %s)" % (self.case.name, status)
+
+
+class SoundnessOracle:
+    """Runs every oracle against cases; reusable across a fuzz session."""
+
+    def __init__(
+        self,
+        check_jobs=False,
+        explicit_budget=60_000,
+        max_steps=50_000,
+        make_options=None,
+    ):
+        self.check_jobs = check_jobs
+        self.explicit_budget = explicit_budget
+        self.max_steps = max_steps
+        # Hook for bug-injection tests: build the C2bpOptions for a config.
+        self.make_options = make_options or (lambda **kw: C2bpOptions(**kw))
+
+    # -- the individual oracles -------------------------------------------------
+
+    def check(self, case, check_jobs=None):
+        report = CaseReport(case)
+        try:
+            program = parse_c_program(case.source, name=case.name)
+            predicates = parse_predicate_file(case.predicate_text, program)
+        except (CFrontError, PredicateParseError) as error:
+            return report.fail(KIND_GENERATOR, str(error))
+
+        # 1+2. Abstraction under the default config, validated.
+        try:
+            tool, boolean_program = self._abstract(
+                program, predicates, self.make_options(validate_output=True)
+            )
+        except ValidationError as error:
+            return report.fail(KIND_INVALID_BP, str(error))
+        report.prover_calls = tool.stats.prover_calls
+        printed = print_bool_program(boolean_program)
+
+        baseline_tool, baseline_bp = self._abstract(
+            program, predicates,
+            self.make_options(validate_output=True, incremental_cubes=False),
+        )
+        baseline_printed = print_bool_program(baseline_bp)
+        if baseline_printed != printed:
+            return report.fail(
+                KIND_ABSTRACTION,
+                "incremental and --no-incremental boolean programs differ:\n"
+                + _first_diff(printed, baseline_printed),
+            )
+        jobs = self.check_jobs if check_jobs is None else check_jobs
+        if jobs:
+            _, jobs_bp = self._abstract(
+                program, predicates,
+                self.make_options(validate_output=True, jobs=2),
+            )
+            jobs_printed = print_bool_program(jobs_bp)
+            report.jobs_checked = True
+            if jobs_printed != printed:
+                return report.fail(
+                    KIND_ABSTRACTION,
+                    "--jobs 1 and --jobs 2 boolean programs differ:\n"
+                    + _first_diff(printed, jobs_printed),
+                )
+
+        # 3. Model-checking engines.
+        engine_failure = self._check_engines(case, boolean_program, report)
+        if engine_failure is not None:
+            return engine_failure
+
+        # 4. Theorem-1 trace inclusion.
+        return self._check_replay(case, program, predicates, tool, boolean_program, report)
+
+    def _abstract(self, program, predicates, options):
+        context = EngineContext(options=options)
+        tool = C2bp(program, predicates, context=context)
+        return tool, tool.run()
+
+    def _check_engines(self, case, boolean_program, report):
+        fast = Bebop(boolean_program, main=case.entry).run()
+        legacy = Bebop(boolean_program, main=case.entry, legacy=True).run()
+        if fast.all_invariants() != legacy.all_invariants():
+            return report.fail(
+                KIND_ENGINE, "fast and legacy Bebop invariants differ"
+            )
+        fast_sites = {(p, n.uid) for p, n, _ in fast.assertion_failures}
+        legacy_sites = {(p, n.uid) for p, n, _ in legacy.assertion_failures}
+        if fast_sites != legacy_sites:
+            return report.fail(
+                KIND_ENGINE,
+                "fast and legacy Bebop assertion sites differ: %r vs %r"
+                % (sorted(fast_sites), sorted(legacy_sites)),
+            )
+        explicit = ExplicitEngine(
+            boolean_program, main=case.entry, max_configs=self.explicit_budget
+        )
+        try:
+            explicit_failure = explicit.find_assertion_failure() is not None
+        except RuntimeError:
+            return None  # budget exhausted: skip, do not fail
+        report.explicit_checked = True
+        if explicit_failure != fast.error_reached:
+            return report.fail(
+                KIND_ENGINE,
+                "explicit engine verdict %r but symbolic verdict %r"
+                % (explicit_failure, fast.error_reached),
+            )
+        return None
+
+    def _check_replay(self, case, program, predicates, tool, boolean_program, report):
+        for args in case.args_list:
+            for seed in case.oracle_seeds:
+                # Pre-run: does this concrete execution complete?  A failing
+                # assert ends the trace; real traps are generator bugs.
+                oracle = _extern_oracle(seed)
+                probe = Interpreter(
+                    program, extern_oracle=oracle, max_steps=self.max_steps
+                )
+                try:
+                    probe.run(case.entry, list(args))
+                except AssertionFailure:
+                    report.assert_trips += 1
+                    continue
+                except InterpError as error:
+                    return report.fail(
+                        KIND_INTERP,
+                        "args %r seed %r: %s" % (args, seed, error),
+                    )
+                replayer = TraceReplayer(
+                    tool,
+                    boolean_program,
+                    entry=case.entry,
+                    args=list(args),
+                    extern_oracle=_extern_oracle(seed),
+                )
+                outcome = replayer.run()
+                report.replays += 1
+                if outcome.blocked is not None:
+                    return report.fail(
+                        KIND_SOUNDNESS,
+                        "args %r seed %r: replay blocked at %r"
+                        % (args, seed, outcome.blocked),
+                    )
+                if outcome.violations:
+                    return report.fail(
+                        KIND_SOUNDNESS,
+                        "args %r seed %r: %s"
+                        % (args, seed, "; ".join(v.detail for v in outcome.violations)),
+                    )
+        return report
+
+
+def _extern_oracle(seed):
+    rng = random.Random("extern:%s" % seed)
+    return lambda name, args: rng.randint(-4, 4)
+
+
+def _first_diff(left, right):
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    for index, (a, b) in enumerate(zip(left_lines, right_lines)):
+        if a != b:
+            return "line %d:\n  - %s\n  + %s" % (index + 1, a, b)
+    return "line %d: length differs (%d vs %d lines)" % (
+        min(len(left_lines), len(right_lines)) + 1,
+        len(left_lines),
+        len(right_lines),
+    )

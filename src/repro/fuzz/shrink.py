@@ -1,0 +1,176 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+Works on the structural :class:`repro.fuzz.gen.GProgram` (never on raw
+text), so every candidate stays well formed.  The reduction loop greedily
+applies structural simplifications and keeps a candidate whenever the
+oracle still fails with the *same failure kind* (classic delta debugging
+discipline — following the kind prevents "slipping" onto an unrelated
+bug mid-reduction):
+
+- delete any statement (in main, the helper, or any nested block);
+- hoist an ``if``'s then/else block or a loop body in place of the
+  compound statement, and shrink loop bounds to 1;
+- replace an assignment's right-hand side with ``0``;
+- drop the helper procedure outright (with its calls and predicates);
+- drop predicates, argument tuples, and extern-oracle seeds.
+
+The result is the fixpoint: no single remaining simplification preserves
+the failure.  ``shrink_case`` returns the minimized case plus the number
+of oracle evaluations spent, and is deterministic for a deterministic
+check function.
+"""
+
+from repro.fuzz.gen import GAssign, GCall, GIf, GLoop
+
+
+class ShrinkResult:
+    __slots__ = ("case", "kind", "attempts", "rounds")
+
+    def __init__(self, case, kind, attempts, rounds):
+        self.case = case
+        self.kind = kind
+        self.attempts = attempts
+        self.rounds = rounds
+
+
+def shrink_case(case, kind, check, max_attempts=600):
+    """Minimize ``case`` (whose ``check(case)`` currently returns ``kind``)
+    while ``check`` keeps returning the same kind.
+
+    ``check`` maps a case to a failure kind or None; it is typically
+    ``lambda c: oracle.check(c).kind``.
+    """
+    if case.gprog is None:
+        return ShrinkResult(case, kind, 0, 0)  # corpus text is not shrinkable
+    current = case
+    attempts = 0
+    rounds = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        rounds += 1
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            if check(candidate) == kind:
+                current = candidate
+                progress = True
+                break
+    return ShrinkResult(current, kind, attempts, rounds)
+
+
+# -- candidate generation ---------------------------------------------------------
+
+
+def _candidates(case):
+    """Candidate reductions, biggest cuts first."""
+    prog = case.gprog
+    # Drop the helper (with its calls and predicates) in one stroke.
+    if prog.helper is not None:
+        clone = prog.clone()
+        clone.helper = None
+        clone.predicates = [p for p in clone.predicates if p[0] != "helper"]
+        for block in _all_blocks(clone):
+            block[:] = [s for s in block if not _calls_helper(s)]
+        yield case.with_program(clone)
+    # Remove one statement at a time (later statements first: cheaper WPs).
+    for path, index, stmt in _indexed_statements(prog):
+        clone = prog.clone()
+        del _resolve(clone, path)[index]
+        yield case.with_program(clone)
+        # Unwrap compound statements / simplify leaves in place.
+        for replacement in _inline_replacements(stmt):
+            clone = prog.clone()
+            _resolve(clone, path)[index : index + 1] = _clone_stmts(replacement)
+            yield case.with_program(clone)
+    # Drop one predicate at a time.
+    for index in range(len(prog.predicates)):
+        clone = prog.clone()
+        del clone.predicates[index]
+        yield case.with_program(clone)
+    # Fewer / simpler run plans.
+    if len(case.args_list) > 1:
+        reduced = case.with_program(prog.clone())
+        reduced.args_list = case.args_list[:1]
+        yield reduced
+    if any(any(v != 0 for v in args) for args in case.args_list):
+        reduced = case.with_program(prog.clone())
+        reduced.args_list = [tuple(0 for _ in args) for args in case.args_list]
+        yield reduced
+    if len(case.oracle_seeds) > 1:
+        reduced = case.with_program(prog.clone())
+        reduced.oracle_seeds = case.oracle_seeds[:1]
+        yield reduced
+
+
+def _clone_stmts(stmts):
+    import copy
+
+    return [copy.deepcopy(s) for s in stmts]
+
+
+def _inline_replacements(stmt):
+    if isinstance(stmt, GIf):
+        yield stmt.then_block
+        if stmt.else_block:
+            yield stmt.else_block
+    elif isinstance(stmt, GLoop):
+        yield stmt.body
+        if stmt.bound > 1:
+            shrunk = GLoop(stmt.counter, 1, stmt.body)
+            yield [shrunk]
+    elif isinstance(stmt, GAssign) and stmt.rhs not in ("0", "*"):
+        yield [GAssign(stmt.lhs, "0")]
+    elif isinstance(stmt, GCall) and stmt.args and stmt.args != ["0"]:
+        yield [GCall(stmt.target, stmt.callee, ["0" for _ in stmt.args])]
+
+
+def _calls_helper(stmt):
+    if isinstance(stmt, GCall) and stmt.callee == "helper":
+        return True
+    return any(any(_calls_helper(s) for s in block) for block in stmt.blocks())
+
+
+# -- block addressing -------------------------------------------------------------
+#
+# A path addresses one statement list inside the program: ("main",) is the
+# main body, ("helper",) the helper body, and appending (index, block_no)
+# descends into a compound statement's block_no-th nested list.
+
+
+def _all_blocks(prog):
+    stack = [prog.main_body] + prog.helper_body_blocks()
+    while stack:
+        block = stack.pop()
+        yield block
+        for stmt in block:
+            stack.extend(stmt.blocks())
+
+
+def _resolve(prog, path):
+    if path[0] == "main":
+        block = prog.main_body
+    else:
+        block = prog.helper[1]
+    for index, block_no in zip(path[1::2], path[2::2]):
+        block = block[index].blocks()[block_no]
+    return block
+
+
+def _indexed_statements(prog):
+    """Every (path, index, stmt), innermost-last so deletions of later,
+    deeper statements are attempted before their containers."""
+
+    def visit(path, block, out):
+        for index, stmt in enumerate(block):
+            out.append((path, index, stmt))
+            for block_no, sub in enumerate(stmt.blocks()):
+                visit(path + (index, block_no), sub, out)
+
+    out = []
+    visit(("main",), prog.main_body, out)
+    if prog.helper is not None:
+        visit(("helper",), prog.helper[1], out)
+    out.reverse()
+    return out
