@@ -1,0 +1,164 @@
+"""Dead-variable elimination for boolean programs.
+
+Every boolean variable costs Bebop a BDD level and every assignment a
+transfer, but an ``unknown()`` slot for a pruned predicate — or a
+predicate only relevant in one procedure — is often never read anywhere:
+no assume/assert/branch condition mentions it, no live assignment reads
+it, no call passes it, no return yields it.  This pass removes such
+variables and their assignments before model checking.
+
+The analysis is a flow-insensitive never-read fixpoint, deliberately
+weaker than full per-point liveness: a variable is kept as soon as *any*
+read position mentions it.  That makes the transformation a pure
+projection — reachability of every remaining statement, every assert
+verdict, and every label invariant over the surviving variables is
+untouched, which is exactly the contract the CEGAR loop and the fuzz
+oracle check.
+
+Interface stability: formal parameter lists and return arities are never
+changed (callers and the trace-replay machinery depend on them); call
+targets are dropped only when the whole target list is dead.  The input
+program is not mutated — statements are rebuilt, expressions shared.
+"""
+
+from repro.boolprog import ast as B
+
+
+def _collect_reads(procedures):
+    """Root reads (always observed) and the assignment edges of the
+    never-read fixpoint: ``(target, value_vars)`` per assignment pair."""
+    roots = set()
+    assign_edges = []
+    call_target_groups = []
+
+    def scan(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, B.BAssign):
+                for target, value in zip(stmt.targets, stmt.values):
+                    assign_edges.append((target, B.expr_variables(value)))
+            elif isinstance(stmt, (B.BAssume, B.BAssert)):
+                roots.update(B.expr_variables(stmt.cond))
+            elif isinstance(stmt, (B.BIf, B.BWhile)):
+                roots.update(B.expr_variables(stmt.cond))
+                for sub in stmt.substatements():
+                    scan(sub)
+            elif isinstance(stmt, B.BCall):
+                for arg in stmt.args:
+                    roots.update(B.expr_variables(arg))
+                if stmt.targets:
+                    call_target_groups.append(stmt.targets)
+            elif isinstance(stmt, B.BReturn):
+                for value in stmt.values:
+                    roots.update(B.expr_variables(value))
+
+    for proc in procedures:
+        if proc.enforce is not None:
+            roots.update(B.expr_variables(proc.enforce))
+        scan(proc.body)
+    return roots, assign_edges, call_target_groups
+
+
+def _live_fixpoint(roots, assign_edges):
+    live = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for target, value_vars in assign_edges:
+            if target in live and not value_vars <= live:
+                live |= value_vars
+                changed = True
+    return live
+
+
+def _copy_meta(new, old):
+    new.labels = list(old.labels)
+    new.source_sid = old.source_sid
+    new.comment = old.comment
+    return new
+
+
+def eliminate_dead_variables(program, stats=None):
+    """A new :class:`~repro.boolprog.ast.BProgram` without never-read
+    variables, or ``program`` itself when nothing is eliminable.
+
+    Returns ``(program, eliminated_count)``; ``stats.bp_vars_eliminated``
+    is incremented by the count when a stats object is supplied.
+    """
+    procedures = list(program.procedures.values())
+    roots, assign_edges, call_target_groups = _collect_reads(procedures)
+    live = _live_fixpoint(roots, assign_edges)
+    # Call targets are all-or-nothing (the target list's arity must match
+    # the callee's returns): if any target survives, every target in the
+    # group keeps its declaration.
+    retained = set()
+    for targets in call_target_groups:
+        if any(t in live for t in targets):
+            retained.update(targets)
+    keep = live | retained
+    # Formals are part of the call interface and always keep their slots.
+    for proc in procedures:
+        keep.update(proc.formals)
+
+    eliminated = [name for name in program.globals if name not in keep]
+    for proc in procedures:
+        eliminated.extend(name for name in proc.locals if name not in keep)
+    if not eliminated:
+        return program, 0
+
+    result = B.BProgram()
+    result.globals = [name for name in program.globals if name in keep]
+    for proc in procedures:
+        result.add_procedure(
+            B.BProcedure(
+                proc.name,
+                proc.formals,
+                [name for name in proc.locals if name in keep],
+                proc.returns,
+                _rewrite_body(proc.body, live, keep),
+                enforce=proc.enforce,
+            )
+        )
+    if stats is not None:
+        stats.bp_vars_eliminated += len(eliminated)
+    return result, len(eliminated)
+
+
+def _rewrite_body(stmts, live, keep):
+    rewritten = []
+    for stmt in stmts:
+        if isinstance(stmt, B.BAssign):
+            pairs = [
+                (target, value)
+                for target, value in zip(stmt.targets, stmt.values)
+                if target in live
+            ]
+            if pairs:
+                new = B.BAssign([t for t, _ in pairs], [v for _, v in pairs])
+            else:
+                new = B.BSkip()  # keep the node: labels / sid anchor traces
+            rewritten.append(_copy_meta(new, stmt))
+        elif isinstance(stmt, B.BIf):
+            new = B.BIf(
+                stmt.cond,
+                _rewrite_body(stmt.then_body, live, keep),
+                _rewrite_body(stmt.else_body, live, keep),
+            )
+            rewritten.append(_copy_meta(new, stmt))
+        elif isinstance(stmt, B.BWhile):
+            new = B.BWhile(stmt.cond, _rewrite_body(stmt.body, live, keep))
+            rewritten.append(_copy_meta(new, stmt))
+        elif isinstance(stmt, B.BCall):
+            targets = stmt.targets if any(t in keep for t in stmt.targets) else []
+            new = B.BCall(targets, stmt.name, stmt.args)
+            rewritten.append(_copy_meta(new, stmt))
+        elif isinstance(stmt, B.BAssume):
+            rewritten.append(_copy_meta(B.BAssume(stmt.cond), stmt))
+        elif isinstance(stmt, B.BAssert):
+            rewritten.append(_copy_meta(B.BAssert(stmt.cond), stmt))
+        elif isinstance(stmt, B.BReturn):
+            rewritten.append(_copy_meta(B.BReturn(stmt.values), stmt))
+        elif isinstance(stmt, B.BGoto):
+            rewritten.append(_copy_meta(B.BGoto(stmt.label), stmt))
+        else:
+            rewritten.append(_copy_meta(B.BSkip(), stmt))
+    return rewritten

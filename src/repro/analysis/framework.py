@@ -1,0 +1,214 @@
+"""The generic interprocedural dataflow skeleton.
+
+Every production pass in :mod:`repro.analysis` is an instance of the same
+recipe: a finite-height lattice of facts, a transfer function per CFG
+node, and a worklist iteration to the least fixpoint.  The skeleton keeps
+that machinery in one place so adding a pass means writing only the
+lattice and the transfers (see ``docs/ANALYSIS.md``).
+
+Two solver directions are provided:
+
+- **forward**: facts flow along CFG edges (entry seeds the iteration);
+  used by the interval interpreter;
+- **backward**: facts flow against CFG edges (exit seeds the iteration);
+  used by the live-predicate analysis and the boolean-program DCE.
+
+Interprocedural passes additionally use :class:`CallGraph` for a
+bottom-up procedure order: callee summaries are computed before their
+callers, with the members of a call-graph cycle (recursion) iterated
+together until their summaries stabilize.
+"""
+
+from repro.cfront import cast as C
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowAnalysis:
+    """One intraprocedural fixpoint problem over a function CFG.
+
+    Subclasses define the lattice and the transfers:
+
+    - ``direction`` — :data:`FORWARD` or :data:`BACKWARD`;
+    - :meth:`bottom` — the least fact (the solver initializes every node
+      with it);
+    - :meth:`boundary` — the fact at the flow source (the entry node's
+      in-fact for a forward pass, the exit node's out-fact backward);
+    - :meth:`join` — least upper bound of two facts;
+    - :meth:`equals` — fact equality (fixpoint detection);
+    - :meth:`transfer` — ``transfer(node, fact)``: the fact after the
+      node, given the fact flowing into it;
+    - :meth:`edge_transfer` — optional refinement along a labelled edge
+      (``assume=True/False`` on branch edges); identity by default;
+    - :meth:`widen` — optional widening applied at loop heads after
+      ``widen_after`` visits; defaults to :meth:`join` (no widening).
+    """
+
+    direction = FORWARD
+    widen_after = None  # visits of one node before widening kicks in
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+
+    # -- the lattice (subclass responsibility) ---------------------------------
+
+    def bottom(self):
+        raise NotImplementedError
+
+    def boundary(self):
+        raise NotImplementedError
+
+    def join(self, left, right):
+        raise NotImplementedError
+
+    def equals(self, left, right):
+        raise NotImplementedError
+
+    def transfer(self, node, fact):
+        raise NotImplementedError
+
+    def edge_transfer(self, source, edge, fact):
+        return fact
+
+    def widen(self, previous, joined):
+        return joined
+
+    # -- the solver -------------------------------------------------------------
+
+    def solve(self):
+        """Iterate to the least fixpoint; returns ``self`` with
+        ``fact_in`` / ``fact_out`` maps keyed by node uid.
+
+        ``fact_in[uid]`` is the fact flowing *into* the node along the
+        analysis direction (for a backward pass that is the fact after
+        the node in execution order), ``fact_out[uid]`` the fact after
+        applying the node's transfer.
+        """
+        cfg = self.cfg
+        forward = self.direction == FORWARD
+        self.fact_in = {node.uid: self.bottom() for node in cfg.nodes}
+        self.fact_out = {node.uid: self.bottom() for node in cfg.nodes}
+        source = cfg.entry if forward else cfg.exit
+        self.fact_in[source.uid] = self.boundary()
+        visits = {}
+        if forward:
+            # Unreachable code stays at bottom (it never executes).
+            worklist = [source]
+        else:
+            # Seed every node: statements that cannot reach the exit (a
+            # nonterminating loop body) still execute, so their uses count.
+            worklist = [node for node in cfg.nodes if node is not source]
+            worklist.append(source)
+        queued = {node.uid for node in worklist}
+        while worklist:
+            node = worklist.pop()
+            queued.discard(node.uid)
+            visits[node.uid] = visits.get(node.uid, 0) + 1
+            out = self.transfer(node, self.fact_in[node.uid])
+            if self.equals(out, self.fact_out[node.uid]) and visits[node.uid] > 1:
+                continue
+            self.fact_out[node.uid] = out
+            for successor, edge in self._flow_targets(node):
+                flowed = self.edge_transfer(node, edge, out)
+                joined = self.join(self.fact_in[successor.uid], flowed)
+                if (
+                    self.widen_after is not None
+                    and visits.get(successor.uid, 0) >= self.widen_after
+                    and self._is_loop_head(successor)
+                ):
+                    joined = self.widen(self.fact_in[successor.uid], joined)
+                if not self.equals(joined, self.fact_in[successor.uid]):
+                    self.fact_in[successor.uid] = joined
+                    if successor.uid not in queued:
+                        worklist.append(successor)
+                        queued.add(successor.uid)
+        return self
+
+    def _flow_targets(self, node):
+        if self.direction == FORWARD:
+            return [(edge.target, edge) for edge in node.edges]
+        # Backward: predecessors, with the edge that leads back to us (for
+        # edge_transfer refinement, matched by target identity).
+        targets = []
+        for pred in node.preds:
+            edge = None
+            for candidate in pred.edges:
+                if candidate.target is node:
+                    edge = candidate
+                    break
+            targets.append((pred, edge))
+        return targets
+
+    def _is_loop_head(self, node):
+        """A node with an incoming back edge (a predecessor reachable from
+        the node itself — cheaply over-approximated: any branch node whose
+        statement is a While, plus join points targeted by gotos)."""
+        if node.kind == "branch" and isinstance(node.stmt, C.While):
+            return True
+        return len(node.preds) > 1
+
+
+class CallGraph:
+    """Callee edges between the program's defined procedures."""
+
+    def __init__(self, program):
+        self.program = program
+        self.callees = {}  # name -> set of defined callee names
+        self.callers = {}
+        defined = {func.name for func in program.defined_functions()}
+        for func in program.defined_functions():
+            found = set()
+            self._scan(func.body, found)
+            self.callees[func.name] = found & defined
+        for name in self.callees:
+            self.callers[name] = set()
+        for name, callees in self.callees.items():
+            for callee in callees:
+                self.callers[callee].add(name)
+
+    def _scan(self, stmts, found):
+        for stmt in stmts:
+            if isinstance(stmt, C.CallStmt):
+                found.add(stmt.name)
+            for sub in stmt.substatements():
+                self._scan(sub, found)
+
+    def bottom_up_order(self):
+        """Procedure names, callees before callers; members of a cycle
+        (recursion) appear in deterministic name order and must be
+        iterated to a joint fixpoint by the client."""
+        order = []
+        state = {}  # name -> "open" | "done"
+
+        def visit(name):
+            if state.get(name) == "done":
+                return
+            if state.get(name) == "open":
+                return  # back edge: a cycle, broken here
+            state[name] = "open"
+            for callee in sorted(self.callees.get(name, ())):
+                visit(callee)
+            state[name] = "done"
+            order.append(name)
+
+        for name in sorted(self.callees):
+            visit(name)
+        return order
+
+    def recursive_names(self):
+        """Names on a call-graph cycle (including self-recursion)."""
+        result = set()
+        for name in self.callees:
+            seen = set()
+            stack = list(self.callees.get(name, ()))
+            while stack:
+                current = stack.pop()
+                if current == name:
+                    result.add(name)
+                    break
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(self.callees.get(current, ()))
+        return result

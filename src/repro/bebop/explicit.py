@@ -288,16 +288,29 @@ class ExplicitEngine:
     # -- convenience goals --------------------------------------------------------------
 
     def find_assertion_failure(self):
-        """Shortest path to a failing assert, or None."""
+        """Shortest path to a failing assert, or None.
+
+        The failing ``assert`` itself is the path's final step: Newton
+        needs it to constrain the claimed counterexample with the
+        *negation* of the assert condition — without it, any error whose
+        guarding control flow is feasible would be reported as genuine
+        even when the asserted fact holds along the path."""
+        failing = []
 
         def goal(proc_name, node, globals_vals, locals_vals):
             if node.kind != STMT or not isinstance(node.stmt, B.BAssert):
                 return False
-            return not self.eval_expr(
+            if self.eval_expr(
                 node.stmt.cond, proc_name, globals_vals, locals_vals
-            )
+            ):
+                return False
+            failing[:] = [PathStep(proc_name, node.stmt, "stmt")]
+            return True
 
-        return self.search(goal)
+        steps = self.search(goal)
+        if steps is None:
+            return None
+        return steps + failing
 
     def find_label(self, target_proc, label):
         target_node = self.graphs[target_proc].node_for_label(label)

@@ -105,6 +105,31 @@ def _add_option_flags(parser):
         help="run the boolean-program validator on BP(P, E) before using it "
         "(debug aid: malformed output fails at generation time)",
     )
+    parser.add_argument(
+        "--no-analysis",
+        action="store_true",
+        help="disable the whole static-analysis subsystem (liveness "
+        "pruning, interval discharge, BP dead-variable elimination, "
+        "cross-iteration abstraction reuse)",
+    )
+    parser.add_argument(
+        "--no-live-predicates",
+        action="store_true",
+        help="disable live-predicate pruning (always run the cube search "
+        "for every (statement, predicate) slot)",
+    )
+    parser.add_argument(
+        "--no-intervals",
+        action="store_true",
+        help="disable the interval abstract interpreter (no pre-prover "
+        "query discharge, no Newton-stall candidate predicates)",
+    )
+    parser.add_argument(
+        "--no-bp-dce",
+        action="store_true",
+        help="model check the full boolean program instead of the "
+        "dead-variable-eliminated one",
+    )
     _add_bebop_flags(parser)
 
 
@@ -139,6 +164,10 @@ def _options_from(args):
         jobs=max(args.jobs, 1),
         bebop_legacy=args.bebop_legacy,
         bebop_reuse=not args.no_bebop_reuse,
+        use_analysis=not args.no_analysis,
+        live_predicates=not args.no_live_predicates,
+        intervals=not args.no_intervals,
+        bp_dce=not args.no_bp_dce,
         validate_output=args.validate_bp,
     )
 
@@ -188,6 +217,14 @@ def _check(args, out):
     context = EngineContext(options=_options_from(args))
     tool = C2bp(program, predicates, context=context)
     boolean_program = tool.run()
+    # Labeled invariant queries observe every predicate, so DCE only
+    # applies to plain reachability checks.
+    if tool.analysis is not None and not args.no_bp_dce and not args.label:
+        from repro.analysis import eliminate_dead_variables
+
+        boolean_program, _ = eliminate_dead_variables(
+            boolean_program, stats=context.analysis_stats
+        )
     result = Bebop(boolean_program, main=args.entry, context=context).run()
     if args.label:
         for label in args.label:

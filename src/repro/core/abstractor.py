@@ -31,10 +31,11 @@ stats totals, and the event stream are identical to a serial run.
 import multiprocessing
 
 from repro.cfront import cast as C
-from repro.cfront.exprutils import locations, variables
-from repro.cfront.pretty import pretty_expr, pretty_stmt
+from repro.cfront.pretty import pretty_stmt
 from repro.boolprog import ast as B
 from repro.pointers import PointsToAnalysis
+from repro.analysis import ProgramAnalyses, TouchOracle, ensure_analysis_stats
+from repro.analysis.modref import location_keyset
 from repro.core.calls import abstract_call
 from repro.core.cubes import CubeSearch
 from repro.core.signatures import compute_signatures
@@ -70,6 +71,7 @@ class C2bp:
         prover=None,
         points_to=None,
         context=None,
+        reuse=None,
     ):
         self.context = EngineContext.ensure(context, options=options, prover=prover)
         self.program = program
@@ -77,13 +79,43 @@ class C2bp:
         self.options = self.context.options
         self.prover = self.context.prover
         self.points_to = points_to or PointsToAnalysis(program)
-        self.search = CubeSearch(self.prover, self.options, events=self.context.events)
         self.signatures = compute_signatures(program, predicates)
+        self.analysis = None
+        if getattr(self.options, "use_analysis", True):
+            self.analysis = ProgramAnalyses(
+                program,
+                predicates,
+                self.signatures,
+                self.options,
+                self.points_to,
+                ensure_analysis_stats(self.context),
+            )
+        # Cross-iteration statement-abstraction cache (CEGAR hands one
+        # in); only the serial path consults it.
+        self.reuse = reuse if self.analysis is not None else None
+        self.search = CubeSearch(
+            self.prover,
+            self.options,
+            events=self.context.events,
+            discharger=self.analysis.discharger if self.analysis else None,
+        )
         self.stats = C2bpStats()
         self.context.stats.register("c2bp", self.stats)
+        self._keysets = {}  # predicate name -> canonical location keyset
         # (procedure name, temp name) -> meaning expression E(t) for the
         # call-site temporaries of Section 4.5.3 (used by trace replay).
         self.temp_meanings = {}
+
+    def predicate_keyset(self, predicate):
+        """The canonical location keyset of a cone candidate, computed
+        once per distinct expression.  Keyed by expression identity, not
+        candidate name: call-site temporaries reuse names like ``__r0``
+        across procedures while standing for different meanings."""
+        entry = self._keysets.get(id(predicate.expr))
+        if entry is None:
+            entry = (predicate.expr, location_keyset(predicate.expr))
+            self._keysets[id(predicate.expr)] = entry
+        return entry[1]
 
     def run(self):
         """Build and return the boolean program ``BP(P, E)``."""
@@ -95,6 +127,8 @@ class C2bp:
                 mp_context = None  # no fork on this platform: run serially
             if mp_context is not None:
                 return self._run_parallel(mp_context, jobs)
+        if self.reuse is not None:
+            return self._run_with_reuse()
         started_calls = self.prover.stats.calls
         started_queries = self.prover.stats.queries
         started_hits = self.prover.stats.cache_hits
@@ -120,6 +154,133 @@ class C2bp:
         self._maybe_validate(boolean_program)
         return boolean_program
 
+    def _run_with_reuse(self):
+        """The serial CEGAR path with a cross-iteration statement cache.
+
+        Assembly mirrors ``_run_parallel``: statements are translated
+        (or fetched) with per-statement temp prefixes, then merged with
+        the same first-use renumbering — so the output is byte-identical
+        to a fresh serial run, while statements whose cache key is
+        unchanged since the previous iteration cost zero prover calls.
+        """
+        started_calls = self.prover.stats.calls
+        started_queries = self.prover.stats.queries
+        started_hits = self.prover.stats.cache_hits
+        with self.context.phase("c2bp"), Timer(self.stats):
+            boolean_program = B.BProgram()
+            boolean_program.globals = [p.name for p in self.predicates.globals]
+            for func in self.program.defined_functions():
+                before = self.prover.stats.calls
+                scope = self.predicates.in_scope(func.name)
+                enforce = None
+                if self.options.compute_enforce and scope:
+                    key = self.analysis.enforce_key(func.name)
+                    hit, cached = self.reuse.fetch_enforce(key)
+                    if hit:
+                        enforce = cached
+                    else:
+                        enforce = self.search.enforce_expr(scope)
+                        self.reuse.store_enforce(key, enforce)
+                self.analysis.compute_liveness(func.name, enforce)
+                parts = []
+                for index, stmt in enumerate(func.body):
+                    stmt_key = self.analysis.statement_key(func, index, stmt)
+                    payload = self.reuse.fetch(stmt_key)
+                    if payload is None:
+                        payload = self._translate_statement(func, index, stmt)
+                        self.reuse.store(
+                            stmt_key,
+                            payload["stmts"],
+                            payload["temps"],
+                            payload["temp_meanings"],
+                            payload["c2bp"],
+                        )
+                    else:
+                        for name, value in payload["c2bp"].items():
+                            setattr(
+                                self.stats, name, getattr(self.stats, name) + value
+                            )
+                    parts.append(payload)
+                body = []
+                renamed_temps = []
+                mapping = {}
+                for part in parts:
+                    for site_name in part["temps"]:
+                        final_name = "__r%d" % len(renamed_temps)
+                        mapping[site_name] = final_name
+                        renamed_temps.append(final_name)
+                    body.extend(part["stmts"])
+                    for site_name, meaning in part["temp_meanings"]:
+                        self.temp_meanings[(func.name, mapping[site_name])] = meaning
+                if mapping:
+                    B.rename_stmt_variables(body, mapping)
+                signature = self.signatures[func.name]
+                local_predicates = self.predicates.for_procedure(func.name)
+                formal_names = [p.name for p in signature.formal_predicates]
+                local_names = [
+                    p.name
+                    for p in local_predicates
+                    if p not in signature.formal_predicates
+                ] + renamed_temps
+                boolean_program.add_procedure(
+                    B.BProcedure(
+                        func.name,
+                        formal_names,
+                        local_names,
+                        len(signature.return_predicates),
+                        body,
+                        enforce,
+                    )
+                )
+                delta = self.prover.stats.calls - before
+                self.stats.per_procedure[func.name] = delta
+                self.context.events.emit(
+                    "c2bp-procedure", procedure=func.name, prover_calls=delta
+                )
+            self.stats.program_statements = self.program.statement_count()
+            self.stats.predicate_count = len(self.predicates)
+            self.stats.prover_calls = self.prover.stats.calls - started_calls
+            self.stats.prover_queries = self.prover.stats.queries - started_queries
+            self.stats.prover_cache_hits = (
+                self.prover.stats.cache_hits - started_hits
+            )
+        self._maybe_validate(boolean_program)
+        return boolean_program
+
+    _COUNTER_FIELDS = (
+        "assignments_abstracted",
+        "assignments_skipped_unchanged",
+        "calls_abstracted",
+        "conditionals_abstracted",
+    )
+
+    def _translate_statement(self, func, index, stmt):
+        """Translate one top-level statement in its own temp namespace
+        (``__rc<index>_``) and package it for the reuse cache."""
+        counters_before = {
+            name: getattr(self.stats, name) for name in self._COUNTER_FIELDS
+        }
+        meanings_before = set(self.temp_meanings)
+        proc_abs = _ProcedureAbstractor(self, func, temp_prefix="__rc%d_" % index)
+        translated = proc_abs._abstract_stmt(stmt)
+        if stmt.labels:
+            if not translated:
+                translated = [B.BSkip()]
+            translated[0].labels = list(stmt.labels) + list(translated[0].labels)
+        temp_meanings = []
+        for key in list(self.temp_meanings):
+            if key not in meanings_before:
+                temp_meanings.append((key[1], self.temp_meanings.pop(key)))
+        return {
+            "stmts": translated,
+            "temps": list(proc_abs._extra_locals),
+            "temp_meanings": temp_meanings,
+            "c2bp": {
+                name: getattr(self.stats, name) - counters_before[name]
+                for name in self._COUNTER_FIELDS
+            },
+        }
+
     def _maybe_validate(self, boolean_program):
         """The ``--validate-bp`` debug gate: reject a malformed translation
         here, where the C2bp inputs are still on hand, rather than letting
@@ -140,12 +301,32 @@ class C2bp:
             boolean_program = B.BProgram()
             boolean_program.globals = [p.name for p in self.predicates.globals]
             funcs = list(self.program.defined_functions())
+            # With liveness on, Ω must be known before any statement task
+            # runs (its variables anchor the always-live set), so the
+            # enforce computations happen here, pre-fork — workers then
+            # inherit the solved liveness facts and the warmed prover
+            # cache through fork instead of racing on enforce tasks.
+            precomputed = {}
+            if self.analysis is not None and self.analysis.live_enabled:
+                for func in funcs:
+                    before = self.prover.stats.calls
+                    enforce = None
+                    scope = self.predicates.in_scope(func.name)
+                    if self.options.compute_enforce and scope:
+                        enforce = self.search.enforce_expr(scope)
+                    self.analysis.compute_liveness(func.name, enforce)
+                    precomputed[func.name] = (
+                        enforce,
+                        self.prover.stats.calls - before,
+                    )
             tasks = []
             for func in funcs:
                 for index in range(len(func.body)):
                     tasks.append(("stmt", func.name, index))
-                if self.options.compute_enforce and self.predicates.in_scope(
-                    func.name
+                if (
+                    func.name not in precomputed
+                    and self.options.compute_enforce
+                    and self.predicates.in_scope(func.name)
                 ):
                     tasks.append(("enforce", func.name, -1))
             results = []
@@ -160,12 +341,22 @@ class C2bp:
                 func.name: {"parts": [], "enforce": None, "calls": 0}
                 for func in funcs
             }
+            for func_name, (enforce, calls) in precomputed.items():
+                merged[func_name]["enforce"] = enforce
+                merged[func_name]["calls"] += calls
             for task, result in zip(tasks, results):
                 kind, func_name, _ = task
                 self.prover.stats.merge(result["prover"])
                 self.prover.cache.absorb(result["cache"])
                 for name, value in result["c2bp"].items():
                     setattr(self.stats, name, getattr(self.stats, name) + value)
+                if self.analysis is not None:
+                    for name, value in result.get("analysis", {}).items():
+                        setattr(
+                            self.analysis.stats,
+                            name,
+                            getattr(self.analysis.stats, name) + value,
+                        )
                 for event in result["events"]:
                     data = {
                         key: value
@@ -250,6 +441,16 @@ class _ProcedureAbstractor:
         self.scope_predicates = parent.predicates.in_scope(func.name)
         self.local_predicates = parent.predicates.for_procedure(func.name)
         self._may_alias = parent.may_alias(func.name)
+        analysis = parent.analysis
+        if analysis is not None:
+            self._toucher = analysis.toucher(func.name)
+            # Solved facts if liveness already ran for this procedure
+            # (reuse and parallel paths solve it up front); the serial
+            # path fills this in from abstract() once Ω is known.
+            self._liveness = analysis.liveness(func.name)
+        else:
+            self._toucher = TouchOracle(self._may_alias)
+            self._liveness = None
         self._temp_counter = 0
         self._temp_prefix = temp_prefix
         self._extra_locals = []
@@ -296,48 +497,51 @@ class _ProcedureAbstractor:
     def _cone(self, candidates, phi):
         if not self.parent.options.cone_of_influence:
             return list(candidates)
-        relevant_locations = set(locations(phi)) | {
-            C.Id(v) for v in variables(phi)
-        }
-        chosen = []
+        # Canonical-text keysets plus the memoized TouchOracle replace the
+        # old pairwise location loop: text equality decides the common
+        # case without any alias query, and each distinct location pair is
+        # asked of the points-to oracle at most once per procedure.
+        relevant = dict(location_keyset(phi))
+        chosen = set()
         remaining = list(candidates)
         changed = True
         while changed:
             changed = False
             still_remaining = []
             for candidate in remaining:
-                cand_locations = set(locations(candidate.expr)) | {
-                    C.Id(v) for v in variables(candidate.expr)
-                }
-                if self._locations_touch(cand_locations, relevant_locations):
-                    chosen.append(candidate)
-                    relevant_locations |= cand_locations
+                keyset = self.parent.predicate_keyset(candidate)
+                if self._toucher.touch(keyset, relevant):
+                    chosen.add(id(candidate))
+                    relevant.update(keyset)
                     changed = True
                 else:
                     still_remaining.append(candidate)
             remaining = still_remaining
         # Preserve the original candidate order for deterministic output.
-        chosen_set = set(id(c) for c in chosen)
-        return [c for c in candidates if id(c) in chosen_set]
-
-    def _locations_touch(self, first, second):
-        for a in first:
-            for b in second:
-                if a == b:
-                    return True
-                if self._may_alias is not None and self._may_alias(a, b):
-                    return True
-                if self._may_alias is None:
-                    return True
-        return False
+        return [c for c in candidates if id(c) in chosen]
 
     # -- statement translation ---------------------------------------------------
 
-    def abstract(self):
-        body = self._abstract_body(self.func.body)
-        enforce = None
+    def _compute_enforce(self):
         if self.parent.options.compute_enforce and self.scope_predicates:
-            enforce = self.parent.search.enforce_expr(self.scope_predicates)
+            return self.parent.search.enforce_expr(self.scope_predicates)
+        return None
+
+    def abstract(self):
+        analysis = self.parent.analysis
+        enforce = None
+        enforce_done = False
+        if analysis is not None and analysis.live_enabled:
+            # Liveness anchors the predicates Ω reads as always-live, so Ω
+            # is computed before the body.  The reorder is answer-neutral:
+            # both are independent cube searches against the same cached
+            # prover.
+            enforce = self._compute_enforce()
+            enforce_done = True
+            self._liveness = analysis.compute_liveness(self.func.name, enforce)
+        body = self._abstract_body(self.func.body)
+        if not enforce_done:
+            enforce = self._compute_enforce()
         formal_names = [p.name for p in self.signature.formal_predicates]
         local_names = [
             p.name
@@ -417,6 +621,16 @@ class _ProcedureAbstractor:
                 stmt.lhs, stmt.rhs, predicate.expr, self._may_alias
             ):
                 self.parent.stats.assignments_skipped_unchanged += 1
+                continue
+            if self._liveness is not None and not self._liveness.is_live(
+                stmt, predicate.name
+            ):
+                # Dead slot: the predicate's value after this statement
+                # cannot reach any observation point, so unknown() (which
+                # over-approximates any choose) replaces the cube search.
+                self.parent.analysis.stats.predicates_skipped_dead += 1
+                targets.append(predicate.name)
+                values.append(B.BUnknown())
                 continue
             wp_pos = weakest_precondition(
                 stmt.lhs, stmt.rhs, predicate.expr, self._may_alias
@@ -513,6 +727,13 @@ def _worker_c2bp():
             points_to=parent.points_to,
             context=context,
         )
+        # Adopt the forked parent's analysis object wholesale: liveness
+        # facts were solved pre-fork, and its counters accumulate the
+        # deltas this worker ships back per task.
+        tool.analysis = parent.analysis
+        tool.search.discharger = (
+            parent.analysis.discharger if parent.analysis is not None else None
+        )
         _WORKER_STATE = (tool, [len(tool.prover.cache)])
     return _WORKER_STATE
 
@@ -526,6 +747,9 @@ def _parallel_worker(task):
     tool.prover.stats.reset()
     tool.stats.__init__()
     tool.temp_meanings.clear()
+    analysis_before = (
+        tool.analysis.stats.snapshot() if tool.analysis is not None else None
+    )
     events = tool.context.events
     events_start = len(events.events)
     if kind == "stmt":
@@ -560,6 +784,14 @@ def _parallel_worker(task):
         "conditionals_abstracted": tool.stats.conditionals_abstracted,
     }
     payload["temp_meanings"] = list(tool.temp_meanings.items())
+    if analysis_before is not None:
+        payload["analysis"] = {
+            name: value - analysis_before[name]
+            for name, value in tool.analysis.stats.snapshot().items()
+            if value != analysis_before[name]
+        }
+    else:
+        payload["analysis"] = {}
     payload["events"] = events.events[events_start:]
     return payload
 

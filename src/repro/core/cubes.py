@@ -41,10 +41,16 @@ _PRUNE = "prune"
 class CubeSearch:
     """Shared machinery for F/G computations against one prover."""
 
-    def __init__(self, prover, options, events=None):
+    def __init__(self, prover, options, events=None, discharger=None):
         self.prover = prover
         self.options = options
         self.events = events
+        # Optional pre-prover query discharger (the interval abstract
+        # interpreter): decides a cube implication without any SAT call
+        # when cheap arithmetic propagation already settles it.  Sound
+        # and strictly weaker than the prover, so enabling it changes
+        # prover traffic but never a search outcome.
+        self.discharger = discharger
 
     # -- core search -----------------------------------------------------------
 
@@ -92,12 +98,23 @@ class CubeSearch:
             incremental=getattr(self.options, "incremental_cubes", True),
         )
 
+    def _decide(self, session, cube):
+        """One cube implication, tried against the discharger first.
+        A discharged decision reports no assumption core — the keep-side
+        record is then the cube itself, exactly what a fresh-query
+        baseline records."""
+        if self.discharger is not None:
+            exprs = session.cube_exprs(cube)
+            if self.discharger.decide(exprs, session.goal):
+                return True, None
+        return session.implies_cube(cube)
+
     def _cube_query(self, session, cube, purpose):
         """One cube decision, reported as a ``cube-test`` event.  Returns
         ``(result, record)`` where ``record`` is the sub-cube to prune
         with: the assumption core when one shrank the cube, else the cube
         itself."""
-        result, core = session.implies_cube(cube)
+        result, core = self._decide(session, cube)
         if self.events is not None:
             self.events.emit(
                 "cube-test", purpose=purpose, cube_size=len(cube), result=result
@@ -125,7 +142,7 @@ class CubeSearch:
         # cache key with Prover.is_valid(phi) and warms the session whose
         # solver state every subsequent cube of this call reuses.
         implies_phi = self._open_session(candidates, phi)
-        valid, _ = implies_phi.implies_cube(())
+        valid, _ = self._decide(implies_phi, ())
         if valid:
             return [Cube()]
         limit = max_length
@@ -139,7 +156,7 @@ class CubeSearch:
         # each cube with an *empty* assumption core (pruning everything),
         # while a fresh-query baseline keeps the vacuous implicants it
         # happens to test first.
-        refuted, _ = implies_not_phi.implies_cube(())
+        refuted, _ = self._decide(implies_not_phi, ())
         if refuted:
             return []
 

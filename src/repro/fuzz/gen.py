@@ -288,6 +288,12 @@ class _CaseBuilder:
         self.use_helper = rng.random() < 0.6
         self.use_pointer = rng.random() < 0.4
         self.helper_writes_global = self.use_global and rng.random() < 0.6
+        # Pointer writes across the call boundary: helper takes an
+        # out-parameter ``int *q`` and stores through it; call sites pass
+        # ``&a`` / ``&b`` (or ``&g``), so the callee's ``*q`` write aliases
+        # the caller's locals — the shape mod/ref summaries must treat as
+        # a wildcard write.
+        self.use_out_param = self.use_helper and rng.random() < 0.4
         self._counter_id = 0
         self._guards = []  # harvested (scope, cond) pairs
         self._main_params = []
@@ -297,6 +303,8 @@ class _CaseBuilder:
     def _scope_vars(self, scope):
         if scope == "helper":
             names = list(HELPER_VARS)
+            if self.use_out_param:
+                names.append("*q")
         else:
             names = list(MAIN_VARS) + list(self._main_params)
             if self.use_pointer:
@@ -355,7 +363,13 @@ class _CaseBuilder:
                 # The PR-4 shape: a call result bound to a global the
                 # callee itself may write.
                 targets += ["g", "g"]
-            return GCall(rng.choice(targets), "helper", [self.expr(scope, 1)])
+            args = [self.expr(scope, 1)]
+            if self.use_out_param:
+                cells = ["a", "b"]
+                if self.use_global:
+                    cells.append("g")
+                args.append("&" + rng.choice(cells))
+            return GCall(rng.choice(targets), "helper", args)
         if roll < 0.52:
             return GAssign(rng.choice(self._assign_targets(scope)), "*")
         if roll < 0.58 and scope == "main":
@@ -365,6 +379,8 @@ class _CaseBuilder:
     def _assign_targets(self, scope):
         if scope == "helper":
             targets = ["h", "h", "p"]
+            if self.use_out_param:
+                targets.extend(["*q", "*q"])
             if self.helper_writes_global:
                 targets.append("g")
             return targets
@@ -383,7 +399,10 @@ class _CaseBuilder:
             # exercise the Morris-axiom disjunctions on both cells.
             if self.rng.random() < 0.5:
                 index = self.rng.randint(0, len(block))
-                block.insert(index, GAssign(POINTER, "&" + self.rng.choice(["a", "b"])))
+                cells = ["a", "b"]
+                if self.use_global:
+                    cells.append("g")
+                block.insert(index, GAssign(POINTER, "&" + self.rng.choice(cells)))
         return block
 
     # -- predicates ------------------------------------------------------------
@@ -438,8 +457,13 @@ class _CaseBuilder:
                 )
             if self.helper_writes_global:
                 body.append(GAssign("g", self.expr("helper")))
+            if self.use_out_param:
+                # Guarantee at least one store through the out-parameter
+                # (random body statements may add more).
+                body.append(GAssign("*q", self.expr("helper")))
             ret = rng.choice(["h", "h", "p", str(rng.randint(-2, 2))])
-            prog.helper = (["p"], body, ret)
+            params = ["p", "*q"] if self.use_out_param else ["p"]
+            prog.helper = (params, body, ret)
         prog.main_body = self.block("main", 0)
         prog.predicates = self.predicates()
         return prog

@@ -3,7 +3,9 @@
 The simulator walks a sequence of C-level steps (statements and decided
 branches) maintaining a symbolic store that maps locations to expressions
 over fresh *symbols* (the unknown initial values and environment inputs).
-Each branch outcome and ``assume`` contributes a path constraint; each
+Each branch outcome, ``assume``, and ``assert`` contributes a path
+constraint (passed asserts positively, the final failing assert of a
+counterexample negatively); each
 constraint remembers its *provenance* — the original program expression and
 the assignments that built its value — which the discovery phase mines for
 refinement predicates.
@@ -234,11 +236,12 @@ class PathSimulator:
         if not steps:
             return self.constraints
         self.push_frame(steps[0].func_name, {})
-        for step in steps:
-            self._step(step)
+        last = len(steps) - 1
+        for index, step in enumerate(steps):
+            self._step(step, is_last=index == last)
         return self.constraints
 
-    def _step(self, step):
+    def _step(self, step, is_last=False):
         stmt = step.stmt
         func_name = step.func_name
         if step.kind == "branch":
@@ -278,7 +281,20 @@ class PathSimulator:
             return
         if isinstance(stmt, C.Assume) or isinstance(stmt, C.Assert):
             symbolic = self.eval_expr(stmt.cond, func_name)
-            if isinstance(stmt, C.Assume):
+            if isinstance(stmt, C.Assert) and is_last:
+                # A counterexample path ends at the assert it claims to
+                # violate: the concrete semantics of reaching the error
+                # require ¬cond here.  Without this constraint any error
+                # behind feasible control flow looks genuine even when
+                # the asserted fact holds along the path.
+                self.constraints.append(
+                    Constraint(
+                        C.negate(symbolic), C.negate(stmt.cond), func_name, False
+                    )
+                )
+            else:
+                # An assume, or an assert the path *passed*: in concrete
+                # semantics continuing past either requires cond.
                 self.constraints.append(
                     Constraint(symbolic, stmt.cond, func_name, True)
                 )

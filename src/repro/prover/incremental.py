@@ -29,7 +29,16 @@ Theory consistency is checked only over the atoms *relevant* to the
 current cube (the base encoding's atoms plus the active literals'), so an
 assignment to the atoms of inactive candidate literals — present in the
 solver because the whole candidate set is encoded up front — cannot
-perturb the theory verdict relative to a fresh per-cube query.
+perturb the theory verdict relative to a fresh per-cube query.  The
+persisted blocking clauses get the same treatment: each is guarded by a
+selector that :meth:`decide` assumes only when the lemma's atoms all lie
+inside the current query's relevant set.  An unguarded lemma base would
+let earlier cubes' lemmas case-split over atoms a later query never asked
+about (e.g. an exhaustive split over comparison atoms whose
+integer-tightened cells jointly refute a query that is satisfiable over
+the rationals), making answers depend on query order — and diverge from
+the fresh-per-query baseline.  With the guards, every ``decide`` answer
+is a pure function of ``(candidates, goal, cube)``.
 """
 
 from repro.prover import terms as T
@@ -81,6 +90,8 @@ class IncrementalCubeSession:
             self._base_atom_vars = {
                 self._atom_map.var_for(atom) for atom in T.formula_atoms(base)
             }
+        # Relevance-guarded theory lemmas: guard selector -> atom vars.
+        self._lemmas = {}
         # One selector per candidate literal: assuming it asserts the literal.
         self._selectors = {}
         self._selector_literal = {}
@@ -120,10 +131,15 @@ class IncrementalCubeSession:
         self.decides += 1
         if self._trivially_valid:
             return Satisfiability.UNSAT, ()
-        assumptions = [self._selectors[key] for key in cube]
         relevant = set(self._base_atom_vars)
         for key in cube:
             relevant |= self._literal_atom_vars[key]
+        assumptions = [self._selectors[key] for key in cube]
+        # Enable only the lemmas whose atoms this query could itself have
+        # discovered; the rest stay inert behind their guards.
+        for guard, atoms in self._lemmas.items():
+            if atoms <= relevant:
+                assumptions.append(guard)
         lemmas_before = self.lemmas_learned
         outcome = Satisfiability.UNKNOWN
         core = None
@@ -132,9 +148,7 @@ class IncrementalCubeSession:
             self.assumption_solves += 1
             if not result.sat:
                 outcome = Satisfiability.UNSAT
-                core = tuple(
-                    sorted(self._selector_literal[s] for s in result.core)
-                )
+                core = self._map_core(result.core, cube)
                 break
             literals = self._theory_literals(result.model, relevant)
             if not literals or check_literals(literals):
@@ -145,7 +159,12 @@ class IncrementalCubeSession:
                 (-self._atom_map.var_for(atom) if polarity else self._atom_map.var_for(atom))
                 for atom, polarity in blocked
             ]
-            self.solver.add_clause(blocking)
+            guard = self._atom_map.fresh_var()
+            self.solver.add_clause([-guard] + blocking)
+            self._lemmas[guard] = frozenset(
+                self._atom_map.var_for(a) for a, _ in blocked
+            )
+            assumptions.append(guard)
             self.lemmas_learned += 1
         if (
             self.decides > 1
@@ -155,6 +174,32 @@ class IncrementalCubeSession:
             # Earlier cubes' theory lemmas sufficed — nothing rediscovered.
             self.lemma_reuse_hits += 1
         return outcome, core
+
+    def _map_core(self, solver_core, cube):
+        """Map an assumption core back to a sub-cube.
+
+        Lemma guards in the conflict are theory facts, not cube literals,
+        so they are dropped — but a lemma only holds *relative to its own
+        atoms being in scope*.  The shrunken sub-cube is reported only
+        when every involved lemma's atoms lie inside the sub-cube's
+        relevant set; otherwise a standalone query on the sub-cube could
+        not rediscover the lemma and would answer differently, so the
+        full cube is returned instead (a valid, unshrunken core)."""
+        sub_cube = tuple(
+            sorted(
+                self._selector_literal[s]
+                for s in solver_core
+                if s in self._selector_literal
+            )
+        )
+        relevant = set(self._base_atom_vars)
+        for key in sub_cube:
+            relevant |= self._literal_atom_vars[key]
+        for s in solver_core:
+            atoms = self._lemmas.get(s)
+            if atoms is not None and not atoms <= relevant:
+                return tuple(sorted(cube))
+        return sub_cube
 
     def _theory_literals(self, model, relevant_vars):
         literals = []

@@ -165,13 +165,10 @@ class CubeProverSession:
                 return value, None
         started = time.perf_counter()
         core = None
-        if self._incremental and self._session is None:
-            opener = getattr(prover.backend, "open_cube_session", None)
-            self._session = opener(self.candidates, self.goal) if opener else None
-            if self._session is None:
-                self._incremental = False
-            else:
-                self._synced = self._session.counters()
+        opener = getattr(prover.backend, "open_cube_session", None)
+        if self._incremental and self._session is None and opener is not None:
+            self._session = opener(self.candidates, self.goal)
+            self._synced = self._session.counters()
         if self._session is not None:
             if self._session.decides > 0:
                 # The fresh baseline would have re-encoded the whole query.
@@ -181,6 +178,13 @@ class CubeProverSession:
             if raw_core is not None and len(raw_core) < len(cube):
                 core = raw_core
                 stats.core_shrinks += 1
+        elif opener is not None:
+            # Non-incremental baseline: a throwaway session per query.
+            # Same clause universe and theory-relevance rules as the
+            # incremental engine — so the two modes compute the same
+            # answer for every cube — but every query pays the full
+            # re-encoding and lemma rediscovery, and no cores are kept.
+            outcome, _ = opener(self.candidates, self.goal).decide(cube)
         else:
             outcome = prover.backend.check_implication(exprs, self.goal)
         elapsed = time.perf_counter() - started

@@ -18,8 +18,16 @@ reuse shows up in ``--stats-json`` output.
 
 import time
 
+from repro.analysis import (
+    AbstractionReuse,
+    eliminate_dead_variables,
+    ensure_analysis_stats,
+)
 from repro.bebop import Bebop, BebopReuse, ExplicitEngine
+from repro.cfront import cast as C
+from repro.cfront.exprutils import variables
 from repro.core import C2bp, PredicateSet
+from repro.core.predicates import Predicate, PredicateParseError
 from repro.engine import EngineContext, IterationLog
 from repro.newton import analyze_path, path_from_boolean_steps
 
@@ -41,6 +49,10 @@ class IterationStats:
         "seconds",
         "bebop_transfers_compiled",
         "bebop_transfers_reused",
+        "predicates_skipped_dead",
+        "queries_discharged_interval",
+        "bp_vars_eliminated",
+        "modref_summary_hits",
     )
 
     def __init__(
@@ -54,6 +66,10 @@ class IterationStats:
         cache_hits=0,
         bebop_transfers_compiled=0,
         bebop_transfers_reused=0,
+        predicates_skipped_dead=0,
+        queries_discharged_interval=0,
+        bp_vars_eliminated=0,
+        modref_summary_hits=0,
     ):
         self.iteration = iteration
         self.predicates = predicates
@@ -64,6 +80,10 @@ class IterationStats:
         self.seconds = seconds
         self.bebop_transfers_compiled = bebop_transfers_compiled
         self.bebop_transfers_reused = bebop_transfers_reused
+        self.predicates_skipped_dead = predicates_skipped_dead
+        self.queries_discharged_interval = queries_discharged_interval
+        self.bp_vars_eliminated = bp_vars_eliminated
+        self.modref_summary_hits = modref_summary_hits
 
     def snapshot(self):
         return {
@@ -76,6 +96,10 @@ class IterationStats:
             "seconds": round(self.seconds, 6),
             "bebop_transfers_compiled": self.bebop_transfers_compiled,
             "bebop_transfers_reused": self.bebop_transfers_reused,
+            "predicates_skipped_dead": self.predicates_skipped_dead,
+            "queries_discharged_interval": self.queries_discharged_interval,
+            "bp_vars_eliminated": self.bp_vars_eliminated,
+            "modref_summary_hits": self.modref_summary_hits,
         }
 
     def __repr__(self):
@@ -114,6 +138,32 @@ class CegarResult:
         )
 
 
+def _interval_fallback_predicates(program, tool, predicates):
+    """Candidate predicates from the interval analysis' loop-head
+    invariants, deduplicated against the current set (Newton-stall
+    fallback; empty when intervals are disabled)."""
+    if tool.analysis is None:
+        return []
+    existing = set()
+    for p in predicates.all_predicates():
+        existing.add((p.scope, p.expr))
+        existing.add((p.scope, C.negate(p.expr)))
+    global_names = set(program.global_names())
+    found = []
+    for func in program.defined_functions():
+        for expr in tool.analysis.newton_fallback_predicates(func.name):
+            scope = None if variables(expr) <= global_names else func.name
+            if (scope, expr) in existing or (scope, C.negate(expr)) in existing:
+                continue
+            try:
+                predicate = Predicate(expr, scope)
+            except PredicateParseError:
+                continue
+            existing.add((scope, expr))
+            found.append(predicate)
+    return found
+
+
 def cegar_loop(
     program,
     initial_predicates=None,
@@ -136,27 +186,46 @@ def cegar_loop(
     ):
         reuse = BebopReuse()
         ctx.stats.register("bebop_reuse", reuse.snapshot)
+    # Cross-iteration statement-abstraction cache (serial path only —
+    # the parallel path already amortizes via the forked prover cache).
+    abstraction_reuse = None
+    analysis_stats = None
+    if getattr(ctx.options, "use_analysis", True):
+        analysis_stats = ensure_analysis_stats(ctx)
+        if (getattr(ctx.options, "jobs", 1) or 1) <= 1:
+            abstraction_reuse = AbstractionReuse(stats=analysis_stats)
     started = time.perf_counter()
     stats = []
     iteration_log = IterationLog()
     ctx.stats.register("iterations", iteration_log)
     result = None
     boolean_program = None
+    interval_fallback_done = False
     for iteration in range(1, max_iterations + 1):
         iter_start = time.perf_counter()
         calls_before = engine_prover.stats.calls
         queries_before = engine_prover.stats.queries
         hits_before = engine_prover.stats.cache_hits
-        tool = C2bp(program, predicates, context=ctx)
+        analysis_before = (
+            analysis_stats.snapshot() if analysis_stats is not None else {}
+        )
+        tool = C2bp(program, predicates, context=ctx, reuse=abstraction_reuse)
         boolean_program = tool.run()
-        bebop = Bebop(boolean_program, main=main, context=ctx, reuse=reuse)
+        # Model-check the DCE'd program; the result object carries the
+        # full translation (its label invariants name every predicate).
+        checked_program = boolean_program
+        if tool.analysis is not None and getattr(ctx.options, "bp_dce", True):
+            checked_program, _ = eliminate_dead_variables(
+                boolean_program, stats=analysis_stats
+            )
+        bebop = Bebop(checked_program, main=main, context=ctx, reuse=reuse)
         check = bebop.run()
         if not check.error_reached:
             result = CegarResult("safe", iteration, predicates,
                                  boolean_program=boolean_program)
         else:
             # A reachable failing assert: extract a concrete boolean path.
-            engine = ExplicitEngine(boolean_program, main=main)
+            engine = ExplicitEngine(checked_program, main=main)
             bool_path = engine.find_assertion_failure()
             if bool_path is None:
                 # The symbolic engine says reachable but no explicit witness
@@ -174,11 +243,32 @@ def cegar_loop(
                         boolean_program=boolean_program,
                     )
                 elif not newton.new_predicates:
-                    result = CegarResult("unknown", iteration, predicates,
-                                         boolean_program=boolean_program)
+                    # Newton stalled.  Once per run, fall back to the
+                    # interval loop invariants as candidate predicates —
+                    # a diverging counter often needs exactly the bound
+                    # the intervals hand out for free.
+                    fallback = []
+                    if not interval_fallback_done:
+                        interval_fallback_done = True
+                        fallback = _interval_fallback_predicates(
+                            program, tool, predicates
+                        )
+                    if fallback:
+                        for predicate in fallback:
+                            predicates.add(predicate)
+                    else:
+                        result = CegarResult("unknown", iteration, predicates,
+                                             boolean_program=boolean_program)
                 else:
                     for predicate in newton.new_predicates:
                         predicates.add(predicate)
+        analysis_after = (
+            analysis_stats.snapshot() if analysis_stats is not None else {}
+        )
+
+        def _delta(name):
+            return analysis_after.get(name, 0) - analysis_before.get(name, 0)
+
         record = IterationStats(
             len(predicates),
             engine_prover.stats.calls - calls_before,
@@ -189,6 +279,10 @@ def cegar_loop(
             cache_hits=engine_prover.stats.cache_hits - hits_before,
             bebop_transfers_compiled=bebop.transfers_compiled,
             bebop_transfers_reused=bebop.transfers_reused,
+            predicates_skipped_dead=_delta("predicates_skipped_dead"),
+            queries_discharged_interval=_delta("queries_discharged_interval"),
+            bp_vars_eliminated=_delta("bp_vars_eliminated"),
+            modref_summary_hits=_delta("modref_summary_hits"),
         )
         stats.append(record)
         iteration_log.append(record.snapshot())

@@ -195,13 +195,43 @@ def test_slam_stats_and_trace_json(tmp_path):
     assert stats["iterations"], "per-iteration records should be present"
     first = stats["iterations"][0]
     for field in ("iteration", "prover_calls", "prover_queries", "cache_hits",
-                  "seconds"):
+                  "seconds", "predicates_skipped_dead",
+                  "queries_discharged_interval", "bp_vars_eliminated",
+                  "modref_summary_hits"):
         assert field in first
+    # The run-wide analysis section mirrors the AnalysisStats counters.
+    analysis = stats["analysis"]
+    for field in ("predicates_skipped_dead", "queries_discharged_interval",
+                  "bp_vars_eliminated", "modref_summary_hits",
+                  "c2bp_stmts_reused", "c2bp_stmts_retranslated"):
+        assert field in analysis
+    assert analysis["modref_touch_queries"] > 0
     assert stats["phases"]["c2bp"]["count"] >= 1
     assert stats["prover"]["calls"] == stats["cegar"]["total_prover_calls"]
     trace = json.loads(trace_file.read_text())
     kinds = {event["kind"] for event in trace["events"]}
     assert "phase-start" in kinds and "prover-query" in kinds
+
+
+def test_analysis_flags_are_accepted_and_verdict_neutral(tmp_path):
+    c_file = tmp_path / "drv.c"
+    c_file.write_text(
+        "void main(void) { KeAcquireSpinLock(); KeReleaseSpinLock(); }"
+    )
+    base_args = [
+        "slam", str(c_file),
+        "--lock", "KeAcquireSpinLock", "KeReleaseSpinLock",
+    ]
+    code, baseline = run_cli(base_args)
+    assert code == 0
+    for flag in ("--no-analysis", "--no-live-predicates", "--no-intervals",
+                 "--no-bp-dce"):
+        code, output = run_cli(base_args + [flag])
+        assert code == 0, output
+        # Disabling any analysis pass never changes the verdict line.
+        verdict = [l for l in output.splitlines() if "verdict" in l]
+        assert verdict
+        assert verdict == [l for l in baseline.splitlines() if "verdict" in l]
 
 
 def test_check_stats_json(partition_files, tmp_path):

@@ -5,7 +5,7 @@ an injected soundness bug.
 The injected bug is the real one the fuzzer found during development:
 reverting the caller-side return-binding fix in ``repro.core.calls``
 (``g = helper(...)`` with a global result target must re-strengthen
-global predicates) makes seed-0 case 6 fail again.
+global predicates) makes seed-0 case 7 fail again.
 """
 
 import pytest
@@ -86,7 +86,7 @@ def test_fuzzer_finds_and_shrinks_injected_soundness_bug(monkeypatch):
         lambda proc_abs, stmt, predicate_expr, signature: False,
     )
     oracle = SoundnessOracle()
-    case = ProgramGenerator("0").generate(6)
+    case = ProgramGenerator("0").generate(7)
     report = oracle.check(case, check_jobs=False)
     assert report.kind == KIND_SOUNDNESS, report.detail
 
