@@ -1,0 +1,282 @@
+"""The strengthening strategies and the persistent worker pool against
+the fresh baseline.
+
+Four configurations:
+
+- ``fresh``: ``strengthen="cubes"``, ``incremental_cubes=False`` —
+  re-encode and rebuild a SAT solver for every cube query (the
+  pre-session baseline);
+- ``incremental-cubes``: the cube-enumeration strategy on one
+  assumption-based session per strengthening call (the previous
+  default);
+- ``allsat``: the AllSAT strategy — SAT-side cube answers come from an
+  incremental model sweep over the session's encode-once solver (the
+  new default);
+- ``allsat+jobs``: the same plus the persistent worker pool
+  (``jobs=4``).
+
+Two workloads: the Table-2 corpus through C2bp (byte-identity of the
+printed boolean programs, per-row merged prover statistics, wall-clock),
+and the Table-1 drivers through the CEGAR loop for both properties
+(fresh vs allsat; one engine context per run, so the prover cache — and
+under ``--jobs`` the worker pool — persist across iterations).  Every
+row must carry non-zero merged statistics (the ``--jobs`` stats blackout
+is the regression this file pins), every configuration must print
+byte-identical boolean programs, and the new default must strictly beat
+the fresh baseline's Table-2 wall-clock.  Results land in
+``benchmarks/results/BENCH_strengthen.json`` plus a rendered table.
+
+``-k smoke`` selects the fixture-free fast checks used by CI.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+from _tables import write_json, write_table
+
+from repro import (
+    C2bp,
+    SafetySpec,
+    check_property,
+    parse_c_program,
+    parse_predicate_file,
+)
+from repro.boolprog.printer import print_bool_program
+from repro.core import C2bpOptions
+from repro.engine import EngineContext
+from repro.programs import all_drivers, all_table2_programs, get_program
+
+CONFIGS = [
+    ("fresh", {"strengthen": "cubes", "incremental_cubes": False}),
+    ("incremental-cubes", {"strengthen": "cubes", "incremental_cubes": True}),
+    ("allsat", {"strengthen": "allsat"}),
+    ("allsat+jobs", {"strengthen": "allsat", "jobs": 4}),
+]
+
+LOCK = SafetySpec.lock_discipline("KeAcquireSpinLock", "KeReleaseSpinLock")
+IRP = SafetySpec.complete_exactly_once("IoCompleteRequest")
+
+#: The two cheapest corpus members, used by the CI smoke job.
+SMOKE_PROGRAMS = ("partition", "listfind")
+
+#: The merged prover counters each row records (and the smoke job checks
+#: for the --jobs stats blackout).
+_STAT_FIELDS = (
+    "queries",
+    "calls",
+    "assumption_solves",
+    "lemmas_learned",
+    "allsat_sweeps",
+    "allsat_models",
+    "allsat_model_hits",
+    "time_in_encode",
+    "time_in_solve",
+    "time_in_generalize",
+)
+
+
+def _abstract_study(study, **option_kwargs):
+    """One Table-2 program through C2bp under one configuration; a fresh
+    engine context per study keeps the configurations comparable."""
+    program = parse_c_program(study.source, study.name)
+    predicates = parse_predicate_file(study.predicate_text, program)
+    with EngineContext(options=C2bpOptions(**option_kwargs)) as context:
+        started = time.perf_counter()
+        tool = C2bp(program, predicates, context=context)
+        boolean_program = tool.run()
+        elapsed = time.perf_counter() - started
+        stats = tool.prover.stats
+        return {
+            "text": print_bool_program(boolean_program),
+            "seconds": elapsed,
+            "stats": {name: getattr(stats, name) for name in _STAT_FIELDS},
+        }
+
+
+def _check_driver(driver, spec, **option_kwargs):
+    """One Table-1 driver through the CEGAR loop under one configuration.
+    One context for the whole run: the prover cache (and any worker
+    pool) persists across the iterations."""
+    with EngineContext(options=C2bpOptions(**option_kwargs)) as context:
+        started = time.perf_counter()
+        result = check_property(
+            driver.source, spec, entry=driver.entry, max_iterations=8,
+            context=context,
+        )
+        elapsed = time.perf_counter() - started
+        stats = context.prover.stats
+        return {
+            "verdict": result.verdict,
+            "iterations": result.iterations,
+            "prover_calls": result.cegar.total_prover_calls,
+            "seconds": elapsed,
+            "stats": {name: getattr(stats, name) for name in _STAT_FIELDS},
+        }
+
+
+def _assert_row_stats(label, row_stats, where):
+    """Every benchmark row must carry real merged numbers."""
+    assert row_stats["queries"] > 0, "%s/%s: no queries recorded" % (label, where)
+    assert row_stats["calls"] > 0, "%s/%s: no calls recorded" % (label, where)
+    timed = (
+        row_stats["time_in_encode"]
+        + row_stats["time_in_solve"]
+        + row_stats["time_in_generalize"]
+    )
+    assert timed > 0, "%s/%s: no time attribution" % (label, where)
+    if label != "fresh":
+        assert row_stats["assumption_solves"] > 0, (
+            "%s/%s: incremental engine never engaged (stats blackout?)"
+            % (label, where)
+        )
+    if label.startswith("allsat"):
+        assert row_stats["allsat_sweeps"] > 0, "%s/%s: no sweeps" % (label, where)
+        assert row_stats["allsat_models"] > 0, "%s/%s: no models" % (label, where)
+
+
+def test_bench_strengthen_configs(benchmark):
+    studies = all_table2_programs()
+    drivers = all_drivers()
+
+    def run_all():
+        table2 = {
+            label: {
+                study.name: _abstract_study(study, **kwargs)
+                for study in studies
+            }
+            for label, kwargs in CONFIGS
+        }
+        cegar = {
+            label: {
+                "%s/%s" % (driver.name, key): _check_driver(driver, spec, **kwargs)
+                for driver in drivers
+                for key, spec in (("lock", LOCK), ("irp", IRP))
+            }
+            for label, kwargs in (
+                ("fresh", dict(CONFIGS[0][1])),
+                ("allsat", dict(CONFIGS[2][1])),
+            )
+        }
+        return table2, cegar
+
+    table2, cegar = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Differential identity: every configuration prints the same program,
+    # and every row carries real merged statistics.
+    for study in studies:
+        texts = {
+            label: table2[label][study.name]["text"] for label, _ in CONFIGS
+        }
+        assert len(set(texts.values())) == 1, "configs disagree on %s" % study.name
+    for label, _ in CONFIGS:
+        for study in studies:
+            _assert_row_stats(
+                label, table2[label][study.name]["stats"], study.name
+            )
+    for key in cegar["fresh"]:
+        assert cegar["fresh"][key]["verdict"] == cegar["allsat"][key]["verdict"], key
+        assert (
+            cegar["fresh"][key]["iterations"] == cegar["allsat"][key]["iterations"]
+        ), key
+
+    def corpus_seconds(label):
+        return sum(row["seconds"] for row in table2[label].values())
+
+    # The headline claim: the new default strictly beats the fresh
+    # baseline's wall-clock on the Table-2 corpus.
+    assert corpus_seconds("allsat") < corpus_seconds("fresh")
+    assert C2bpOptions().strengthen == "allsat"
+
+    payload = {
+        "table2": {
+            label: {
+                name: {
+                    "seconds": round(row["seconds"], 3),
+                    "stats": row["stats"],
+                }
+                for name, row in entry.items()
+            }
+            for label, entry in table2.items()
+        },
+        "cegar_drivers": {
+            label: {
+                name: dict(row, seconds=round(row["seconds"], 3))
+                for name, row in entry.items()
+            }
+            for label, entry in cegar.items()
+        },
+    }
+    write_json("BENCH_strengthen", payload)
+
+    rows = []
+    for label, _ in CONFIGS:
+        entry = table2[label]
+
+        def total(field):
+            return sum(row["stats"][field] for row in entry.values())
+
+        rows.append(
+            [
+                label,
+                "%.2f" % corpus_seconds(label),
+                total("calls"),
+                total("assumption_solves"),
+                total("allsat_models"),
+                total("allsat_model_hits"),
+                "%.2f" % total("time_in_solve"),
+                "%.2f" % total("time_in_generalize"),
+            ]
+        )
+    write_table(
+        "BENCH_strengthen",
+        [
+            "config",
+            "seconds",
+            "prover calls",
+            "assumption solves",
+            "allsat models",
+            "model hits",
+            "t_solve",
+            "t_generalize",
+        ],
+        rows,
+        notes=[
+            "Table-2 corpus under the four strengthening configurations; "
+            "all four print byte-identical boolean programs, every row "
+            "carries merged (worker-inclusive) prover statistics, and the "
+            "allsat default strictly beats the fresh baseline wall-clock.  "
+            "The CEGAR driver rows (both Table-1 properties, fresh vs "
+            "allsat, identical verdicts and iteration counts) are in "
+            "BENCH_strengthen.json.",
+        ],
+    )
+
+
+def test_smoke_strengthen_identity():
+    """CI smoke (no benchmark fixture): all four configurations agree
+    byte-for-byte on the two smallest corpus programs, and every row —
+    including the --jobs one — reports non-zero merged statistics."""
+    for name in SMOKE_PROGRAMS:
+        study = get_program(name)
+        rows = {
+            label: _abstract_study(study, **kwargs) for label, kwargs in CONFIGS
+        }
+        texts = {label: row["text"] for label, row in rows.items()}
+        assert len(set(texts.values())) == 1, "configs disagree on %s" % name
+        for label, row in rows.items():
+            _assert_row_stats(label, row["stats"], name)
+
+
+def test_smoke_allsat_catalog_engages():
+    """CI smoke: the model catalog answers real queries on partition."""
+    study = get_program("partition")
+    row = _abstract_study(study, strengthen="allsat")
+    assert row["stats"]["allsat_model_hits"] > 0
+    assert row["stats"]["allsat_sweeps"] > 0

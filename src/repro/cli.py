@@ -92,6 +92,16 @@ def _add_option_flags(parser):
         "assumption-based session (the pre-session baseline)",
     )
     parser.add_argument(
+        "--strengthen",
+        choices=("allsat", "cubes"),
+        default="allsat",
+        help="strengthening strategy for the F/G cube searches: 'allsat' "
+        "answers the SAT-side cube queries from an incremental model "
+        "sweep (default, fastest measured); 'cubes' decides every cube "
+        "with the prover (the baseline); the boolean program is "
+        "byte-identical either way",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -161,6 +171,7 @@ def _options_from(args):
         use_alias_analysis=not args.no_alias,
         invalidate_constant_derefs=not args.no_invalidate_derefs,
         incremental_cubes=not args.no_incremental,
+        strengthen=args.strengthen,
         jobs=max(args.jobs, 1),
         bebop_legacy=args.bebop_legacy,
         bebop_reuse=not args.no_bebop_reuse,
@@ -199,48 +210,51 @@ def _write_instrumentation(args, context):
 def _abstract(args, out):
     program = parse_c_program(_read(args.program), name=args.program)
     predicates = parse_predicate_file(_read(args.predicates), program)
-    context = EngineContext(options=_options_from(args))
-    tool = C2bp(program, predicates, context=context)
-    boolean_program = tool.run()
-    out.write(print_bool_program(boolean_program))
-    out.write(
-        "\n// %d predicates, %d theorem prover calls, %.2fs\n"
-        % (len(predicates), tool.stats.prover_calls, tool.stats.seconds)
-    )
-    _write_instrumentation(args, context)
+    with EngineContext(options=_options_from(args)) as context:
+        tool = C2bp(program, predicates, context=context)
+        boolean_program = tool.run()
+        out.write(print_bool_program(boolean_program))
+        out.write(
+            "\n// %d predicates, %d theorem prover calls, %.2fs\n"
+            % (len(predicates), tool.stats.prover_calls, tool.stats.seconds)
+        )
+        _write_instrumentation(args, context)
     return 0
 
 
 def _check(args, out):
     program = parse_c_program(_read(args.program), name=args.program)
     predicates = parse_predicate_file(_read(args.predicates), program)
-    context = EngineContext(options=_options_from(args))
-    tool = C2bp(program, predicates, context=context)
-    boolean_program = tool.run()
-    # Labeled invariant queries observe every predicate, so DCE only
-    # applies to plain reachability checks.
-    if tool.analysis is not None and not args.no_bp_dce and not args.label:
-        from repro.analysis import eliminate_dead_variables
+    with EngineContext(options=_options_from(args)) as context:
+        tool = C2bp(program, predicates, context=context)
+        boolean_program = tool.run()
+        # Labeled invariant queries observe every predicate, so DCE only
+        # applies to plain reachability checks.
+        if tool.analysis is not None and not args.no_bp_dce and not args.label:
+            from repro.analysis import eliminate_dead_variables
 
-        boolean_program, _ = eliminate_dead_variables(
-            boolean_program, stats=context.analysis_stats
-        )
-    result = Bebop(boolean_program, main=args.entry, context=context).run()
-    if args.label:
-        for label in args.label:
-            proc, _, name = label.rpartition(":")
-            proc = proc or args.entry
-            out.write(
-                "%s/%s: %s\n" % (proc, name, result.invariant_string(proc, label=name))
+            boolean_program, _ = eliminate_dead_variables(
+                boolean_program, stats=context.analysis_stats
             )
-    if result.assertion_failures:
-        out.write("%d assert(s) not discharged:\n" % len(result.assertion_failures))
-        for proc, node, _ in result.assertion_failures:
-            out.write("  %s: %s\n" % (proc, node.stmt.comment or "assert"))
+        result = Bebop(boolean_program, main=args.entry, context=context).run()
+        if args.label:
+            for label in args.label:
+                proc, _, name = label.rpartition(":")
+                proc = proc or args.entry
+                out.write(
+                    "%s/%s: %s\n"
+                    % (proc, name, result.invariant_string(proc, label=name))
+                )
+        if result.assertion_failures:
+            out.write(
+                "%d assert(s) not discharged:\n" % len(result.assertion_failures)
+            )
+            for proc, node, _ in result.assertion_failures:
+                out.write("  %s: %s\n" % (proc, node.stmt.comment or "assert"))
+            _write_instrumentation(args, context)
+            return 1
+        out.write("all asserts discharged.\n")
         _write_instrumentation(args, context)
-        return 1
-    out.write("all asserts discharged.\n")
-    _write_instrumentation(args, context)
     return 0
 
 
@@ -253,14 +267,15 @@ def _slam(args, out):
     else:
         out.write("error: choose a property (--lock A R | --complete-once F)\n")
         return 2
-    context = EngineContext(options=_options_from(args))
-    result = check_property(
-        _read(args.program),
-        spec,
-        entry=args.entry,
-        max_iterations=args.max_iterations,
-        context=context,
-    )
+    with EngineContext(options=_options_from(args)) as context:
+        result = check_property(
+            _read(args.program),
+            spec,
+            entry=args.entry,
+            max_iterations=args.max_iterations,
+            context=context,
+        )
+        _write_instrumentation(args, context)
     out.write(
         "verdict: %s (after %d iteration(s), %d predicates)\n"
         % (result.verdict, result.iterations, len(result.predicates))
@@ -281,21 +296,20 @@ def _slam(args, out):
         out.write("error trace:\n")
         for line in result.error_trace_lines():
             out.write("  %s\n" % line)
-    _write_instrumentation(args, context)
     return 0 if result.verdict == "safe" else 1
 
 
 def _replay(args, out):
     program = parse_c_program(_read(args.program), name=args.program)
     predicates = parse_predicate_file(_read(args.predicates), program)
-    context = EngineContext(options=_options_from(args))
-    tool = C2bp(program, predicates, context=context)
-    boolean_program = tool.run()
-    report = TraceReplayer(
-        tool, boolean_program, entry=args.entry, args=[int(a) for a in args.args]
-    ).run()
-    out.write("replayed %d events\n" % report.events_replayed)
-    _write_instrumentation(args, context)
+    with EngineContext(options=_options_from(args)) as context:
+        tool = C2bp(program, predicates, context=context)
+        boolean_program = tool.run()
+        report = TraceReplayer(
+            tool, boolean_program, entry=args.entry, args=[int(a) for a in args.args]
+        ).run()
+        out.write("replayed %d events\n" % report.events_replayed)
+        _write_instrumentation(args, context)
     if report.ok:
         out.write("trace replays soundly in BP(P, E).\n")
         return 0

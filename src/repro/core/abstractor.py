@@ -22,13 +22,16 @@ predicates, signatures, points-to facts, options) — the only
 cross-statement state is the call-site temporary counter (renamed
 deterministically afterwards) and the prover cache (a pure accelerator).
 With ``options.jobs > 1`` the statements of all procedures plus the
-per-procedure ``enforce`` computations become tasks for a forked worker
-pool; the translated pieces, prover statistics, learned cache entries,
-and events are merged back in task order, so the output program, the
-stats totals, and the event stream are identical to a serial run.
+per-procedure ``enforce`` computations become tasks for the engine
+context's persistent :class:`repro.core.pool.StatementPool`: workers are
+forked once and re-targeted per run with a configure message, so CEGAR
+iterations reuse warm worker processes (and their prover caches) instead
+of paying a fork per abstraction.  The translated pieces, prover
+statistics, learned cache entries, analysis counters, process-wide
+SAT/CNF construction counters, and events are merged back in task
+order, so the output program, the stats totals, and the event stream
+are identical to a serial run.
 """
-
-import multiprocessing
 
 from repro.cfront import cast as C
 from repro.cfront.pretty import pretty_stmt
@@ -41,6 +44,8 @@ from repro.core.cubes import CubeSearch
 from repro.core.signatures import compute_signatures
 from repro.core.stats import C2bpStats, Timer
 from repro.engine import EngineContext
+from repro.prover import cnf as cnf_module
+from repro.prover import sat as sat_module
 
 
 class C2bpError(Exception):
@@ -74,6 +79,10 @@ class C2bp:
         reuse=None,
     ):
         self.context = EngineContext.ensure(context, options=options, prover=prover)
+        # Whether this run created its own context (the legacy keyword
+        # shim): then nobody else can reuse (or close) the worker pool, so
+        # run() tears it down itself after a parallel run.
+        self._private_context = context is None
         self.program = program
         self.predicates = predicates
         self.options = self.context.options
@@ -121,12 +130,13 @@ class C2bp:
         """Build and return the boolean program ``BP(P, E)``."""
         jobs = getattr(self.options, "jobs", 1) or 1
         if jobs > 1:
-            try:
-                mp_context = multiprocessing.get_context("fork")
-            except ValueError:
-                mp_context = None  # no fork on this platform: run serially
-            if mp_context is not None:
-                return self._run_parallel(mp_context, jobs)
+            pool = self.context.worker_pool(jobs)
+            if pool is not None:  # no fork on this platform: run serially
+                try:
+                    return self._run_parallel(pool)
+                finally:
+                    if self._private_context:
+                        self.context.close()
         if self.reuse is not None:
             return self._run_with_reuse()
         started_calls = self.prover.stats.calls
@@ -290,10 +300,10 @@ class C2bp:
 
             validate_bool_program(boolean_program)
 
-    def _run_parallel(self, mp_context, jobs):
+    def _run_parallel(self, pool):
         """The ``--jobs N`` path: fan top-level statements and per-procedure
-        enforce computations out to a forked worker pool, then merge."""
-        global _PARALLEL_PARENT
+        enforce computations out to the context's persistent worker pool,
+        then merge the pieces and every accounting delta."""
         started_calls = self.prover.stats.calls
         started_queries = self.prover.stats.queries
         started_hits = self.prover.stats.cache_hits
@@ -303,9 +313,10 @@ class C2bp:
             funcs = list(self.program.defined_functions())
             # With liveness on, Ω must be known before any statement task
             # runs (its variables anchor the always-live set), so the
-            # enforce computations happen here, pre-fork — workers then
-            # inherit the solved liveness facts and the warmed prover
-            # cache through fork instead of racing on enforce tasks.
+            # enforce computations happen here, in the parent — the Ω
+            # expressions ship to the workers in the configure payload,
+            # which replay compute_liveness to identical facts instead of
+            # racing on enforce tasks.
             precomputed = {}
             if self.analysis is not None and self.analysis.live_enabled:
                 for func in funcs:
@@ -331,12 +342,25 @@ class C2bp:
                     tasks.append(("enforce", func.name, -1))
             results = []
             if tasks:
-                _PARALLEL_PARENT = self
-                try:
-                    with mp_context.Pool(processes=min(jobs, len(tasks))) as pool:
-                        results = pool.map(_parallel_worker, tasks, chunksize=1)
-                finally:
-                    _PARALLEL_PARENT = None
+                pool.configure(
+                    {
+                        "program": self.program,
+                        "predicates": self.predicates,
+                        "options": self.options.copy(jobs=1),
+                        "enforce": {
+                            name: enforce
+                            for name, (enforce, _) in precomputed.items()
+                        },
+                        # Only what the workers have not seen yet: the
+                        # pool remembers how much of the (append-only)
+                        # parent cache previous configures shipped.
+                        "cache": self.prover.cache.export_since(
+                            pool.shipped_cache_watermark
+                        ),
+                    }
+                )
+                pool.shipped_cache_watermark = len(self.prover.cache)
+                results = pool.run(tasks)
             merged = {
                 func.name: {"parts": [], "enforce": None, "calls": 0}
                 for func in funcs
@@ -348,6 +372,15 @@ class C2bp:
                 kind, func_name, _ = task
                 self.prover.stats.merge(result["prover"])
                 self.prover.cache.absorb(result["cache"])
+                # Fold the workers' SAT/CNF construction counters into the
+                # process-wide tallies, so benchmark rows measured under
+                # --jobs report real work instead of a blackout.
+                construction = result.get("construction")
+                if construction:
+                    for key, value in construction["sat"].items():
+                        sat_module.COUNTERS[key] += value
+                    for key, value in construction["cnf"].items():
+                        cnf_module.COUNTERS[key] += value
                 for name, value in result["c2bp"].items():
                     setattr(self.stats, name, getattr(self.stats, name) + value)
                 if self.analysis is not None:
@@ -697,103 +730,6 @@ class _ProcedureAbstractor:
         return [loop] + self._guard_assume(
             C.negate(stmt.cond), stmt, "loop exit: " + comment
         )
-
-
-# -- the worker side of --jobs -------------------------------------------------
-#
-# The pool uses the fork start method, so workers inherit the parent C2bp
-# (program, predicates, signatures, points-to facts, and a snapshot of the
-# prover cache) through module state — nothing heavyweight is pickled.
-
-_PARALLEL_PARENT = None  # set by C2bp._run_parallel around Pool creation
-_WORKER_STATE = None  # per worker process: (worker C2bp, [cache watermark])
-
-
-def _worker_c2bp():
-    """The per-process C2bp, built lazily from the forked parent state."""
-    global _WORKER_STATE
-    if _WORKER_STATE is None:
-        parent = _PARALLEL_PARENT
-        context = EngineContext(
-            options=parent.options.copy(jobs=1),
-            # The forked copy of the parent cache: pre-seeded with every
-            # answer known at fork time (a CEGAR iteration's workers start
-            # with all previous iterations' queries answered).
-            cache=parent.prover.cache,
-        )
-        tool = C2bp(
-            parent.program,
-            parent.predicates,
-            points_to=parent.points_to,
-            context=context,
-        )
-        # Adopt the forked parent's analysis object wholesale: liveness
-        # facts were solved pre-fork, and its counters accumulate the
-        # deltas this worker ships back per task.
-        tool.analysis = parent.analysis
-        tool.search.discharger = (
-            parent.analysis.discharger if parent.analysis is not None else None
-        )
-        _WORKER_STATE = (tool, [len(tool.prover.cache)])
-    return _WORKER_STATE
-
-
-def _parallel_worker(task):
-    """Translate one top-level statement (or compute one procedure's
-    enforce invariant) and return the piece plus its accounting."""
-    tool, cache_watermark = _worker_c2bp()
-    kind, func_name, index = task
-    func = tool.program.functions[func_name]
-    tool.prover.stats.reset()
-    tool.stats.__init__()
-    tool.temp_meanings.clear()
-    analysis_before = (
-        tool.analysis.stats.snapshot() if tool.analysis is not None else None
-    )
-    events = tool.context.events
-    events_start = len(events.events)
-    if kind == "stmt":
-        proc_abs = _ProcedureAbstractor(
-            tool, func, temp_prefix="__rw%d_" % index
-        )
-        stmt = func.body[index]
-        translated = proc_abs._abstract_stmt(stmt)
-        if stmt.labels:
-            if not translated:
-                translated = [B.BSkip()]
-            translated[0].labels = list(stmt.labels) + list(translated[0].labels)
-        payload = {"stmts": translated, "temps": list(proc_abs._extra_locals)}
-    else:
-        scope_predicates = tool.predicates.in_scope(func_name)
-        payload = {
-            "enforce": (
-                tool.search.enforce_expr(scope_predicates)
-                if scope_predicates
-                else None
-            ),
-            "temps": [],
-        }
-    cache = tool.prover.cache
-    payload["cache"] = cache.export_since(cache_watermark[0])
-    cache_watermark[0] = len(cache)
-    payload["prover"] = tool.prover.stats.snapshot()
-    payload["c2bp"] = {
-        "assignments_abstracted": tool.stats.assignments_abstracted,
-        "assignments_skipped_unchanged": tool.stats.assignments_skipped_unchanged,
-        "calls_abstracted": tool.stats.calls_abstracted,
-        "conditionals_abstracted": tool.stats.conditionals_abstracted,
-    }
-    payload["temp_meanings"] = list(tool.temp_meanings.items())
-    if analysis_before is not None:
-        payload["analysis"] = {
-            name: value - analysis_before[name]
-            for name, value in tool.analysis.stats.snapshot().items()
-            if value != analysis_before[name]
-        }
-    else:
-        payload["analysis"] = {}
-    payload["events"] = events.events[events_start:]
-    return payload
 
 
 def abstract_program(program, predicates, options=None, prover=None, context=None):

@@ -57,7 +57,18 @@ class C2bpOptions:
     #: persistent SAT solver via assumption literals (encode once, reuse
     #: learned clauses and theory lemmas across cubes) instead of a fresh
     #: encode-and-solve per cube.  Off is the pre-session baseline.
+    #: Only consulted by the ``cubes`` strengthening strategy; ``allsat``
+    #: always runs incrementally (a model sweep has no per-query form).
     incremental_cubes: bool = True
+
+    #: Strengthening strategy for the F/G cube searches
+    #: (:mod:`repro.core.cubes`): ``"allsat"`` (the default — the cube
+    #: enumeration backed by an AllSAT model catalog that answers the
+    #: SAT-side cube queries from swept, theory-validated model
+    #: projections) or ``"cubes"`` (every verdict a prover decide; the
+    #: measured baseline).  The kept cubes, and hence the printed boolean
+    #: program, are byte-identical either way.
+    strengthen: str = "allsat"
 
     #: Worker processes for statement abstraction; 1 (the default) runs
     #: serially in-process.  The translated program is identical for any

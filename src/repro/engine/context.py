@@ -74,6 +74,7 @@ class EngineContext:
         self.stats.register("prover", self.prover.stats)
         self.stats.register("prover_cache", self.cache)
         self.stats.register("events", self.events)
+        self._worker_pool = None
 
     @classmethod
     def ensure(cls, context=None, options=None, prover=None):
@@ -86,6 +87,39 @@ class EngineContext:
         if context is not None:
             return context
         return cls(options=options, prover=prover)
+
+    def worker_pool(self, jobs):
+        """The persistent statement-abstraction pool for ``--jobs`` runs
+        (:class:`repro.core.pool.StatementPool`), forked lazily on first
+        use and kept alive across abstraction runs and CEGAR iterations
+        until :meth:`close`.  Returns ``None`` on platforms without the
+        ``fork`` start method (callers fall back to serial translation).
+        A request with a different job count replaces the pool."""
+        pool = self._worker_pool
+        if pool is not None and pool.jobs != jobs:
+            pool.close()
+            pool = None
+        if pool is None:
+            # Imported lazily for the same cycle reason as C2bpOptions.
+            from repro.core.pool import create_pool
+
+            pool = create_pool(jobs)
+            self._worker_pool = pool
+        return pool
+
+    def close(self):
+        """Release long-lived resources (the worker pool); idempotent.
+        Contexts also work as context managers: ``with EngineContext()``
+        closes on exit."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.close()
 
     @contextlib.contextmanager
     def phase(self, name):

@@ -7,7 +7,8 @@ For one :class:`repro.fuzz.gen.FuzzCase` the oracle checks, in order:
    must produce a boolean program :mod:`repro.boolprog.validate` accepts;
 2. **Abstraction determinism** — the printed ``BP(P, E)`` must be
    byte-identical between the incremental cube engine and the
-   ``--no-incremental`` baseline, and (on a configurable stride, since a
+   ``--no-incremental`` baseline, between the ``allsat`` and ``cubes``
+   strengthening strategies, and (on a configurable stride, since a
    fork pool per case is costly) between ``--jobs 1`` and ``--jobs 2``;
 3. **Engine agreement** — Bebop's compiled fast path and the
    ``--bebop-legacy`` engine must report identical invariants and
@@ -48,6 +49,7 @@ KIND_SOUNDNESS = "soundness"          # Theorem-1 replay violation
 KIND_ENGINE = "engine-divergence"     # fast / legacy / explicit disagree
 KIND_ANALYSIS = "analysis-divergence"  # analysis on/off disagree
 KIND_ABSTRACTION = "abstraction-divergence"  # incremental / jobs text differs
+KIND_STRENGTHEN = "strengthen-divergence"  # allsat / cubes strategies differ
 KIND_INVALID_BP = "invalid-bp"        # validator rejected BP(P, E)
 KIND_GENERATOR = "generator-invalid"  # case does not parse / typecheck
 KIND_INTERP = "interp-error"          # concrete execution trapped
@@ -127,9 +129,30 @@ class SoundnessOracle:
         report.prover_calls = tool.stats.prover_calls
         printed = print_bool_program(boolean_program)
 
+        # The AllSAT catalog must be answer-invisible: the ``cubes``
+        # strategy (every verdict a prover decide) prints the same bytes.
+        # Checked before the fresh baseline so a catalog bug is reported
+        # as strengthen-divergence, not generic abstraction-divergence.
+        _, cubes_bp = self._abstract(
+            program, predicates,
+            self.make_options(validate_output=True, strengthen="cubes"),
+        )
+        cubes_printed = print_bool_program(cubes_bp)
+        if cubes_printed != printed:
+            return report.fail(
+                KIND_STRENGTHEN,
+                "allsat and cubes strengthening boolean programs differ:\n"
+                + _first_diff(printed, cubes_printed),
+            )
         baseline_tool, baseline_bp = self._abstract(
             program, predicates,
-            self.make_options(validate_output=True, incremental_cubes=False),
+            # strengthen="cubes" so incremental_cubes=False actually
+            # bites (the allsat strategy always runs incrementally).
+            self.make_options(
+                validate_output=True,
+                incremental_cubes=False,
+                strengthen="cubes",
+            ),
         )
         baseline_printed = print_bool_program(baseline_bp)
         if baseline_printed != printed:
@@ -171,9 +194,11 @@ class SoundnessOracle:
         return self._check_replay(case, program, predicates, tool, boolean_program, report)
 
     def _abstract(self, program, predicates, options):
-        context = EngineContext(options=options)
-        tool = C2bp(program, predicates, context=context)
-        return tool, tool.run()
+        # The context is closed on exit so a --jobs config cannot leak its
+        # worker pool across cases.
+        with EngineContext(options=options) as context:
+            tool = C2bp(program, predicates, context=context)
+            return tool, tool.run()
 
     def _check_analysis(self, case, program, predicates, boolean_program, report):
         from repro.analysis import eliminate_dead_variables

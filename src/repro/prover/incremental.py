@@ -41,6 +41,8 @@ the fresh-per-query baseline.  With the guards, every ``decide`` answer
 is a pure function of ``(candidates, goal, cube)``.
 """
 
+import time
+
 from repro.prover import terms as T
 from repro.prover.cnf import CnfEncoder
 from repro.prover.sat import SatSolver
@@ -55,16 +57,27 @@ class IncrementalCubeSession:
     expressions (positive forms); ``goal`` is the goal C expression.  A
     *cube* is an iterable of ``(candidate index, polarity)`` pairs;
     :meth:`decide` answers whether the cube's concretization implies the
-    goal, together with the assumption core as a sub-cube."""
+    goal, together with the assumption core as a sub-cube.
 
-    def __init__(self, candidates, goal, max_rounds=400):
+    ``want_cores=False`` skips the assumption-core mapping (and its
+    lemma-relevance validation) on UNSAT answers entirely — the policy
+    hook for callers that throw the core away, like the non-incremental
+    baseline's throwaway per-query sessions."""
+
+    def __init__(self, candidates, goal, max_rounds=400, want_cores=True):
         self.max_rounds = max_rounds
+        self.want_cores = want_cores
         # Counters mirrored into ProverStats by the session's owner.
         self.assumption_solves = 0
         self.lemmas_learned = 0
         self.lemma_reuse_hits = 0
         self.decides = 0
+        # Per-phase wall-clock attribution (seconds).
+        self.time_in_encode = 0.0
+        self.time_in_solve = 0.0
+        self.time_in_generalize = 0.0
 
+        encode_started = time.perf_counter()
         ctx = T.TranslationContext()
         goal_formula = T.translate_formula(goal, ctx)
         positive = [T.translate_formula(expr, ctx) for expr in candidates]
@@ -96,6 +109,12 @@ class IncrementalCubeSession:
         self._selectors = {}
         self._selector_literal = {}
         self._literal_atom_vars = {}
+        # Tseitin root of each literal's formula (the encoding is
+        # biconditional, so the root's value in any model *is* the
+        # literal's truth value); True/False stand in for the constant
+        # literals.  Used by the AllSAT sweep to project models onto the
+        # candidate set.
+        self._literal_roots = {}
         for key, formula in literal_formulas.items():
             selector = self._atom_map.fresh_var()
             self._selectors[key] = selector
@@ -106,9 +125,11 @@ class IncrementalCubeSession:
                 # holds vacuously — assuming the selector must conflict.
                 clauses.append([-selector])
                 self._literal_atom_vars[key] = frozenset()
+                self._literal_roots[key] = False
             elif formula == T.TRUE:
                 # Constantly true: assuming the selector constrains nothing.
                 self._literal_atom_vars[key] = frozenset()
+                self._literal_roots[key] = True
             else:
                 literal_root = self.encoder.encode(formula, clauses)
                 clauses.append([-selector, literal_root])
@@ -116,8 +137,16 @@ class IncrementalCubeSession:
                     self._atom_map.var_for(atom)
                     for atom in T.formula_atoms(formula)
                 )
+                self._literal_roots[key] = literal_root
         for clause in clauses:
             self.solver.add_clause(clause)
+        # The full relevance scope: every atom any cube query over this
+        # candidate set could put in play (the AllSAT sweep validates its
+        # models over exactly this set).
+        self._all_atom_vars = set(self._base_atom_vars)
+        for atoms in self._literal_atom_vars.values():
+            self._all_atom_vars |= atoms
+        self.time_in_encode += time.perf_counter() - encode_started
 
     def decide(self, cube):
         """Decide ``E(cube) => goal``.
@@ -144,11 +173,18 @@ class IncrementalCubeSession:
         outcome = Satisfiability.UNKNOWN
         core = None
         for _ in range(self.max_rounds):
+            solve_started = time.perf_counter()
             result = self.solver.solve(assumptions=assumptions)
+            self.time_in_solve += time.perf_counter() - solve_started
             self.assumption_solves += 1
             if not result.sat:
                 outcome = Satisfiability.UNSAT
-                core = self._map_core(result.core, cube)
+                if self.want_cores:
+                    generalize_started = time.perf_counter()
+                    core = self._map_core(result.core, cube)
+                    self.time_in_generalize += (
+                        time.perf_counter() - generalize_started
+                    )
                 break
             literals = self._theory_literals(result.model, relevant)
             if not literals or check_literals(literals):
@@ -211,10 +247,108 @@ class IncrementalCubeSession:
                 literals.append((atom, value))
         return literals
 
+    # -- AllSAT model enumeration (the sweep behind AllSatStrategy) -----------
+
+    def candidate_count(self):
+        return len(self._literal_roots) // 2
+
+    def _root_value(self, model, key):
+        """The truth value of a candidate literal in a total model (the
+        Tseitin encoding is biconditional, so the root's assignment is the
+        formula's truth value)."""
+        root = self._literal_roots[key]
+        if isinstance(root, bool):
+            return root
+        value = model[abs(root)]
+        return value if root > 0 else not value
+
+    def enumerate_models(self, max_models):
+        """Enumerate theory-validated models of the base encoding
+        (``¬goal ∧ axioms``, no cube literal asserted), projected onto the
+        candidate predicates.
+
+        Returns ``(projections, solves)``: each projection is a tuple of
+        booleans — the truth value of every candidate's *positive* literal
+        in one model — and distinct projections only (each found
+        projection is blocked behind a sweep-only guard, so the blocking
+        clauses are invisible to :meth:`decide`).  A projection is a
+        *witness catalog* entry: any cube it satisfies has a
+        theory-consistent model of ``E(cube) ∧ ¬goal``, i.e. the cube
+        does **not** imply the goal.  Models are validated over the full
+        relevance scope (base atoms plus every candidate literal's), and
+        kept only when the theory checker's verdict is *exact* — a
+        capped, optimistic SAT is not a witness a smaller scope can
+        inherit.  Theory-refuted models add relevance-guarded lemmas
+        through the same code path as :meth:`decide`, so sweep work also
+        warms later cube decisions."""
+        if self._trivially_valid:
+            return [], 0
+        sweep_guard = self._atom_map.fresh_var()
+        assumptions = [sweep_guard]
+        for guard, atoms in self._lemmas.items():
+            if atoms <= self._all_atom_vars:
+                assumptions.append(guard)
+        count = self.candidate_count()
+        positive_keys = [(index, True) for index in range(count)]
+        projections = []
+        solves = 0
+        for _ in range(self.max_rounds):
+            solve_started = time.perf_counter()
+            result = self.solver.solve(assumptions=assumptions)
+            self.time_in_solve += time.perf_counter() - solve_started
+            self.assumption_solves += 1
+            solves += 1
+            if not result.sat:
+                break
+            generalize_started = time.perf_counter()
+            literals = self._theory_literals(result.model, self._all_atom_vars)
+            verdict = check_literals(literals) if literals else None
+            if literals and not verdict:
+                # Theory-inconsistent assignment: learn the same guarded
+                # lemma decide() would, and keep enumerating.
+                blocked = _minimize_core(literals)
+                blocking = [
+                    (
+                        -self._atom_map.var_for(atom)
+                        if polarity
+                        else self._atom_map.var_for(atom)
+                    )
+                    for atom, polarity in blocked
+                ]
+                guard = self._atom_map.fresh_var()
+                self.solver.add_clause([-guard] + blocking)
+                self._lemmas[guard] = frozenset(
+                    self._atom_map.var_for(a) for a, _ in blocked
+                )
+                assumptions.append(guard)
+                self.lemmas_learned += 1
+                self.time_in_generalize += time.perf_counter() - generalize_started
+                continue
+            projection = tuple(
+                self._root_value(result.model, key) for key in positive_keys
+            )
+            if verdict is None or verdict.exact:
+                projections.append(projection)
+            block = [-sweep_guard]
+            for key in positive_keys:
+                root = self._literal_roots[key]
+                if isinstance(root, bool):
+                    continue
+                value = result.model[abs(root)]
+                block.append(-abs(root) if value else abs(root))
+            self.solver.add_clause(block)
+            self.time_in_generalize += time.perf_counter() - generalize_started
+            if len(projections) >= max_models:
+                break
+        return projections, solves
+
     def counters(self):
         return {
             "assumption_solves": self.assumption_solves,
             "lemmas_learned": self.lemmas_learned,
             "lemma_reuse_hits": self.lemma_reuse_hits,
             "decides": self.decides,
+            "time_in_encode": self.time_in_encode,
+            "time_in_solve": self.time_in_solve,
+            "time_in_generalize": self.time_in_generalize,
         }

@@ -50,6 +50,17 @@ class ProverStats:
         self.lemmas_learned = 0  # theory lemmas added to session solvers
         self.lemmas_reused = 0  # decides settled by earlier cubes' lemmas
         self.core_shrinks = 0  # unsat cores strictly smaller than the cube
+        # AllSAT strengthening counters.
+        self.allsat_sweeps = 0  # model-enumeration sweeps run
+        self.allsat_models = 0  # theory-validated projections stored
+        self.allsat_model_hits = 0  # cube queries answered by a stored model
+        self.allsat_sweep_solves = 0  # SAT solves spent enumerating models
+        # Per-phase wall-clock attribution (seconds), accumulated from the
+        # cube sessions (both engines) so benchmark rows can say *where*
+        # the time went: encoding, SAT solving, or core/model work.
+        self.time_in_encode = 0.0
+        self.time_in_solve = 0.0
+        self.time_in_generalize = 0.0
 
     def reset(self):
         self.__init__()
@@ -68,6 +79,13 @@ class ProverStats:
             "lemmas_learned": self.lemmas_learned,
             "lemmas_reused": self.lemmas_reused,
             "core_shrinks": self.core_shrinks,
+            "allsat_sweeps": self.allsat_sweeps,
+            "allsat_models": self.allsat_models,
+            "allsat_model_hits": self.allsat_model_hits,
+            "allsat_sweep_solves": self.allsat_sweep_solves,
+            "time_in_encode": round(self.time_in_encode, 6),
+            "time_in_solve": round(self.time_in_solve, 6),
+            "time_in_generalize": round(self.time_in_generalize, 6),
         }
 
     def merge(self, snapshot):
@@ -111,10 +129,24 @@ class DpllTBackend:
         axioms = list(ctx.defs) + T.address_axioms(T.land(conjunction, *ctx.defs))
         return check_formula(conjunction, axioms, max_rounds=self.max_rounds)
 
-    def open_cube_session(self, candidates, goal):
+    def open_cube_session(self, candidates, goal, want_cores=True):
         """An :class:`IncrementalCubeSession` deciding cubes over
-        ``candidates`` against the fixed ``goal``."""
-        return IncrementalCubeSession(candidates, goal, max_rounds=self.max_rounds)
+        ``candidates`` against the fixed ``goal``.  ``want_cores=False``
+        skips the assumption-core mapping and its validation — the right
+        policy for throwaway per-query sessions whose caller discards the
+        core anyway."""
+        return IncrementalCubeSession(
+            candidates, goal, max_rounds=self.max_rounds, want_cores=want_cores
+        )
+
+
+def _open_session(opener, candidates, goal, want_cores):
+    """Call a backend's ``open_cube_session`` with the core policy,
+    tolerating backends predating the ``want_cores`` keyword."""
+    try:
+        return opener(candidates, goal, want_cores=want_cores)
+    except TypeError:
+        return opener(candidates, goal)
 
 
 class CubeProverSession:
@@ -125,16 +157,30 @@ class CubeProverSession:
     answers are shared with plain implication queries across the whole
     engine context.  Cache misses go to the backend's incremental
     assumption engine when available (built lazily, so a fully cached
-    strengthening call never pays for an encoding)."""
+    strengthening call never pays for an encoding).
 
-    def __init__(self, prover, candidates, goal, incremental=True):
+    ``want_cores`` is the strategy layer's core policy: when False the
+    session never maps or validates assumption cores (callers that throw
+    them away should not pay for them).  ``catalog`` optionally attaches
+    a :class:`repro.prover.allsat.ModelCatalog`: cache misses are then
+    first tried against its swept model projections, which answers the
+    SAT-side ("cube does not imply goal") queries without a solver or
+    theory call; UNSAT-side verdicts always run the exact decide."""
+
+    def __init__(
+        self, prover, candidates, goal, incremental=True, want_cores=True,
+        catalog=None,
+    ):
         self.prover = prover
         self.candidates = tuple(candidates)
         self._negated = tuple(C.negate(expr) for expr in self.candidates)
         self.goal = goal
         self._incremental = incremental
+        self._want_cores = want_cores
+        self._catalog = catalog
         self._session = None
         self._synced = None
+        self._catalog_synced = None
         prover.stats.cube_sessions += 1
 
     def cube_exprs(self, cube):
@@ -167,24 +213,42 @@ class CubeProverSession:
         core = None
         opener = getattr(prover.backend, "open_cube_session", None)
         if self._incremental and self._session is None and opener is not None:
-            self._session = opener(self.candidates, self.goal)
+            self._session = _open_session(
+                opener, self.candidates, self.goal, self._want_cores
+            )
             self._synced = self._session.counters()
         if self._session is not None:
-            if self._session.decides > 0:
-                # The fresh baseline would have re-encoded the whole query.
-                stats.cnf_encodings_saved += 1
-            outcome, raw_core = self._session.decide(cube)
+            outcome = None
+            if self._catalog is not None:
+                self._catalog.ensure_swept(self._session)
+                if self._catalog.covers(cube):
+                    # A swept model satisfies every literal of the cube:
+                    # E(cube) ∧ ¬goal has a theory-consistent model, so
+                    # the implication does not hold — no decide needed.
+                    outcome = Satisfiability.SAT
+            if outcome is None:
+                if self._session.decides > 0:
+                    # The fresh baseline would have re-encoded the whole query.
+                    stats.cnf_encodings_saved += 1
+                outcome, raw_core = self._session.decide(cube)
+                if raw_core is not None and len(raw_core) < len(cube):
+                    core = raw_core
+                    stats.core_shrinks += 1
             self._sync_session_counters()
-            if raw_core is not None and len(raw_core) < len(cube):
-                core = raw_core
-                stats.core_shrinks += 1
         elif opener is not None:
             # Non-incremental baseline: a throwaway session per query.
             # Same clause universe and theory-relevance rules as the
             # incremental engine — so the two modes compute the same
             # answer for every cube — but every query pays the full
-            # re-encoding and lemma rediscovery, and no cores are kept.
-            outcome, _ = opener(self.candidates, self.goal).decide(cube)
+            # re-encoding and lemma rediscovery.  The strategy layer's
+            # core policy applies here too: no caller keeps these cores,
+            # so the session skips the core mapping and its validation.
+            throwaway = _open_session(opener, self.candidates, self.goal, False)
+            outcome, _ = throwaway.decide(cube)
+            counters = throwaway.counters()
+            stats.time_in_encode += counters["time_in_encode"]
+            stats.time_in_solve += counters["time_in_solve"]
+            stats.time_in_generalize += counters["time_in_generalize"]
         else:
             outcome = prover.backend.check_implication(exprs, self.goal)
         elapsed = time.perf_counter() - started
@@ -213,7 +277,21 @@ class CubeProverSession:
         stats.lemmas_reused += (
             current["lemma_reuse_hits"] - self._synced["lemma_reuse_hits"]
         )
+        for name in ("time_in_encode", "time_in_solve", "time_in_generalize"):
+            setattr(
+                stats,
+                name,
+                getattr(stats, name) + current[name] - self._synced[name],
+            )
         self._synced = current
+        if self._catalog is not None:
+            current_catalog = self._catalog.counters()
+            synced = self._catalog_synced or {
+                name: 0 for name in current_catalog
+            }
+            for name, value in current_catalog.items():
+                setattr(stats, name, getattr(stats, name) + value - synced[name])
+            self._catalog_synced = current_catalog
 
 
 class Prover:
@@ -268,14 +346,24 @@ class Prover:
         self._emit("implies", cached=False, result=result, seconds=elapsed)
         return result
 
-    def cube_session(self, candidates, goal, incremental=True):
+    def cube_session(
+        self, candidates, goal, incremental=True, want_cores=True, catalog=None
+    ):
         """Open a :class:`CubeProverSession` for one strengthening call:
         repeated cube implication tests over ``candidates`` against the
         fixed ``goal``.  With ``incremental=False`` (or a backend without
         the ``open_cube_session`` capability) every cache miss runs a
         fresh ``check_implication`` — the pre-session behaviour, kept as
-        the benchmark baseline."""
-        return CubeProverSession(self, candidates, goal, incremental=incremental)
+        the benchmark baseline.  ``want_cores``/``catalog`` are the
+        strategy layer's policy hooks (see :class:`CubeProverSession`)."""
+        return CubeProverSession(
+            self,
+            candidates,
+            goal,
+            incremental=incremental,
+            want_cores=want_cores,
+            catalog=catalog,
+        )
 
     def is_valid(self, expr):
         return self.implies((), expr)

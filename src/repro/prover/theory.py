@@ -26,10 +26,15 @@ _MAX_PROPAGATION_ROUNDS = 4
 
 
 class TheoryResult:
-    __slots__ = ("consistent",)
+    __slots__ = ("consistent", "exact")
 
-    def __init__(self, consistent):
+    def __init__(self, consistent, exact=True):
         self.consistent = consistent
+        # A SAT verdict is *exact* when no completeness limit was hit on
+        # the way (disequality-split cap, propagation-round cap): the
+        # check actually decided the literal set rather than giving up in
+        # the optimistic direction.  All UNSAT verdicts are exact.
+        self.exact = exact
 
     def __bool__(self):
         return self.consistent
@@ -53,10 +58,13 @@ def check_literals(literals):
                 les.append((t2, ("app", "+", (t1, ("num", -1)))))  # t2 <= t1-1
         else:
             raise ValueError("unknown atom %r" % (atom,))
-    return TheoryResult(_consistent(eqs, diseqs, les))
+    consistent, exact = _consistent(eqs, diseqs, les)
+    return TheoryResult(consistent, exact)
 
 
 def _consistent(eqs, diseqs, les):
+    """``(consistent, exact)``: joint satisfiability, plus whether the
+    verdict was reached without hitting a completeness limit."""
     euf = CongruenceClosure()
     relevant_terms = set()
     for t1, t2 in eqs + diseqs + les:
@@ -65,11 +73,12 @@ def _consistent(eqs, diseqs, les):
         relevant_terms |= set(subterms(t1)) | set(subterms(t2))
     for t1, t2 in eqs:
         if not euf.merge(t1, t2):
-            return False
+            return False, True
     for t1, t2 in diseqs:
         if not euf.add_disequality(t1, t2):
-            return False
+            return False, True
 
+    capped = len(diseqs) > _MAX_SPLIT_DISEQS
     for _ in range(_MAX_PROPAGATION_ROUNDS):
         # EUF -> arithmetic: every equality the closure knows between terms
         # of interest becomes an arithmetic equality.
@@ -82,15 +91,15 @@ def _consistent(eqs, diseqs, les):
             for other in members[1:]:
                 solver.assert_eq_terms(members[0], other)
         if not _check_with_diseqs(solver, diseqs, euf):
-            return False
+            return False, True
         # Arithmetic -> EUF: find arithmetic-entailed equalities among
         # congruence-relevant pairs and merge them.
         changed = _propagate_entailed_equalities(solver, euf, relevant_terms)
         if not euf.consistent:
-            return False
+            return False, True
         if not changed:
-            return True
-    return True  # fixpoint not reached; claim SAT (sound direction)
+            return True, not capped
+    return True, False  # fixpoint not reached; claim SAT (sound direction)
 
 
 def _check_with_diseqs(solver, diseqs, euf, depth=0):
@@ -120,12 +129,33 @@ def _check_with_diseqs(solver, diseqs, euf, depth=0):
 
 
 def _propagate_entailed_equalities(solver, euf, relevant_terms):
-    """Merge terms the arithmetic forces equal; True if anything merged."""
+    """Merge terms the arithmetic forces equal; True if anything merged.
+
+    Caller contract: ``solver`` has already been checked satisfiable
+    (``_check_with_diseqs`` runs first), which licenses an exact
+    prefilter — if ``t1 - t2`` mentions a variable no constraint
+    touches, that variable can be moved freely in some model, so the
+    equality cannot be entailed and the two Fourier-Motzkin runs of
+    ``implies_eq`` are skipped."""
     candidates = _congruence_candidate_pairs(euf, relevant_terms)
     changed = False
+    constrained = None
     for t1, t2 in candidates:
         if euf.are_equal(t1, t2):
             continue
+        diff = linearize(t1).minus(linearize(t2))
+        if diff.is_constant:
+            if diff.const != 0:
+                continue
+        else:
+            if constrained is None:
+                constrained = set()
+                for expr in solver._les:
+                    constrained |= expr.variables()
+                for expr in solver._eqs:
+                    constrained |= expr.variables()
+            if any(var not in constrained for var in diff.coeffs):
+                continue
         if solver.implies_eq(t1, t2):
             euf.merge(t1, t2)
             changed = True

@@ -175,6 +175,16 @@ def cegar_loop(
 ):
     """Run abstraction/check/refine until a verdict or the bound."""
     ctx = EngineContext.ensure(context, options=options, prover=prover)
+    try:
+        return _cegar_loop(program, initial_predicates, main, max_iterations, ctx)
+    finally:
+        if context is None:
+            # The loop owns this private context, so nobody else can
+            # release its worker pool; close on every exit path.
+            ctx.close()
+
+
+def _cegar_loop(program, initial_predicates, main, max_iterations, ctx):
     predicates = initial_predicates or PredicateSet()
     engine_prover = ctx.prover
     # One BDD manager + compiled-transfer cache for the whole loop: each

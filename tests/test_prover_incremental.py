@@ -165,7 +165,12 @@ def test_incremental_matches_fresh_on_partition():
 def test_session_counters_track_reuse():
     prover = Prover()
     search = CubeSearch(
-        prover, C2bpOptions(syntactic_heuristics=False, incremental_cubes=True)
+        prover,
+        C2bpOptions(
+            syntactic_heuristics=False,
+            incremental_cubes=True,
+            strengthen="cubes",
+        ),
     )
     candidates = [_Cand("x < 5"), _Cand("x == 2"), _Cand("y > 0")]
     search.implicant_cubes(candidates, parse_expression("x < 4"))
@@ -174,6 +179,22 @@ def test_session_counters_track_reuse():
     assert stats.assumption_solves > 0
     # Every decide after a session's first reuses that session's encoding.
     assert stats.cnf_encodings_saved > 0
+    assert stats.calls == stats.valid + stats.invalid + stats.unknown
+
+
+def test_allsat_counters_track_catalog():
+    prover = Prover()
+    search = CubeSearch(
+        prover, C2bpOptions(syntactic_heuristics=False, strengthen="allsat")
+    )
+    candidates = [_Cand("x < 5"), _Cand("x == 2"), _Cand("y > 0")]
+    search.implicant_cubes(candidates, parse_expression("x < 4"))
+    stats = prover.stats
+    assert stats.allsat_sweeps >= 2  # one per direction (=> phi, => !phi)
+    assert stats.allsat_models > 0
+    # The SAT-side cube answers come from the swept model catalog.
+    assert stats.allsat_model_hits > 0
+    assert stats.allsat_sweep_solves > 0
     assert stats.calls == stats.valid + stats.invalid + stats.unknown
 
 
