@@ -67,7 +67,10 @@ IRP = SafetySpec.complete_exactly_once("IoCompleteRequest")
 SMOKE_PROGRAMS = ("partition", "listfind")
 
 #: The merged prover counters each row records (and the smoke job checks
-#: for the --jobs stats blackout).
+#: for the --jobs stats blackout).  Every row carries the full
+#: time_in_{encode,solve,generalize} breakdown plus the incremental
+#: theory engine's counters (BENCH_theory.json holds the dedicated
+#: stateless-vs-incremental comparison).
 _STAT_FIELDS = (
     "queries",
     "calls",
@@ -76,9 +79,15 @@ _STAT_FIELDS = (
     "allsat_sweeps",
     "allsat_models",
     "allsat_model_hits",
+    "queries_discharged",
+    "theory_delta_queries",
+    "theory_cache_hits",
+    "allsat_sweep_theory_deltas",
     "time_in_encode",
     "time_in_solve",
     "time_in_generalize",
+    "time_in_theory_closure",
+    "time_in_theory_cache",
 )
 
 

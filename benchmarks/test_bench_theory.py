@@ -1,0 +1,276 @@
+"""The incremental theory engine against the stateless reference.
+
+Two configurations, both under the ``allsat`` strengthening default:
+
+- ``stateless``: ``theory_incremental=False`` — every theory query
+  canonicalizes its literal set and runs the full Nelson-Oppen
+  congruence-closure + Fourier-Motzkin pipeline from scratch (the PR-7
+  behavior);
+- ``incremental``: one :class:`repro.prover.theory.IncrementalTheory`
+  session per cube session — difference-bound queries retarget the
+  persistent DBM by push/pop deltas, out-of-fragment queries hit the
+  per-session result and entailed-equality caches.
+
+Two workloads: the Table-2 corpus through C2bp and the Table-1 drivers
+through the CEGAR loop for both properties.  The engine is an
+optimization, never a semantic change, so the bar is byte-identity of
+every printed boolean program and identical CEGAR verdicts/iterations —
+plus the headline perf claim: incremental ``time_in_generalize`` on the
+Table-2 corpus at most 0.75x the stateless total.  Results land in
+``benchmarks/results/BENCH_theory.json`` plus a rendered table.
+
+``-k smoke`` selects the fixture-free fast checks used by CI.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+from _tables import write_json, write_table
+
+from repro import (
+    C2bp,
+    SafetySpec,
+    check_property,
+    parse_c_program,
+    parse_predicate_file,
+)
+from repro.boolprog.printer import print_bool_program
+from repro.core import C2bpOptions
+from repro.engine import EngineContext
+from repro.programs import all_drivers, all_table2_programs, get_program
+
+CONFIGS = [
+    ("stateless", {"strengthen": "allsat", "theory_incremental": False}),
+    ("incremental", {"strengthen": "allsat", "theory_incremental": True}),
+]
+
+LOCK = SafetySpec.lock_discipline("KeAcquireSpinLock", "KeReleaseSpinLock")
+IRP = SafetySpec.complete_exactly_once("IoCompleteRequest")
+
+#: The two cheapest corpus members, used by the CI smoke job.
+SMOKE_PROGRAMS = ("partition", "listfind")
+
+#: How much of the stateless time_in_generalize total the incremental
+#: engine must shave on the Table-2 corpus (the acceptance bar is 25%).
+_GENERALIZE_RATIO = 0.75
+
+_STAT_FIELDS = (
+    "queries",
+    "calls",
+    "queries_discharged",
+    "theory_delta_queries",
+    "theory_cache_hits",
+    "allsat_sweep_theory_deltas",
+    "time_in_encode",
+    "time_in_solve",
+    "time_in_generalize",
+    "time_in_theory_closure",
+    "time_in_theory_cache",
+)
+
+
+def _abstract_study(study, **option_kwargs):
+    """One Table-2 program through C2bp under one configuration."""
+    program = parse_c_program(study.source, study.name)
+    predicates = parse_predicate_file(study.predicate_text, program)
+    with EngineContext(options=C2bpOptions(**option_kwargs)) as context:
+        started = time.perf_counter()
+        tool = C2bp(program, predicates, context=context)
+        boolean_program = tool.run()
+        elapsed = time.perf_counter() - started
+        stats = tool.prover.stats
+        return {
+            "text": print_bool_program(boolean_program),
+            "seconds": elapsed,
+            "stats": {name: getattr(stats, name) for name in _STAT_FIELDS},
+        }
+
+
+def _check_driver(driver, spec, **option_kwargs):
+    """One Table-1 driver through the CEGAR loop under one configuration."""
+    with EngineContext(options=C2bpOptions(**option_kwargs)) as context:
+        started = time.perf_counter()
+        result = check_property(
+            driver.source, spec, entry=driver.entry, max_iterations=8,
+            context=context,
+        )
+        elapsed = time.perf_counter() - started
+        stats = context.prover.stats
+        return {
+            "verdict": result.verdict,
+            "iterations": result.iterations,
+            "seconds": elapsed,
+            "stats": {name: getattr(stats, name) for name in _STAT_FIELDS},
+        }
+
+
+def _assert_theory_stats(label, row_stats, where):
+    if label == "incremental":
+        assert row_stats["theory_delta_queries"] > 0, (
+            "%s/%s: theory engine never took the fragment fast path"
+            % (label, where)
+        )
+    else:
+        assert row_stats["theory_delta_queries"] == 0, (
+            "%s/%s: stateless config ran the incremental engine"
+            % (label, where)
+        )
+        assert row_stats["time_in_theory_closure"] == 0.0, (
+            "%s/%s: stateless config charged closure time" % (label, where)
+        )
+
+
+def test_bench_theory_engine(benchmark):
+    studies = all_table2_programs()
+    drivers = all_drivers()
+
+    def run_all():
+        table2 = {
+            label: {
+                study.name: _abstract_study(study, **kwargs)
+                for study in studies
+            }
+            for label, kwargs in CONFIGS
+        }
+        cegar = {
+            label: {
+                "%s/%s" % (driver.name, key): _check_driver(driver, spec, **kwargs)
+                for driver in drivers
+                for key, spec in (("lock", LOCK), ("irp", IRP))
+            }
+            for label, kwargs in CONFIGS
+        }
+        return table2, cegar
+
+    table2, cegar = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Differential identity: the engine may only change timings, never
+    # output — byte-identical boolean programs, identical verdicts.
+    for study in studies:
+        texts = {
+            label: table2[label][study.name]["text"] for label, _ in CONFIGS
+        }
+        assert len(set(texts.values())) == 1, "configs disagree on %s" % study.name
+        for label, _ in CONFIGS:
+            _assert_theory_stats(
+                label, table2[label][study.name]["stats"], study.name
+            )
+    for key in cegar["stateless"]:
+        assert (
+            cegar["stateless"][key]["verdict"] == cegar["incremental"][key]["verdict"]
+        ), key
+        assert (
+            cegar["stateless"][key]["iterations"]
+            == cegar["incremental"][key]["iterations"]
+        ), key
+
+    def total(label, field):
+        return sum(row["stats"][field] for row in table2[label].values())
+
+    # The headline claim: persistent theory state cuts the generalize
+    # phase by at least a quarter on the Table-2 corpus.
+    stateless_generalize = total("stateless", "time_in_generalize")
+    incremental_generalize = total("incremental", "time_in_generalize")
+    assert incremental_generalize <= _GENERALIZE_RATIO * stateless_generalize, (
+        "time_in_generalize %.2fs -> %.2fs: less than a 25%% cut"
+        % (stateless_generalize, incremental_generalize)
+    )
+    assert C2bpOptions().theory_incremental
+
+    payload = {
+        "generalize_ratio": round(
+            incremental_generalize / stateless_generalize, 3
+        )
+        if stateless_generalize
+        else None,
+        "table2": {
+            label: {
+                name: {
+                    "seconds": round(row["seconds"], 3),
+                    "stats": row["stats"],
+                }
+                for name, row in entry.items()
+            }
+            for label, entry in table2.items()
+        },
+        "cegar_drivers": {
+            label: {
+                name: dict(row, seconds=round(row["seconds"], 3))
+                for name, row in entry.items()
+            }
+            for label, entry in cegar.items()
+        },
+    }
+    write_json("BENCH_theory", payload)
+
+    rows = []
+    for label, _ in CONFIGS:
+        rows.append(
+            [
+                label,
+                "%.2f" % sum(row["seconds"] for row in table2[label].values()),
+                total(label, "calls"),
+                total(label, "theory_delta_queries"),
+                total(label, "theory_cache_hits"),
+                total(label, "allsat_sweep_theory_deltas"),
+                "%.2f" % total(label, "time_in_generalize"),
+                "%.2f" % total(label, "time_in_theory_closure"),
+                "%.2f" % total(label, "time_in_theory_cache"),
+            ]
+        )
+    write_table(
+        "BENCH_theory",
+        [
+            "config",
+            "seconds",
+            "prover calls",
+            "theory deltas",
+            "cache hits",
+            "sweep deltas",
+            "t_generalize",
+            "t_closure",
+            "t_cache",
+        ],
+        rows,
+        notes=[
+            "Table-2 corpus under allsat strengthening, stateless theory "
+            "vs the incremental difference-bound engine; both print "
+            "byte-identical boolean programs and the incremental config "
+            "cuts time_in_generalize by at least 25%.  The CEGAR driver "
+            "rows (both Table-1 properties, identical verdicts and "
+            "iteration counts) are in BENCH_theory.json.",
+        ],
+    )
+
+
+def test_smoke_theory_identity():
+    """CI smoke (no benchmark fixture): both theory configurations agree
+    byte-for-byte on the two smallest corpus programs and report the
+    expected engine counters."""
+    for name in SMOKE_PROGRAMS:
+        study = get_program(name)
+        rows = {
+            label: _abstract_study(study, **kwargs) for label, kwargs in CONFIGS
+        }
+        texts = {label: row["text"] for label, row in rows.items()}
+        assert len(set(texts.values())) == 1, "configs disagree on %s" % name
+        for label, row in rows.items():
+            _assert_theory_stats(label, row["stats"], name)
+
+
+def test_smoke_theory_sweep_deltas_engage():
+    """CI smoke: the AllSAT sweep routes its model checks through the
+    session theory engine (the engine's best customer)."""
+    study = get_program("partition")
+    row = _abstract_study(study, strengthen="allsat")
+    assert row["stats"]["allsat_sweep_theory_deltas"] > 0
+    assert row["stats"]["theory_delta_queries"] >= row["stats"][
+        "allsat_sweep_theory_deltas"
+    ]

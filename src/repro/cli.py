@@ -102,12 +102,21 @@ def _add_option_flags(parser):
         "byte-identical either way",
     )
     parser.add_argument(
+        "--no-theory-incremental",
+        action="store_true",
+        help="stateless theory consistency check per query instead of the "
+        "per-session incremental engine (delta-closure difference bounds "
+        "+ cached reference fallback); verdicts and boolean programs are "
+        "identical either way",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=0,
         metavar="N",
-        help="worker processes for statement abstraction (default 1: serial; "
-        "the translated program is identical for any N)",
+        help="worker processes for statement abstraction (default 0: pick "
+        "from os.cpu_count(), staying serial on single-core hosts; the "
+        "translated program is identical for any N)",
     )
     parser.add_argument(
         "--validate-bp",
@@ -171,8 +180,9 @@ def _options_from(args):
         use_alias_analysis=not args.no_alias,
         invalidate_constant_derefs=not args.no_invalidate_derefs,
         incremental_cubes=not args.no_incremental,
+        theory_incremental=not args.no_theory_incremental,
         strengthen=args.strengthen,
-        jobs=max(args.jobs, 1),
+        jobs=max(args.jobs, 0),
         bebop_legacy=args.bebop_legacy,
         bebop_reuse=not args.no_bebop_reuse,
         use_analysis=not args.no_analysis,

@@ -126,6 +126,9 @@ class CubeEnumerationStrategy(StrengtheningStrategy):
             [candidate.expr for candidate in candidates],
             goal,
             incremental=getattr(search.options, "incremental_cubes", True),
+            theory_incremental=getattr(
+                search.options, "theory_incremental", True
+            ),
         )
 
     def search_implicants(self, search, candidates, phi, limit):
@@ -191,6 +194,9 @@ class AllSatStrategy(CubeEnumerationStrategy):
             goal,
             incremental=True,
             catalog=ModelCatalog(),
+            theory_incremental=getattr(
+                search.options, "theory_incremental", True
+            ),
         )
 
 
@@ -235,10 +241,14 @@ class CubeSearch:
         """One cube implication, tried against the discharger first.
         A discharged decision reports no assumption core — the keep-side
         record is then the cube itself, exactly what a fresh-query
-        baseline records."""
+        baseline records.  Discharged answers are tallied under their own
+        ``queries_discharged`` stats key, before any prover timer starts,
+        so they do not read as zero-time generalize entries in the
+        per-query time attribution."""
         if self.discharger is not None:
             exprs = session.cube_exprs(cube)
             if self.discharger.decide(exprs, session.goal):
+                self.prover.stats.queries_discharged += 1
                 return True, None
         return session.implies_cube(cube)
 

@@ -70,10 +70,22 @@ class C2bpOptions:
     #: program, are byte-identical either way.
     strengthen: str = "allsat"
 
-    #: Worker processes for statement abstraction; 1 (the default) runs
-    #: serially in-process.  The translated program is identical for any
-    #: job count — parallelism only changes wall-clock time.
-    jobs: int = 1
+    #: Answer the theory consistency checks of one cube session on a
+    #: persistent :class:`repro.prover.theory.IncrementalTheory` engine
+    #: (difference-bound delta closure for the arithmetic fragment, a
+    #: cached reference pipeline for the rest) instead of a stateless
+    #: check per query.  Verdicts are identical either way (the fuzz
+    #: oracle's ``theory-divergence`` check pins this); off is the
+    #: ``--no-theory-incremental`` escape hatch and benchmark baseline.
+    theory_incremental: bool = True
+
+    #: Worker processes for statement abstraction; 0 (the default) picks
+    #: automatically from ``os.cpu_count()`` when the
+    #: :class:`repro.engine.EngineContext` starts (1 on single-core
+    #: hosts, capped at :data:`repro.core.pool.MAX_AUTO_JOBS` elsewhere);
+    #: 1 runs serially in-process.  The translated program is identical
+    #: for any job count — parallelism only changes wall-clock time.
+    jobs: int = 0
 
     #: Run Bebop on the legacy engine (transfer BDDs re-derived at every
     #: worklist visit, full path-edge propagation) instead of the fast

@@ -53,6 +53,15 @@ class EngineContext:
             from repro.core.options import C2bpOptions
 
             options = C2bpOptions()
+        if getattr(options, "jobs", 1) == 0:
+            # ``jobs=0`` means "pick for this machine": resolve once at
+            # context startup so every consumer (abstractor, CEGAR loop,
+            # worker pool) sees the same concrete count.  Single-core
+            # hosts resolve to 1 — serial in-process, identical numbers
+            # to an explicit ``--jobs=1``.
+            from repro.core.pool import auto_jobs
+
+            options = options.copy(jobs=auto_jobs())
         self.options = options
         self.events = events if events is not None else EventBus(record=record_events)
         self.stats = stats if stats is not None else StatsRegistry()

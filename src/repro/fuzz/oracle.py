@@ -8,8 +8,10 @@ For one :class:`repro.fuzz.gen.FuzzCase` the oracle checks, in order:
 2. **Abstraction determinism** — the printed ``BP(P, E)`` must be
    byte-identical between the incremental cube engine and the
    ``--no-incremental`` baseline, between the ``allsat`` and ``cubes``
-   strengthening strategies, and (on a configurable stride, since a
-   fork pool per case is costly) between ``--jobs 1`` and ``--jobs 2``;
+   strengthening strategies, between the incremental theory engine and
+   the ``--no-theory-incremental`` stateless checker, and (on a
+   configurable stride, since a fork pool per case is costly) between
+   ``--jobs 1`` and ``--jobs 2``;
 3. **Engine agreement** — Bebop's compiled fast path and the
    ``--bebop-legacy`` engine must report identical invariants and
    identical assertion-failure sites, and the explicit-state engine must
@@ -50,6 +52,7 @@ KIND_ENGINE = "engine-divergence"     # fast / legacy / explicit disagree
 KIND_ANALYSIS = "analysis-divergence"  # analysis on/off disagree
 KIND_ABSTRACTION = "abstraction-divergence"  # incremental / jobs text differs
 KIND_STRENGTHEN = "strengthen-divergence"  # allsat / cubes strategies differ
+KIND_THEORY = "theory-divergence"     # incremental / stateless theory differ
 KIND_INVALID_BP = "invalid-bp"        # validator rejected BP(P, E)
 KIND_GENERATOR = "generator-invalid"  # case does not parse / typecheck
 KIND_INTERP = "interp-error"          # concrete execution trapped
@@ -143,6 +146,22 @@ class SoundnessOracle:
                 KIND_STRENGTHEN,
                 "allsat and cubes strengthening boolean programs differ:\n"
                 + _first_diff(printed, cubes_printed),
+            )
+        # The incremental theory engine must be answer-invisible: pinning
+        # every theory check to the stateless reference prints the same
+        # bytes.  Checked before the fresh baseline so a delta-closure or
+        # session-cache bug is reported as theory-divergence, not generic
+        # abstraction-divergence.
+        _, stateless_bp = self._abstract(
+            program, predicates,
+            self.make_options(validate_output=True, theory_incremental=False),
+        )
+        stateless_printed = print_bool_program(stateless_bp)
+        if stateless_printed != printed:
+            return report.fail(
+                KIND_THEORY,
+                "incremental and --no-theory-incremental boolean programs "
+                "differ:\n" + _first_diff(printed, stateless_printed),
             )
         baseline_tool, baseline_bp = self._abstract(
             program, predicates,

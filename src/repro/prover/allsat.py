@@ -34,6 +34,16 @@ Soundness of the shortcut rests on two properties the sweep enforces:
 When the sweep is capped (:data:`MAX_SWEEP_MODELS`) the catalog is
 merely incomplete: uncovered cubes fall back to ``decide`` and nothing
 is lost but the shortcut.
+
+The sweep is also the incremental theory engine's best customer: the
+owning cube session keeps one persistent
+:class:`~repro.prover.theory.IncrementalTheory` per strengthening call,
+and consecutive enumerated models differ by a handful of atoms, so each
+model validation retargets the engine's push/pop literal stack by a
+small delta instead of re-saturating EUF+Fourier-Motzkin from scratch.
+:meth:`ModelCatalog.ensure_swept` snapshots the session's theory
+counters around the sweep and reports how many delta queries the sweep
+itself consumed (``allsat_sweep_theory_deltas``).
 """
 
 #: Cap on stored projections per strengthening call.  2^k in the worst
@@ -58,17 +68,25 @@ class ModelCatalog:
         self.models = 0
         self.hits = 0
         self.sweep_solves = 0
+        self.sweep_theory_deltas = 0
 
     def ensure_swept(self, session):
         """Run the model sweep once, lazily — a fully cached
-        strengthening call never pays for it."""
+        strengthening call never pays for it.  The session's persistent
+        theory engine (when enabled) absorbs the sweep's near-identical
+        model validations as stack deltas; the counter snapshot below
+        attributes those delta queries to the sweep."""
         if self._projections is not None:
             return
         self.sweeps += 1
+        before = session.counters().get("theory_delta_queries", 0)
         projections, solves = session.enumerate_models(self.max_models)
         self._projections = projections
         self.models += len(projections)
         self.sweep_solves += solves
+        self.sweep_theory_deltas += (
+            session.counters().get("theory_delta_queries", 0) - before
+        )
 
     def covers(self, cube):
         """Is some stored model a witness that ``cube`` does not imply
@@ -85,4 +103,5 @@ class ModelCatalog:
             "allsat_models": self.models,
             "allsat_model_hits": self.hits,
             "allsat_sweep_solves": self.sweep_solves,
+            "allsat_sweep_theory_deltas": self.sweep_theory_deltas,
         }

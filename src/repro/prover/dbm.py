@@ -1,0 +1,135 @@
+"""Difference-bound matrix with incremental closure and a backtracking
+trail.
+
+A :class:`DifferenceBounds` holds constraints of the form ``u - v <= c``
+over opaque terms (``c`` an integer), plus unary bounds ``u <= c`` /
+``-u <= c`` expressed against the distinguished zero node ``("num", 0)``.
+The matrix is kept *closed* under path shortening: after every
+:meth:`add`, ``bound(u, v)`` is the tightest constant any chain of added
+edges implies for ``u - v``.  Closure is maintained incrementally — one
+edge insertion relaxes every pair through the new edge, O(n²) in the
+number of registered nodes rather than a full O(n³) Floyd–Warshall — and
+a negative self-cycle flips the (trail-tracked) :attr:`inconsistent`
+flag.  Over integer-valued terms this fragment is *exact*: a difference
+system is integer-satisfiable iff its constraint graph has no negative
+cycle, so both verdicts of the consistency check are complete, not just
+the UNSAT direction.
+
+:meth:`push`/:meth:`pop` frame every mutation (cell overwrites, node
+registrations, the inconsistency flag) so the incremental theory engine
+can retarget between literal sets that share a prefix by undoing only
+the suffix.
+"""
+
+ZERO = ("num", 0)
+
+
+class DifferenceBounds:
+    __slots__ = ("_dist", "_nodes", "_frames", "inconsistent")
+
+    def __init__(self):
+        self._dist = {}  # (u, v) -> int: tightest known bound on u - v
+        self._nodes = {ZERO}
+        self._frames = [[]]  # base frame absorbs unframed mutations
+        self.inconsistent = False
+
+    # -- trail ---------------------------------------------------------------
+
+    def push(self):
+        self._frames.append([])
+
+    def pop(self):
+        for kind, payload in reversed(self._frames.pop()):
+            if kind == "cell":
+                key, old = payload
+                if old is None:
+                    del self._dist[key]
+                else:
+                    self._dist[key] = old
+            elif kind == "node":
+                self._nodes.discard(payload)
+            else:  # "flag"
+                self.inconsistent = payload
+
+    @property
+    def depth(self):
+        return len(self._frames) - 1
+
+    # -- mutation ------------------------------------------------------------
+
+    def mark_inconsistent(self):
+        """Record an infeasibility discovered outside the matrix (e.g. a
+        trivially-false constant constraint) on the trail."""
+        if not self.inconsistent:
+            self._frames[-1].append(("flag", False))
+            self.inconsistent = True
+
+    def _register(self, term):
+        if term not in self._nodes:
+            self._nodes.add(term)
+            self._frames[-1].append(("node", term))
+
+    def add(self, u, v, c):
+        """Assert ``u - v <= c`` and restore closure.
+
+        No-op once inconsistent (the verdict cannot recover inside a
+        frame; :meth:`pop` rewinds the flag with everything else)."""
+        if self.inconsistent:
+            return
+        if u == v:
+            if c < 0:
+                self.mark_inconsistent()
+            return
+        self._register(u)
+        self._register(v)
+        dist = self._dist
+        current = dist.get((u, v))
+        if current is not None and current <= c:
+            return  # already at least this tight; closure unchanged
+        back = dist.get((v, u))
+        if back is not None and back + c < 0:
+            self.mark_inconsistent()
+            return
+        # Relax every pair through the new edge:
+        #   d[i][j] = min(d[i][j], d[i][u] + c + d[v][j]).
+        frame = self._frames[-1]
+        ins = []
+        for i in self._nodes:
+            diu = 0 if i == u else dist.get((i, u))
+            if diu is not None:
+                ins.append((i, diu + c))
+        outs = []
+        for j in self._nodes:
+            dvj = 0 if j == v else dist.get((v, j))
+            if dvj is not None:
+                outs.append((j, dvj))
+        for i, base in ins:
+            for j, dvj in outs:
+                candidate = base + dvj
+                if i == j:
+                    if candidate < 0:
+                        self.mark_inconsistent()
+                        return
+                    continue
+                key = (i, j)
+                known = dist.get(key)
+                if known is None or candidate < known:
+                    frame.append(("cell", (key, known)))
+                    dist[key] = candidate
+
+    # -- queries -------------------------------------------------------------
+
+    def bound(self, u, v):
+        """The tightest entailed ``c`` with ``u - v <= c``, or None."""
+        if u == v:
+            return 0
+        return self._dist.get((u, v))
+
+    def entailed_eq(self, u, v):
+        """Whether the closed system forces ``u == v``."""
+        if u == v:
+            return True
+        return self._dist.get((u, v)) == 0 and self._dist.get((v, u)) == 0
+
+    def nodes(self):
+        return set(self._nodes)

@@ -47,7 +47,7 @@ from repro.prover import terms as T
 from repro.prover.cnf import CnfEncoder
 from repro.prover.sat import SatSolver
 from repro.prover.smt import Satisfiability, _minimize_core
-from repro.prover.theory import check_literals
+from repro.prover.theory import IncrementalTheory, check_literals
 
 
 class IncrementalCubeSession:
@@ -62,11 +62,30 @@ class IncrementalCubeSession:
     ``want_cores=False`` skips the assumption-core mapping (and its
     lemma-relevance validation) on UNSAT answers entirely — the policy
     hook for callers that throw the core away, like the non-incremental
-    baseline's throwaway per-query sessions."""
+    baseline's throwaway per-query sessions.
 
-    def __init__(self, candidates, goal, max_rounds=400, want_cores=True):
+    ``theory_incremental=True`` (the default) routes every theory
+    consistency check — model validation in :meth:`decide` and
+    :meth:`enumerate_models`, and each probe of the greedy core
+    minimizer — through one persistent
+    :class:`~repro.prover.theory.IncrementalTheory` session, so the
+    near-identical literal sets of an AllSAT sweep pay only for their
+    deltas.  The engine answers exactly like the stateless
+    ``check_literals`` (that equivalence is fuzz- and
+    hypothesis-tested), so verdicts, cores, and ``TheoryResult.exact``
+    licensing are unchanged; ``False`` restores the stateless calls."""
+
+    def __init__(
+        self,
+        candidates,
+        goal,
+        max_rounds=400,
+        want_cores=True,
+        theory_incremental=True,
+    ):
         self.max_rounds = max_rounds
         self.want_cores = want_cores
+        self._theory = IncrementalTheory() if theory_incremental else None
         # Counters mirrored into ProverStats by the session's owner.
         self.assumption_solves = 0
         self.lemmas_learned = 0
@@ -186,11 +205,15 @@ class IncrementalCubeSession:
                         time.perf_counter() - generalize_started
                     )
                 break
+            generalize_started = time.perf_counter()
             literals = self._theory_literals(result.model, relevant)
-            if not literals or check_literals(literals):
+            if not literals or self._check_theory(literals):
+                self.time_in_generalize += (
+                    time.perf_counter() - generalize_started
+                )
                 outcome = Satisfiability.SAT
                 break
-            blocked = _minimize_core(literals)
+            blocked = _minimize_core(literals, checker=self._check_theory)
             blocking = [
                 (-self._atom_map.var_for(atom) if polarity else self._atom_map.var_for(atom))
                 for atom, polarity in blocked
@@ -202,6 +225,7 @@ class IncrementalCubeSession:
             )
             assumptions.append(guard)
             self.lemmas_learned += 1
+            self.time_in_generalize += time.perf_counter() - generalize_started
         if (
             self.decides > 1
             and lemmas_before > 0
@@ -246,6 +270,14 @@ class IncrementalCubeSession:
             if atom is not None:
                 literals.append((atom, value))
         return literals
+
+    def _check_theory(self, literals):
+        """Theory consistency through the session's incremental engine
+        (stateless ``check_literals`` when it is disabled); both answer
+        identically on every literal set."""
+        if self._theory is not None:
+            return self._theory.check(literals)
+        return check_literals(literals)
 
     # -- AllSAT model enumeration (the sweep behind AllSatStrategy) -----------
 
@@ -302,11 +334,11 @@ class IncrementalCubeSession:
                 break
             generalize_started = time.perf_counter()
             literals = self._theory_literals(result.model, self._all_atom_vars)
-            verdict = check_literals(literals) if literals else None
+            verdict = self._check_theory(literals) if literals else None
             if literals and not verdict:
                 # Theory-inconsistent assignment: learn the same guarded
                 # lemma decide() would, and keep enumerating.
-                blocked = _minimize_core(literals)
+                blocked = _minimize_core(literals, checker=self._check_theory)
                 blocking = [
                     (
                         -self._atom_map.var_for(atom)
@@ -343,7 +375,7 @@ class IncrementalCubeSession:
         return projections, solves
 
     def counters(self):
-        return {
+        counters = {
             "assumption_solves": self.assumption_solves,
             "lemmas_learned": self.lemmas_learned,
             "lemma_reuse_hits": self.lemma_reuse_hits,
@@ -352,3 +384,13 @@ class IncrementalCubeSession:
             "time_in_solve": self.time_in_solve,
             "time_in_generalize": self.time_in_generalize,
         }
+        if self._theory is not None:
+            counters.update(self._theory.counters())
+        else:
+            counters.update(
+                theory_delta_queries=0,
+                theory_cache_hits=0,
+                time_in_theory_closure=0.0,
+                time_in_theory_cache=0.0,
+            )
+        return counters

@@ -55,12 +55,25 @@ class ProverStats:
         self.allsat_models = 0  # theory-validated projections stored
         self.allsat_model_hits = 0  # cube queries answered by a stored model
         self.allsat_sweep_solves = 0  # SAT solves spent enumerating models
+        # Incremental theory-engine counters (the per-session
+        # IncrementalTheory instances inside cube sessions).
+        self.theory_delta_queries = 0  # queries answered by delta closure
+        self.theory_cache_hits = 0  # fallback queries answered from cache
+        self.allsat_sweep_theory_deltas = 0  # delta queries inside sweeps
+        # Cube queries settled by the static-analysis discharger before
+        # any prover work (and before the prover timers start), kept
+        # distinct so they do not read as zero-time generalize entries.
+        self.queries_discharged = 0
         # Per-phase wall-clock attribution (seconds), accumulated from the
         # cube sessions (both engines) so benchmark rows can say *where*
         # the time went: encoding, SAT solving, or core/model work.
         self.time_in_encode = 0.0
         self.time_in_solve = 0.0
         self.time_in_generalize = 0.0
+        # Sub-attribution of generalize time spent inside the theory
+        # engine: delta-closure work vs fallback (cached reference) work.
+        self.time_in_theory_closure = 0.0
+        self.time_in_theory_cache = 0.0
 
     def reset(self):
         self.__init__()
@@ -83,9 +96,15 @@ class ProverStats:
             "allsat_models": self.allsat_models,
             "allsat_model_hits": self.allsat_model_hits,
             "allsat_sweep_solves": self.allsat_sweep_solves,
+            "theory_delta_queries": self.theory_delta_queries,
+            "theory_cache_hits": self.theory_cache_hits,
+            "allsat_sweep_theory_deltas": self.allsat_sweep_theory_deltas,
+            "queries_discharged": self.queries_discharged,
             "time_in_encode": round(self.time_in_encode, 6),
             "time_in_solve": round(self.time_in_solve, 6),
             "time_in_generalize": round(self.time_in_generalize, 6),
+            "time_in_theory_closure": round(self.time_in_theory_closure, 6),
+            "time_in_theory_cache": round(self.time_in_theory_cache, 6),
         }
 
     def merge(self, snapshot):
@@ -129,20 +148,37 @@ class DpllTBackend:
         axioms = list(ctx.defs) + T.address_axioms(T.land(conjunction, *ctx.defs))
         return check_formula(conjunction, axioms, max_rounds=self.max_rounds)
 
-    def open_cube_session(self, candidates, goal, want_cores=True):
+    def open_cube_session(
+        self, candidates, goal, want_cores=True, theory_incremental=True
+    ):
         """An :class:`IncrementalCubeSession` deciding cubes over
         ``candidates`` against the fixed ``goal``.  ``want_cores=False``
         skips the assumption-core mapping and its validation — the right
         policy for throwaway per-query sessions whose caller discards the
-        core anyway."""
+        core anyway.  ``theory_incremental=False`` pins the session to
+        the stateless theory checker (the ``--no-theory-incremental``
+        escape hatch and the fuzz oracle's divergence baseline)."""
         return IncrementalCubeSession(
-            candidates, goal, max_rounds=self.max_rounds, want_cores=want_cores
+            candidates,
+            goal,
+            max_rounds=self.max_rounds,
+            want_cores=want_cores,
+            theory_incremental=theory_incremental,
         )
 
 
-def _open_session(opener, candidates, goal, want_cores):
-    """Call a backend's ``open_cube_session`` with the core policy,
-    tolerating backends predating the ``want_cores`` keyword."""
+def _open_session(opener, candidates, goal, want_cores, theory_incremental=True):
+    """Call a backend's ``open_cube_session`` with the session policies,
+    tolerating backends predating the policy keywords."""
+    try:
+        return opener(
+            candidates,
+            goal,
+            want_cores=want_cores,
+            theory_incremental=theory_incremental,
+        )
+    except TypeError:
+        pass
     try:
         return opener(candidates, goal, want_cores=want_cores)
     except TypeError:
@@ -165,11 +201,14 @@ class CubeProverSession:
     a :class:`repro.prover.allsat.ModelCatalog`: cache misses are then
     first tried against its swept model projections, which answers the
     SAT-side ("cube does not imply goal") queries without a solver or
-    theory call; UNSAT-side verdicts always run the exact decide."""
+    theory call; UNSAT-side verdicts always run the exact decide.
+    ``theory_incremental`` is forwarded to the backend session: whether
+    its theory checks run on a persistent delta-closure engine or the
+    stateless reference (``--no-theory-incremental``)."""
 
     def __init__(
         self, prover, candidates, goal, incremental=True, want_cores=True,
-        catalog=None,
+        catalog=None, theory_incremental=True,
     ):
         self.prover = prover
         self.candidates = tuple(candidates)
@@ -178,6 +217,7 @@ class CubeProverSession:
         self._incremental = incremental
         self._want_cores = want_cores
         self._catalog = catalog
+        self._theory_incremental = theory_incremental
         self._session = None
         self._synced = None
         self._catalog_synced = None
@@ -214,7 +254,8 @@ class CubeProverSession:
         opener = getattr(prover.backend, "open_cube_session", None)
         if self._incremental and self._session is None and opener is not None:
             self._session = _open_session(
-                opener, self.candidates, self.goal, self._want_cores
+                opener, self.candidates, self.goal, self._want_cores,
+                self._theory_incremental,
             )
             self._synced = self._session.counters()
         if self._session is not None:
@@ -243,12 +284,22 @@ class CubeProverSession:
             # re-encoding and lemma rediscovery.  The strategy layer's
             # core policy applies here too: no caller keeps these cores,
             # so the session skips the core mapping and its validation.
-            throwaway = _open_session(opener, self.candidates, self.goal, False)
+            throwaway = _open_session(
+                opener, self.candidates, self.goal, False,
+                self._theory_incremental,
+            )
             outcome, _ = throwaway.decide(cube)
             counters = throwaway.counters()
-            stats.time_in_encode += counters["time_in_encode"]
-            stats.time_in_solve += counters["time_in_solve"]
-            stats.time_in_generalize += counters["time_in_generalize"]
+            for name in (
+                "time_in_encode",
+                "time_in_solve",
+                "time_in_generalize",
+                "time_in_theory_closure",
+                "time_in_theory_cache",
+                "theory_delta_queries",
+                "theory_cache_hits",
+            ):
+                setattr(stats, name, getattr(stats, name) + counters.get(name, 0))
         else:
             outcome = prover.backend.check_implication(exprs, self.goal)
         elapsed = time.perf_counter() - started
@@ -277,11 +328,21 @@ class CubeProverSession:
         stats.lemmas_reused += (
             current["lemma_reuse_hits"] - self._synced["lemma_reuse_hits"]
         )
-        for name in ("time_in_encode", "time_in_solve", "time_in_generalize"):
+        for name in (
+            "theory_delta_queries",
+            "theory_cache_hits",
+            "time_in_encode",
+            "time_in_solve",
+            "time_in_generalize",
+            "time_in_theory_closure",
+            "time_in_theory_cache",
+        ):
             setattr(
                 stats,
                 name,
-                getattr(stats, name) + current[name] - self._synced[name],
+                getattr(stats, name)
+                + current.get(name, 0)
+                - self._synced.get(name, 0),
             )
         self._synced = current
         if self._catalog is not None:
@@ -347,15 +408,17 @@ class Prover:
         return result
 
     def cube_session(
-        self, candidates, goal, incremental=True, want_cores=True, catalog=None
+        self, candidates, goal, incremental=True, want_cores=True, catalog=None,
+        theory_incremental=True,
     ):
         """Open a :class:`CubeProverSession` for one strengthening call:
         repeated cube implication tests over ``candidates`` against the
         fixed ``goal``.  With ``incremental=False`` (or a backend without
         the ``open_cube_session`` capability) every cache miss runs a
         fresh ``check_implication`` — the pre-session behaviour, kept as
-        the benchmark baseline.  ``want_cores``/``catalog`` are the
-        strategy layer's policy hooks (see :class:`CubeProverSession`)."""
+        the benchmark baseline.  ``want_cores``/``catalog``/
+        ``theory_incremental`` are the strategy layer's policy hooks (see
+        :class:`CubeProverSession`)."""
         return CubeProverSession(
             self,
             candidates,
@@ -363,6 +426,7 @@ class Prover:
             incremental=incremental,
             want_cores=want_cores,
             catalog=catalog,
+            theory_incremental=theory_incremental,
         )
 
     def is_valid(self, expr):

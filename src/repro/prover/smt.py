@@ -68,14 +68,19 @@ def _theory_literals(model, atom_map):
     return literals
 
 
-def _minimize_core(literals):
+def _minimize_core(literals, checker=check_literals):
     """Greedy minimization: drop literals whose removal keeps the set
-    inconsistent.  A smaller core gives a stronger blocking clause."""
+    inconsistent.  A smaller core gives a stronger blocking clause.
+
+    ``checker`` lets a caller route the probes through a stateful
+    :class:`~repro.prover.theory.IncrementalTheory` session — each probe
+    drops one literal from the previous set, the delta workload the
+    session's push/pop stack is built for."""
     core = list(literals)
     index = 0
     while index < len(core):
         candidate = core[:index] + core[index + 1 :]
-        if candidate and not check_literals(candidate):
+        if candidate and not checker(candidate):
             core = candidate
         else:
             index += 1
