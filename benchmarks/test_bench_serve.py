@@ -1,0 +1,236 @@
+"""The content-addressed persistent cache: cold vs warm vs near-repeat.
+
+Three measured configurations over the Table-2 corpus, all against one
+``--cache-dir`` store:
+
+- ``cold``: an empty store — every prover answer, statement
+  abstraction, and compiled Bebop table is computed and written through;
+- ``warm``: the identical submission again — everything is answered
+  from disk (the verification-as-a-service steady state);
+- ``near-repeat``: the source with one new trailing procedure appended
+  (the typical edit-recompile-reverify loop) — unchanged statements hit,
+  only the new procedure pays.
+
+Each configuration is compared byte-for-byte against the uncached
+pipeline on the same source, and the headline claims are enforced:
+the warm corpus pass is at least 3x faster than the cold one, and the
+near-repeat pass at least 2x faster than abstracting its edited source
+uncached.  Results land in ``benchmarks/results/BENCH_serve.json`` plus
+a rendered table.
+
+``-k smoke`` selects the timing-free identity + hit-rate-floor checks
+used by CI.
+"""
+
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+from _tables import write_json, write_table
+
+from repro import C2bp, parse_c_program, parse_predicate_file
+from repro.boolprog.printer import print_bool_program
+from repro.core import C2bpOptions
+from repro.engine import EngineContext
+from repro.programs import all_table2_programs, get_program
+
+#: The two cheapest corpus members, used by the CI smoke job.
+SMOKE_PROGRAMS = ("partition", "listfind")
+
+#: The near-repeat edit: a new procedure appended after the existing
+#: text, so every earlier statement's identity (and cache key) is
+#: untouched.  The ``__bench`` names cannot collide with corpus code.
+NEAR_REPEAT_PAD = "\nint __bench_pad(int __bench_x) { return __bench_x; }\n"
+
+
+def _abstract(study, source, cache_dir):
+    """One corpus program through C2bp; returns text, timing, and the
+    store/prover counters the rows report."""
+    program = parse_c_program(source, study.name)
+    predicates = parse_predicate_file(study.predicate_text, program)
+    options = C2bpOptions(cache_dir=cache_dir)
+    with EngineContext(options=options) as context:
+        started = time.perf_counter()
+        tool = C2bp(program, predicates, context=context)
+        boolean_program = tool.run()
+        elapsed = time.perf_counter() - started
+        store = (
+            context.store.counters_with_namespaces()
+            if context.store is not None
+            else {}
+        )
+        return {
+            "text": print_bool_program(boolean_program),
+            "seconds": elapsed,
+            "prover_calls": tool.prover.stats.calls,
+            "store": store,
+        }
+
+
+def _run_corpus(cache_dir):
+    """cold/warm/near-repeat rows for every Table-2 program, interleaved
+    with the uncached baselines they must match byte-for-byte."""
+    rows = {}
+    for study in all_table2_programs():
+        edited = study.source + NEAR_REPEAT_PAD
+        baseline = _abstract(study, study.source, None)
+        edited_baseline = _abstract(study, edited, None)
+        cold = _abstract(study, study.source, cache_dir)
+        warm = _abstract(study, study.source, cache_dir)
+        near = _abstract(study, edited, cache_dir)
+        assert cold["text"] == baseline["text"], study.name
+        assert warm["text"] == baseline["text"], study.name
+        assert near["text"] == edited_baseline["text"], study.name
+        rows[study.name] = {
+            "uncached": baseline,
+            "uncached_edited": edited_baseline,
+            "cold": cold,
+            "warm": warm,
+            "near_repeat": near,
+        }
+    return rows
+
+
+def _corpus_seconds(rows, label):
+    return sum(entry[label]["seconds"] for entry in rows.values())
+
+
+def _hit_rate(store):
+    total = store.get("hits", 0) + store.get("misses", 0)
+    return store.get("hits", 0) / total if total else 0.0
+
+
+def test_bench_serve_cold_warm_near_repeat(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        rows = benchmark.pedantic(
+            lambda: _run_corpus(cache_dir), rounds=1, iterations=1
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    cold = _corpus_seconds(rows, "cold")
+    warm = _corpus_seconds(rows, "warm")
+    near = _corpus_seconds(rows, "near_repeat")
+    edited_uncached = _corpus_seconds(rows, "uncached_edited")
+
+    # Headline claims.
+    assert warm * 3 <= cold, "warm %.3fs vs cold %.3fs" % (warm, cold)
+    assert near * 2 <= edited_uncached, (
+        "near-repeat %.3fs vs uncached %.3fs" % (near, edited_uncached)
+    )
+    for name, entry in rows.items():
+        assert entry["warm"]["prover_calls"] == 0, name
+        assert _hit_rate(entry["warm"]["store"]) >= 0.95, name
+
+    payload = {
+        "corpus_seconds": {
+            "uncached": round(_corpus_seconds(rows, "uncached"), 3),
+            "cold": round(cold, 3),
+            "warm": round(warm, 3),
+            "near_repeat": round(near, 3),
+            "uncached_edited": round(edited_uncached, 3),
+        },
+        "speedups": {
+            "warm_vs_cold": round(cold / warm, 1) if warm else None,
+            "near_repeat_vs_uncached": (
+                round(edited_uncached / near, 1) if near else None
+            ),
+        },
+        "programs": {
+            name: {
+                label: {
+                    "seconds": round(row["seconds"], 4),
+                    "prover_calls": row["prover_calls"],
+                    "store": row["store"],
+                }
+                for label, row in entry.items()
+            }
+            for name, entry in rows.items()
+        },
+    }
+    write_json("BENCH_serve", payload)
+
+    table_rows = []
+    for name, entry in rows.items():
+        table_rows.append(
+            [
+                name,
+                "%.3f" % entry["cold"]["seconds"],
+                "%.3f" % entry["warm"]["seconds"],
+                "%.3f" % entry["near_repeat"]["seconds"],
+                entry["cold"]["prover_calls"],
+                entry["warm"]["prover_calls"],
+                entry["near_repeat"]["prover_calls"],
+                "%.0f%%" % (100 * _hit_rate(entry["warm"]["store"])),
+            ]
+        )
+    table_rows.append(
+        [
+            "TOTAL",
+            "%.3f" % cold,
+            "%.3f" % warm,
+            "%.3f" % near,
+            sum(e["cold"]["prover_calls"] for e in rows.values()),
+            sum(e["warm"]["prover_calls"] for e in rows.values()),
+            sum(e["near_repeat"]["prover_calls"] for e in rows.values()),
+            "",
+        ]
+    )
+    write_table(
+        "BENCH_serve",
+        [
+            "program",
+            "t_cold",
+            "t_warm",
+            "t_near",
+            "calls_cold",
+            "calls_warm",
+            "calls_near",
+            "warm hit rate",
+        ],
+        table_rows,
+        notes=[
+            "Table-2 corpus through C2bp against one content-addressed "
+            "--cache-dir store.  Every cached run is byte-identical to the "
+            "uncached pipeline on the same source; the warm corpus pass "
+            "answers everything from disk (zero prover calls) and the "
+            "near-repeat pass (one new trailing procedure) pays only for "
+            "the new code.  Enforced floors: warm >= 3x over cold, "
+            "near-repeat >= 2x over abstracting the edited source "
+            "uncached.",
+        ],
+    )
+
+
+def test_smoke_cache_identity_and_hit_floor():
+    """CI smoke (timing-free): cold and warm runs print the uncached
+    bytes on the two smallest corpus programs, the warm run clears a 95%
+    store hit rate with zero prover calls, and the near-repeat run hits
+    the unchanged statements."""
+    for name in SMOKE_PROGRAMS:
+        study = get_program(name)
+        cache_dir = tempfile.mkdtemp(prefix="bench-serve-smoke-")
+        try:
+            baseline = _abstract(study, study.source, None)
+            cold = _abstract(study, study.source, cache_dir)
+            warm = _abstract(study, study.source, cache_dir)
+            assert cold["text"] == baseline["text"], name
+            assert warm["text"] == baseline["text"], name
+            assert warm["prover_calls"] == 0, name
+            assert _hit_rate(warm["store"]) >= 0.95, name
+            edited = study.source + NEAR_REPEAT_PAD
+            edited_baseline = _abstract(study, edited, None)
+            near = _abstract(study, edited, cache_dir)
+            assert near["text"] == edited_baseline["text"], name
+            assert near["store"].get("hits", 0) > 0, name
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)

@@ -214,6 +214,8 @@ class BebopResult:
             "mode": "legacy" if checker.legacy else "fast",
             "transfers_compiled": checker.transfers_compiled,
             "transfers_reused": checker.transfers_reused,
+            "tables_loaded": checker.tables_loaded,
+            "tables_saved": checker.tables_saved,
             "frontier_joins": checker.frontier_joins,
             "bdd": manager.stats_snapshot(),
             "summary_nodes": {
@@ -262,6 +264,19 @@ class Bebop:
         else:
             self.manager = BddManager()
             self._slots = {}
+        # Disk-backed compiled-table persistence: from the reuse carrier
+        # when it has one, else straight off the context's store (the
+        # plain `check` path without a CEGAR reuse object).
+        self._table_store = None
+        if not legacy:
+            if self.reuse is not None and getattr(self.reuse, "persistent", None):
+                self._table_store = self.reuse.persistent
+            elif getattr(context, "store", None) is not None:
+                from repro.serve import BebopTableStore
+
+                self._table_store = BebopTableStore(context.store)
+        self.tables_loaded = 0
+        self.tables_saved = 0
         self.graphs = {
             name: build_bool_graph(proc) for name, proc in program.procedures.items()
         }
@@ -472,9 +487,19 @@ class Bebop:
                     compiled[name] = cached
                     self.transfers_reused += len(cached.transfers)
                     continue
-            table = self._compile_proc(name, proc, fingerprint)
+            table = None
+            if self._table_store is not None:
+                table = self._table_store.load(self, name, fingerprint)
+                if table is not None:
+                    self.tables_loaded += 1
+                    self.transfers_reused += len(table.transfers)
+            if table is None:
+                table = self._compile_proc(name, proc, fingerprint)
+                self.transfers_compiled += len(table.transfers)
+                if self._table_store is not None:
+                    self._table_store.save(self, name, table)
+                    self.tables_saved += 1
             compiled[name] = table
-            self.transfers_compiled += len(table.transfers)
             if self.reuse is not None:
                 self.reuse.compiled[name] = table
         if self.reuse is not None:
@@ -483,6 +508,7 @@ class Bebop:
                     del self.reuse.compiled[name]
             self.reuse.transfers_compiled += self.transfers_compiled
             self.reuse.transfers_reused += self.transfers_reused
+            self.reuse.tables_loaded += self.tables_loaded
         # Call sites are static under compilation: register them all up
         # front so summary growth can re-trigger them.
         for name, table in compiled.items():

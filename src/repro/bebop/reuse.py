@@ -22,13 +22,18 @@ from repro.bdd import BddManager
 class BebopReuse:
     """Persistent manager + compiled-transfer cache shared by Bebop runs."""
 
-    def __init__(self, max_cache_entries=None):
+    def __init__(self, max_cache_entries=None, persistent=None):
         self.manager = BddManager(max_cache_entries=max_cache_entries)
         self.slots = {}
         self.compiled = {}  # proc name -> CompiledProc
+        #: Optional :class:`repro.serve.BebopTableStore`: fingerprint
+        #: misses then try the disk store before compiling, and fresh
+        #: compilations are saved for later runs/processes.
+        self.persistent = persistent
         self.iterations = 0
         self.transfers_compiled = 0
         self.transfers_reused = 0
+        self.tables_loaded = 0
         self.nodes_collected = 0
 
     def roots(self):
@@ -52,6 +57,7 @@ class BebopReuse:
             "iterations": self.iterations,
             "transfers_compiled": self.transfers_compiled,
             "transfers_reused": self.transfers_reused,
+            "tables_loaded": self.tables_loaded,
             "nodes_collected": self.nodes_collected,
             "compiled_procedures": len(self.compiled),
             "live_nodes": self.manager.live_nodes,

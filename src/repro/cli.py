@@ -149,6 +149,25 @@ def _add_option_flags(parser):
         help="model check the full boolean program instead of the "
         "dead-variable-eliminated one",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed persistent cache root: prover answers, "
+        "statement abstractions, and compiled Bebop tables survive the "
+        "process (created on first use; output is byte-identical with "
+        "or without it)",
+    )
+    parser.add_argument(
+        "--no-persistent-cache",
+        action="store_true",
+        help="ignore --cache-dir (keep every cache in-process)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        metavar="N",
+        help="LRU byte cap for the persistent cache (default: uncapped)",
+    )
     _add_bebop_flags(parser)
 
 
@@ -189,6 +208,9 @@ def _options_from(args):
         live_predicates=not args.no_live_predicates,
         intervals=not args.no_intervals,
         bp_dce=not args.no_bp_dce,
+        cache_dir=args.cache_dir,
+        persistent_cache=not args.no_persistent_cache,
+        cache_max_bytes=args.cache_max_bytes,
         validate_output=args.validate_bp,
     )
 
@@ -217,75 +239,65 @@ def _write_instrumentation(args, context):
             handle.write("\n")
 
 
-def _abstract(args, out):
-    program = parse_c_program(_read(args.program), name=args.program)
-    predicates = parse_predicate_file(_read(args.predicates), program)
-    with EngineContext(options=_options_from(args)) as context:
-        tool = C2bp(program, predicates, context=context)
-        boolean_program = tool.run()
-        out.write(print_bool_program(boolean_program))
+# The subcommand cores below take (context, texts, out) so the same code
+# path serves two callers: the local handlers and the ``repro serve``
+# daemon (whose warm context carries the shared persistent cache).  The
+# ``--remote`` output is byte-identical to a local run *because* both run
+# exactly these functions.
+
+
+def run_abstract(context, source, predicates_text, out, name="<input>"):
+    program = parse_c_program(source, name=name)
+    predicates = parse_predicate_file(predicates_text, program)
+    tool = C2bp(program, predicates, context=context)
+    boolean_program = tool.run()
+    out.write(print_bool_program(boolean_program))
+    out.write(
+        "\n// %d predicates, %d theorem prover calls, %.2fs\n"
+        % (len(predicates), tool.stats.prover_calls, tool.stats.seconds)
+    )
+    return 0
+
+
+def run_check(
+    context, source, predicates_text, out, name="<input>", entry="main",
+    labels=(), bp_dce=True,
+):
+    program = parse_c_program(source, name=name)
+    predicates = parse_predicate_file(predicates_text, program)
+    tool = C2bp(program, predicates, context=context)
+    boolean_program = tool.run()
+    # Labeled invariant queries observe every predicate, so DCE only
+    # applies to plain reachability checks.
+    if tool.analysis is not None and bp_dce and not labels:
+        from repro.analysis import eliminate_dead_variables
+
+        boolean_program, _ = eliminate_dead_variables(
+            boolean_program, stats=context.analysis_stats
+        )
+    result = Bebop(boolean_program, main=entry, context=context).run()
+    for label in labels or ():
+        proc, _, label_name = label.rpartition(":")
+        proc = proc or entry
         out.write(
-            "\n// %d predicates, %d theorem prover calls, %.2fs\n"
-            % (len(predicates), tool.stats.prover_calls, tool.stats.seconds)
+            "%s/%s: %s\n"
+            % (proc, label_name, result.invariant_string(proc, label=label_name))
         )
-        _write_instrumentation(args, context)
+    if result.assertion_failures:
+        out.write(
+            "%d assert(s) not discharged:\n" % len(result.assertion_failures)
+        )
+        for proc, node, _ in result.assertion_failures:
+            out.write("  %s: %s\n" % (proc, node.stmt.comment or "assert"))
+        return 1
+    out.write("all asserts discharged.\n")
     return 0
 
 
-def _check(args, out):
-    program = parse_c_program(_read(args.program), name=args.program)
-    predicates = parse_predicate_file(_read(args.predicates), program)
-    with EngineContext(options=_options_from(args)) as context:
-        tool = C2bp(program, predicates, context=context)
-        boolean_program = tool.run()
-        # Labeled invariant queries observe every predicate, so DCE only
-        # applies to plain reachability checks.
-        if tool.analysis is not None and not args.no_bp_dce and not args.label:
-            from repro.analysis import eliminate_dead_variables
-
-            boolean_program, _ = eliminate_dead_variables(
-                boolean_program, stats=context.analysis_stats
-            )
-        result = Bebop(boolean_program, main=args.entry, context=context).run()
-        if args.label:
-            for label in args.label:
-                proc, _, name = label.rpartition(":")
-                proc = proc or args.entry
-                out.write(
-                    "%s/%s: %s\n"
-                    % (proc, name, result.invariant_string(proc, label=name))
-                )
-        if result.assertion_failures:
-            out.write(
-                "%d assert(s) not discharged:\n" % len(result.assertion_failures)
-            )
-            for proc, node, _ in result.assertion_failures:
-                out.write("  %s: %s\n" % (proc, node.stmt.comment or "assert"))
-            _write_instrumentation(args, context)
-            return 1
-        out.write("all asserts discharged.\n")
-        _write_instrumentation(args, context)
-    return 0
-
-
-def _slam(args, out):
-    if args.lock:
-        acquire, release = args.lock
-        spec = SafetySpec.lock_discipline(acquire, release)
-    elif args.complete_once:
-        spec = SafetySpec.complete_exactly_once(args.complete_once)
-    else:
-        out.write("error: choose a property (--lock A R | --complete-once F)\n")
-        return 2
-    with EngineContext(options=_options_from(args)) as context:
-        result = check_property(
-            _read(args.program),
-            spec,
-            entry=args.entry,
-            max_iterations=args.max_iterations,
-            context=context,
-        )
-        _write_instrumentation(args, context)
+def run_slam(context, source, spec, out, entry="main", max_iterations=10):
+    result = check_property(
+        source, spec, entry=entry, max_iterations=max_iterations, context=context
+    )
     out.write(
         "verdict: %s (after %d iteration(s), %d predicates)\n"
         % (result.verdict, result.iterations, len(result.predicates))
@@ -307,6 +319,115 @@ def _slam(args, out):
         for line in result.error_trace_lines():
             out.write("  %s\n" % line)
     return 0 if result.verdict == "safe" else 1
+
+
+def _slam_spec(args, out):
+    if args.lock:
+        acquire, release = args.lock
+        return SafetySpec.lock_discipline(acquire, release)
+    if args.complete_once:
+        return SafetySpec.complete_exactly_once(args.complete_once)
+    out.write("error: choose a property (--lock A R | --complete-once F)\n")
+    return None
+
+
+def _remote(args, op, request, out):
+    """Ship ``request`` to a ``repro serve`` daemon and relay its reply."""
+    import dataclasses
+    import json
+
+    from repro.serve.client import ServeClient
+
+    request = dict(request)
+    request["op"] = op
+    request["options"] = dataclasses.asdict(_options_from(args))
+    request["want_stats"] = bool(getattr(args, "stats_json", None))
+    request["want_trace"] = bool(getattr(args, "trace_json", None))
+    with ServeClient.from_address(args.remote) as client:
+        response = client.request(request)
+    if not response.get("ok"):
+        out.write("remote error: %s\n" % response.get("error", "unknown"))
+        return 2
+    out.write(response.get("output", ""))
+    if getattr(args, "stats_json", None):
+        with open(args.stats_json, "w") as handle:
+            json.dump(response.get("stats"), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if getattr(args, "trace_json", None):
+        with open(args.trace_json, "w") as handle:
+            json.dump(response.get("trace"), handle, indent=2)
+            handle.write("\n")
+    return response.get("exit_code", 0)
+
+
+def _abstract(args, out):
+    if getattr(args, "remote", None):
+        return _remote(
+            args,
+            "abstract",
+            {
+                "source": _read(args.program),
+                "predicates": _read(args.predicates),
+                "name": args.program,
+            },
+            out,
+        )
+    with EngineContext(options=_options_from(args)) as context:
+        code = run_abstract(
+            context, _read(args.program), _read(args.predicates), out,
+            name=args.program,
+        )
+        _write_instrumentation(args, context)
+    return code
+
+
+def _check(args, out):
+    if getattr(args, "remote", None):
+        return _remote(
+            args,
+            "check",
+            {
+                "source": _read(args.program),
+                "predicates": _read(args.predicates),
+                "name": args.program,
+                "entry": args.entry,
+                "labels": args.label or [],
+                "bp_dce": not args.no_bp_dce,
+            },
+            out,
+        )
+    with EngineContext(options=_options_from(args)) as context:
+        code = run_check(
+            context, _read(args.program), _read(args.predicates), out,
+            name=args.program, entry=args.entry, labels=args.label or (),
+            bp_dce=not args.no_bp_dce,
+        )
+        _write_instrumentation(args, context)
+    return code
+
+
+def _slam(args, out):
+    spec = _slam_spec(args, out)
+    if spec is None:
+        return 2
+    if getattr(args, "remote", None):
+        request = {
+            "source": _read(args.program),
+            "entry": args.entry,
+            "max_iterations": args.max_iterations,
+        }
+        if args.lock:
+            request["lock"] = list(args.lock)
+        else:
+            request["complete_once"] = args.complete_once
+        return _remote(args, "slam", request, out)
+    with EngineContext(options=_options_from(args)) as context:
+        code = run_slam(
+            context, _read(args.program), spec, out,
+            entry=args.entry, max_iterations=args.max_iterations,
+        )
+        _write_instrumentation(args, context)
+    return code
 
 
 def _replay(args, out):
@@ -377,6 +498,28 @@ def _fuzz(args, out):
     return 0 if result.ok else 1
 
 
+def _serve(args, out):
+    from repro.serve.server import ReproServer, run_server
+
+    server = ReproServer(
+        socket_path=args.socket,
+        tcp=args.tcp,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+    return run_server(server, out=out)
+
+
+def _add_remote_flag(parser):
+    parser.add_argument(
+        "--remote",
+        metavar="ADDR",
+        help="run on a `repro serve` daemon instead of in-process: a unix "
+        "socket path, or tcp:HOST:PORT (output is byte-identical to a "
+        "local run; the daemon's warm caches do the work)",
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -389,6 +532,7 @@ def build_parser():
     p_abstract.add_argument("predicates", help="predicate input file")
     _add_option_flags(p_abstract)
     _add_instrument_flags(p_abstract)
+    _add_remote_flag(p_abstract)
     p_abstract.set_defaults(func=_abstract)
 
     p_check = sub.add_parser("check", help="abstract + model check")
@@ -402,6 +546,7 @@ def build_parser():
     )
     _add_option_flags(p_check)
     _add_instrument_flags(p_check)
+    _add_remote_flag(p_check)
     p_check.set_defaults(func=_check)
 
     p_slam = sub.add_parser("slam", help="check a temporal safety property")
@@ -421,6 +566,7 @@ def build_parser():
     p_slam.add_argument("--max-iterations", type=int, default=10)
     _add_option_flags(p_slam)
     _add_instrument_flags(p_slam)
+    _add_remote_flag(p_slam)
     p_slam.set_defaults(func=_slam)
 
     p_replay = sub.add_parser("replay", help="soundness trace replay")
@@ -478,6 +624,36 @@ def build_parser():
         "--verbose", action="store_true", help="print a line per case"
     )
     p_fuzz.set_defaults(func=_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="verification daemon: warm caches, batched requests over a "
+        "unix socket (see --remote on abstract/check/slam)",
+    )
+    p_serve.add_argument(
+        "--socket",
+        default="repro-serve.sock",
+        metavar="PATH",
+        help="unix socket to listen on (default ./repro-serve.sock)",
+    )
+    p_serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="additionally listen on a TCP address",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent cache root shared by every request (without it "
+        "the daemon still shares its warm in-memory caches)",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        metavar="N",
+        help="LRU byte cap for the persistent cache",
+    )
+    p_serve.set_defaults(func=_serve)
 
     p_bebop = sub.add_parser("bebop", help="model check a boolean program (.bp)")
     p_bebop.add_argument("program", help="boolean program file")

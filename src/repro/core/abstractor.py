@@ -102,6 +102,22 @@ class C2bp:
         # Cross-iteration statement-abstraction cache (CEGAR hands one
         # in); only the serial path consults it.
         self.reuse = reuse if self.analysis is not None else None
+        if (
+            self.reuse is None
+            and self.analysis is not None
+            and getattr(self.context, "store", None) is not None
+            and (getattr(self.options, "jobs", 1) or 1) <= 1
+        ):
+            # A persistent store is configured: even a one-shot run reads
+            # and populates the cross-run statement cache (the warm-run
+            # fast path).  Imported lazily — repro.serve sits above core.
+            from repro.serve import PersistentAbstractionReuse
+
+            self.reuse = PersistentAbstractionReuse(
+                self.context.store,
+                self.options,
+                stats=ensure_analysis_stats(self.context),
+            )
         self.search = CubeSearch(
             self.prover,
             self.options,
@@ -372,6 +388,11 @@ class C2bp:
                 kind, func_name, _ = task
                 self.prover.stats.merge(result["prover"])
                 self.prover.cache.absorb(result["cache"])
+                # Fold the workers' read-only store accounting into the
+                # parent's store (writes already happen here via absorb).
+                store_delta = result.get("store")
+                if store_delta and getattr(self.context, "store", None) is not None:
+                    self.context.store.merge_counters(store_delta)
                 # Fold the workers' SAT/CNF construction counters into the
                 # process-wide tallies, so benchmark rows measured under
                 # --jobs report real work instead of a blackout.

@@ -123,6 +123,23 @@ class C2bpOptions:
     #: Requires ``use_analysis``.
     bp_dce: bool = True
 
+    #: Root directory of the content-addressed persistent cache
+    #: (:class:`repro.serve.PersistentStore`).  ``None`` (the default)
+    #: keeps every cache in-process, exactly the pre-serve behaviour;
+    #: a path makes prover answers, statement abstractions, and compiled
+    #: Bebop tables survive the process (``--cache-dir``).
+    cache_dir: str = None
+
+    #: Master switch for the disk store when ``cache_dir`` is set
+    #: (``--no-persistent-cache`` turns a configured directory off
+    #: without losing the path from the configuration).
+    persistent_cache: bool = True
+
+    #: LRU byte cap for the persistent store; ``None`` means uncapped.
+    #: When a write pushes the store past the cap, least-recently-used
+    #: records are evicted down to 90% of it (``--cache-max-bytes``).
+    cache_max_bytes: int = None
+
     #: Run :func:`repro.boolprog.validate.validate_bool_program` on the
     #: translated program before returning it (``--validate-bp``), so a
     #: malformed ``BP(P, E)`` fails at generation time instead of

@@ -231,8 +231,15 @@ class _WorkerState:
         from repro.engine import EngineContext
 
         cache = previous.cache if previous is not None else None
-        context = EngineContext(options=payload["options"], cache=cache)
+        # Workers open the persistent store (if the options configure one)
+        # read-only: disk hits flow in, but every write reaches disk only
+        # through the parent's write-through absorb of the shipped cache
+        # delta — no multi-process write contention on the store.
+        context = EngineContext(
+            options=payload["options"], cache=cache, store_readonly=True
+        )
         self.cache = context.cache
+        self.store = context.store
         self.cache.absorb(payload["cache"])
         self.cache_watermark = len(self.cache)
         self.tool = C2bp(
@@ -266,6 +273,9 @@ class _WorkerState:
         )
         sat_before = dict(sat_module.COUNTERS)
         cnf_before = dict(cnf_module.COUNTERS)
+        store_before = (
+            self.store.counters_with_namespaces() if self.store is not None else None
+        )
         events = tool.context.events
         events.events.clear()  # long-lived worker: never hit the record cap
         if kind == "stmt":
@@ -312,6 +322,28 @@ class _WorkerState:
         else:
             payload["analysis"] = {}
         payload["events"] = list(events.events)
+        if store_before is not None:
+            after = self.store.counters_with_namespaces()
+            delta = {
+                name: after[name] - store_before[name]
+                for name in self.store.COUNTER_FIELDS
+                if after[name] != store_before[name]
+            }
+            namespaces = {}
+            for namespace, counts in after["namespaces"].items():
+                before = store_before["namespaces"].get(namespace, {})
+                diff = {
+                    field: value - before.get(field, 0)
+                    for field, value in counts.items()
+                    if value != before.get(field, 0)
+                }
+                if diff:
+                    namespaces[namespace] = diff
+            if namespaces:
+                delta["namespaces"] = namespaces
+            payload["store"] = delta
+        else:
+            payload["store"] = {}
         payload["construction"] = {
             "sat": {
                 key: sat_module.COUNTERS[key] - sat_before[key]

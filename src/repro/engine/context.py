@@ -45,6 +45,8 @@ class EngineContext:
         stats=None,
         cache=None,
         record_events=True,
+        store=None,
+        store_readonly=False,
     ):
         if options is None:
             # Imported lazily: repro.core.abstractor imports this package,
@@ -65,6 +67,31 @@ class EngineContext:
         self.options = options
         self.events = events if events is not None else EventBus(record=record_events)
         self.stats = stats if stats is not None else StatsRegistry()
+        # The content-addressed persistent store (repro.serve): adopted
+        # from the caller, inherited from a store-backed cache, or opened
+        # from options.cache_dir.  An owned store is this context's to
+        # report on; the store itself holds no buffered state to flush.
+        self._owned_store = False
+        if store is not None:
+            self.store = store
+        elif cache is not None and getattr(cache, "disk", None) is not None:
+            self.store = cache.disk
+        elif prover is not None and getattr(prover.cache, "disk", None) is not None:
+            self.store = prover.cache.disk
+        elif getattr(self.options, "cache_dir", None) and getattr(
+            self.options, "persistent_cache", True
+        ):
+            # Imported lazily: repro.serve imports the prover layer.
+            from repro.serve import PersistentStore
+
+            self.store = PersistentStore(
+                self.options.cache_dir,
+                max_bytes=getattr(self.options, "cache_max_bytes", None),
+                readonly=store_readonly,
+            )
+            self._owned_store = True
+        else:
+            self.store = None
         if prover is not None:
             # Adopt a caller-supplied prover (the legacy ``prover=`` shim):
             # share its cache and attach our event sink if it has none.
@@ -73,7 +100,14 @@ class EngineContext:
             if prover.events is None:
                 prover.events = self.events
         else:
-            self.cache = cache if cache is not None else QueryCache()
+            if cache is not None:
+                self.cache = cache
+            elif self.store is not None:
+                from repro.serve import PersistentQueryCache
+
+                self.cache = PersistentQueryCache(self.store)
+            else:
+                self.cache = QueryCache()
             self.prover = Prover(
                 enable_cache=self.options.cache_prover,
                 cache=self.cache,
@@ -83,6 +117,8 @@ class EngineContext:
         self.stats.register("prover", self.prover.stats)
         self.stats.register("prover_cache", self.cache)
         self.stats.register("events", self.events)
+        if self.store is not None:
+            self.stats.register("persistent_cache", self.store.snapshot)
         self._worker_pool = None
 
     @classmethod
@@ -123,6 +159,8 @@ class EngineContext:
         if self._worker_pool is not None:
             self._worker_pool.close()
             self._worker_pool = None
+        if self._owned_store and self.store is not None:
+            self.store.close()
 
     def __enter__(self):
         return self

@@ -20,6 +20,12 @@ A section may be any of:
 import json
 import time
 
+#: Version of the ``--stats-json`` layout, carried at the top level of
+#: every snapshot.  Bump on breaking changes to section names or field
+#: meanings; documented in docs/PERFORMANCE.md.  Version 2 added the
+#: field itself plus the ``persistent_cache`` section.
+SCHEMA_VERSION = 2
+
 
 class PhaseAccumulator:
     """Wall-clock totals per named phase (c2bp, bebop, newton, ...)."""
@@ -105,7 +111,7 @@ class StatsRegistry:
 
     def snapshot(self):
         """Everything, as one plain JSON-ready dict."""
-        out = {}
+        out = {"schema_version": SCHEMA_VERSION}
         for name, source in self._sections.items():
             take = getattr(source, "snapshot", None)
             if callable(take):

@@ -9,7 +9,10 @@ For one :class:`repro.fuzz.gen.FuzzCase` the oracle checks, in order:
    byte-identical between the incremental cube engine and the
    ``--no-incremental`` baseline, between the ``allsat`` and ``cubes``
    strengthening strategies, between the incremental theory engine and
-   the ``--no-theory-incremental`` stateless checker, and (on a
+   the ``--no-theory-incremental`` stateless checker, between the
+   uncached pipeline and a cold then warm content-addressed
+   ``--cache-dir`` store (which must also preserve the model-checking
+   verdict through the compiled-table round trip), and (on a
    configurable stride, since a fork pool per case is costly) between
    ``--jobs 1`` and ``--jobs 2``;
 3. **Engine agreement** — Bebop's compiled fast path and the
@@ -53,6 +56,7 @@ KIND_ANALYSIS = "analysis-divergence"  # analysis on/off disagree
 KIND_ABSTRACTION = "abstraction-divergence"  # incremental / jobs text differs
 KIND_STRENGTHEN = "strengthen-divergence"  # allsat / cubes strategies differ
 KIND_THEORY = "theory-divergence"     # incremental / stateless theory differ
+KIND_CACHE = "cache-divergence"       # persistent cache changed bytes/verdict
 KIND_INVALID_BP = "invalid-bp"        # validator rejected BP(P, E)
 KIND_GENERATOR = "generator-invalid"  # case does not parse / typecheck
 KIND_INTERP = "interp-error"          # concrete execution trapped
@@ -69,6 +73,7 @@ class CaseReport:
         "assert_trips",
         "explicit_checked",
         "jobs_checked",
+        "cache_checked",
         "prover_calls",
     )
 
@@ -80,6 +85,7 @@ class CaseReport:
         self.assert_trips = 0
         self.explicit_checked = False
         self.jobs_checked = False
+        self.cache_checked = False
         self.prover_calls = 0
 
     @property
@@ -195,6 +201,13 @@ class SoundnessOracle:
                     + _first_diff(printed, jobs_printed),
                 )
 
+        # 2.4. Persistent-cache differential: a cold store population and
+        # a warm reload must both print the uncached bytes and reach the
+        # uncached verdict (pins the content-addressed keys as sound).
+        cache_failure = self._check_cache(case, program, predicates, printed, report)
+        if cache_failure is not None:
+            return cache_failure
+
         # 2.5. Static-analysis differentials: identity mode must be a
         # byte-level no-op, and the pruning passes must preserve the
         # model-checking verdict and failure sites.
@@ -218,6 +231,54 @@ class SoundnessOracle:
         with EngineContext(options=options) as context:
             tool = C2bp(program, predicates, context=context)
             return tool, tool.run()
+
+    def _check_cache(self, case, program, predicates, printed, report):
+        import shutil
+        import tempfile
+
+        cache_dir = tempfile.mkdtemp(prefix="repro-fuzz-cache-")
+        try:
+            uncached_run = None
+            for label in ("cold", "warm"):
+                options = self.make_options(
+                    validate_output=True, cache_dir=cache_dir
+                )
+                _, cached_bp = self._abstract(program, predicates, options)
+                cached_printed = print_bool_program(cached_bp)
+                if cached_printed != printed:
+                    return report.fail(
+                        KIND_CACHE,
+                        "%s persistent-cache boolean program differs from "
+                        "uncached:\n" % label + _first_diff(printed, cached_printed),
+                    )
+                if uncached_run is None:
+                    uncached_run = Bebop(cached_bp, main=case.entry).run()
+                # Model check through the store too: verdicts and failure
+                # sites must survive the compiled-table round trip.
+                with EngineContext(options=options) as context:
+                    cached_run = Bebop(
+                        cached_bp, main=case.entry, context=context
+                    ).run()
+                if (
+                    cached_run.error_reached != uncached_run.error_reached
+                    or _failure_sites(cached_run) != _failure_sites(uncached_run)
+                ):
+                    return report.fail(
+                        KIND_CACHE,
+                        "%s persistent-cache verdict %r (sites %r) but "
+                        "uncached %r (sites %r)"
+                        % (
+                            label,
+                            cached_run.error_reached,
+                            sorted(_failure_sites(cached_run)),
+                            uncached_run.error_reached,
+                            sorted(_failure_sites(uncached_run)),
+                        ),
+                    )
+            report.cache_checked = True
+            return None
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
 
     def _check_analysis(self, case, program, predicates, boolean_program, report):
         from repro.analysis import eliminate_dead_variables

@@ -1,0 +1,81 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+A :class:`ServeClient` holds one connection and exchanges the framed
+JSON messages of :mod:`repro.serve.protocol`.  :meth:`request` sends one
+request object; :meth:`batch` pipelines a list of requests in a single
+frame and returns the positional list of responses — the cheap way to
+push many verification queries through the daemon's warm caches.
+
+Addresses: a filesystem path is a unix socket; ``tcp:HOST:PORT`` dials
+TCP (the same syntax the CLI's ``--remote`` flag takes).
+"""
+
+import socket
+
+from repro.serve.protocol import ProtocolError, recv_message, send_message
+
+
+class ServeClient:
+    def __init__(self, sock):
+        self._sock = sock
+
+    @classmethod
+    def connect_unix(cls, path, timeout=None):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    @classmethod
+    def connect_tcp(cls, host, port, timeout=None):
+        sock = socket.create_connection((host, int(port)), timeout=timeout)
+        return cls(sock)
+
+    @classmethod
+    def from_address(cls, address, timeout=None):
+        """``tcp:HOST:PORT`` or a unix socket path."""
+        if address.startswith("tcp:"):
+            host, _, port = address[len("tcp:"):].rpartition(":")
+            return cls.connect_tcp(host or "127.0.0.1", port, timeout=timeout)
+        return cls.connect_unix(address, timeout=timeout)
+
+    def request(self, message):
+        send_message(self._sock, message)
+        response = recv_message(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection without replying")
+        return response
+
+    def batch(self, messages):
+        """Pipeline ``messages`` in one frame; responses are positional."""
+        responses = self.request(list(messages))
+        if not isinstance(responses, list) or len(responses) != len(messages):
+            raise ProtocolError("batch reply shape does not match the request")
+        return responses
+
+    # -- control-op conveniences --------------------------------------------
+
+    def ping(self):
+        return self.request({"op": "ping"})
+
+    def stats(self):
+        return self.request({"op": "stats"})
+
+    def flush(self):
+        return self.request({"op": "flush"})
+
+    def shutdown(self):
+        return self.request({"op": "shutdown"})
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.close()

@@ -1,0 +1,111 @@
+"""Wire protocol for the ``repro serve`` daemon.
+
+A connection carries a sequence of *frames*; each frame is a 4-byte
+big-endian payload length followed by that many bytes of UTF-8 JSON.
+One frame holds either a single request/response object or a JSON list
+of them (a *batch*): the server answers a batched frame with one frame
+whose list matches the requests positionally, so a client can pipeline
+many verification queries over one round trip.
+
+Requests are ``{"op": <name>, ...}``; responses always carry ``"ok"``
+(bool) and ``"op"``, plus either the op's payload or ``"error"``.  The
+framing itself is transport-neutral — the same helpers back the
+blocking client sockets and the server's asyncio streams.
+"""
+
+import json
+import struct
+
+#: Bump when request/response shapes change incompatibly.  The server
+#: states its version in every response; clients may check it.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame (64 MiB).  A frame length beyond this
+#: is a corrupt or hostile stream, not a big program.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame: bad length, truncated stream, or invalid JSON."""
+
+
+def encode_frame(message):
+    """``message`` (any JSON-serializable value) as one wire frame."""
+    payload = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame of %d bytes exceeds limit" % len(payload))
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload):
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("invalid frame payload: %s" % exc)
+
+
+def _check_length(length):
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError("announced frame of %d bytes exceeds limit" % length)
+
+
+# -- blocking sockets (client side) -----------------------------------------
+
+
+def _recv_exactly(sock, count):
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock, message):
+    sock.sendall(encode_frame(message))
+
+
+def recv_message(sock):
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = b""
+    while len(header) < _LENGTH.size:
+        chunk = sock.recv(_LENGTH.size - len(header))
+        if not chunk:
+            if header:
+                raise ProtocolError("connection closed mid-header")
+            return None
+        header += chunk
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length)
+    return decode_payload(_recv_exactly(sock, length))
+
+
+# -- asyncio streams (server side) ------------------------------------------
+
+
+async def read_message(reader):
+    """Read one frame from an asyncio reader; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header")
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_payload(payload)
+
+
+async def write_message(writer, message):
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -194,7 +194,15 @@ def _cegar_loop(program, initial_predicates, main, max_iterations, ctx):
     if not getattr(ctx.options, "bebop_legacy", False) and getattr(
         ctx.options, "bebop_reuse", True
     ):
-        reuse = BebopReuse()
+        persistent_tables = None
+        if getattr(ctx, "store", None) is not None:
+            # A --cache-dir run: compiled tables also come from / go to
+            # the content-addressed store, so unchanged procedures skip
+            # recompilation across *runs*, not just across iterations.
+            from repro.serve import BebopTableStore
+
+            persistent_tables = BebopTableStore(ctx.store)
+        reuse = BebopReuse(persistent=persistent_tables)
         ctx.stats.register("bebop_reuse", reuse.snapshot)
     # Cross-iteration statement-abstraction cache (serial path only —
     # the parallel path already amortizes via the forked prover cache).
@@ -203,7 +211,14 @@ def _cegar_loop(program, initial_predicates, main, max_iterations, ctx):
     if getattr(ctx.options, "use_analysis", True):
         analysis_stats = ensure_analysis_stats(ctx)
         if (getattr(ctx.options, "jobs", 1) or 1) <= 1:
-            abstraction_reuse = AbstractionReuse(stats=analysis_stats)
+            if getattr(ctx, "store", None) is not None:
+                from repro.serve import PersistentAbstractionReuse
+
+                abstraction_reuse = PersistentAbstractionReuse(
+                    ctx.store, ctx.options, stats=analysis_stats
+                )
+            else:
+                abstraction_reuse = AbstractionReuse(stats=analysis_stats)
     started = time.perf_counter()
     stats = []
     iteration_log = IterationLog()
