@@ -1,0 +1,46 @@
+"""Bit-precise bounded model checking (a CBMC-style second verdict engine).
+
+This package is the first verdict path that shares no abstraction code
+with the C2bp → Bebop → Newton pipeline it cross-checks: it unrolls the
+:mod:`repro.cfront` CFGs to a bounded depth, bit-blasts fixed-width
+two's-complement arithmetic onto :class:`repro.prover.sat.SatSolver`, and
+reports ``unsafe`` (with a concrete, interpreter-validated input trace),
+``safe`` (complete within the bound), ``safe-up-to-k``, or
+``unsupported``.  It also confirms/refutes Newton's feasible
+counterexample paths (:mod:`repro.bmc.confirm`) and backstops CEGAR
+divergence with a bounded verdict.
+"""
+
+from repro.bmc.bits import BitEncoder
+from repro.bmc.confirm import ConfirmOutcome, confirm_path
+from repro.bmc.driver import (
+    BmcResult,
+    BmcStats,
+    VERDICT_SAFE,
+    VERDICT_SAFE_UP_TO_K,
+    VERDICT_UNSAFE,
+    VERDICT_UNSUPPORTED,
+    Witness,
+    ensure_bmc_stats,
+    replay_witness,
+    run_bmc,
+)
+from repro.bmc.unroll import BmcUnsupported, Unroller
+
+__all__ = [
+    "BitEncoder",
+    "BmcResult",
+    "BmcStats",
+    "BmcUnsupported",
+    "ConfirmOutcome",
+    "Unroller",
+    "VERDICT_SAFE",
+    "VERDICT_SAFE_UP_TO_K",
+    "VERDICT_UNSAFE",
+    "VERDICT_UNSUPPORTED",
+    "Witness",
+    "confirm_path",
+    "ensure_bmc_stats",
+    "replay_witness",
+    "run_bmc",
+]

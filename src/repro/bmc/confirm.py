@@ -1,0 +1,333 @@
+"""Bit-precise confirmation of Newton's feasible counterexample paths.
+
+Newton declares a path *feasible* when its logical (mathematical-integer)
+path constraints are satisfiable.  This module re-encodes the same
+straight-line path bit-precisely and asks the SAT core directly:
+
+- **SAT** — decode a concrete input assignment (entry arguments plus the
+  extern/``*`` value queue) and validate it by replaying the concrete
+  interpreter in wrapping mode; the replay must end at a failing assert
+  for the witness to count as *confirmed*.
+- **UNSAT** — the path is infeasible for ``width``-bit inputs even under
+  this encoding's over-approximations, which contradicts Newton's
+  verdict at the bit level; the disagreement is flagged
+  (``bmc_refuted``) but Newton's feasibility verdict stands, since the
+  pipeline's logical semantics ranges over unbounded integers.
+
+The encoding mirrors :class:`repro.newton.pathsym.PathSimulator`'s frame
+discipline (entry frame, ``call`` pushes, ``return`` pops-and-binds) but
+is *exact* where the concrete semantics is known — locals start at zero,
+globals at their initializers — and *weaker* everywhere memory is
+involved: reads through pointers/arrays/fields produce unconstrained
+fresh values, and any write through them havocs every scalar.  Weaker
+constraints only make SAT easier, so a refutation here is genuine for
+the bounded width; and a SAT model is never trusted without the concrete
+replay succeeding.
+"""
+
+from repro.cfront import cast as C
+from repro.bmc.bits import BitEncoder
+from repro.bmc.driver import (
+    REPLAY_ASSERT_FAILED,
+    Witness,
+    replay_witness,
+)
+from repro.bmc.unroll import BmcUnsupported
+
+
+class ConfirmOutcome:
+    """Result of the bmc-confirm step for one Newton path."""
+
+    __slots__ = ("checked", "refuted", "witness", "replay")
+
+    def __init__(self):
+        self.checked = False
+        self.refuted = False
+        self.witness = None  # a validated concrete Witness, or None
+        self.replay = None  # replay status string when a model was found
+
+    @property
+    def confirmed(self):
+        return self.witness is not None
+
+
+class _PathEncoder:
+    def __init__(self, program, encoder):
+        self.program = program
+        self.enc = encoder
+        self.externs = []  # extern/'*' input records, consumption order
+        self.params = {}  # entry param name -> bits
+        self.param_shape = []
+        self.globals = {}
+        self.frames = []  # [(func_name, {name: bits})]
+        for decl in program.globals:
+            if decl.type.is_struct() or decl.type.is_array():
+                continue  # reads go through the fresh-value heap path
+            self.globals[decl.name] = encoder.const(0)
+        for decl in program.globals:
+            if decl.init is not None and decl.name in self.globals:
+                self.globals[decl.name] = self._eval(decl.init, program=True)
+
+    # -- state -------------------------------------------------------------
+
+    def push_entry_frame(self, func_name):
+        func = self.program.functions.get(func_name)
+        store = {}
+        if func is not None:
+            for param in func.params:
+                if param.type.is_struct():
+                    raise BmcUnsupported("struct entry parameter")
+                if param.type.is_pointer() or param.type.is_array():
+                    raise BmcUnsupported("pointer-valued entry parameter")
+                bits = self.enc.fresh()
+                store[param.name] = bits
+                self.params[param.name] = bits
+                self.param_shape.append((param.name, "int"))
+            for decl in func.locals:
+                if not (decl.type.is_struct() or decl.type.is_array()):
+                    store[decl.name] = self.enc.const(0)
+        self.frames.append((func_name, store))
+
+    def push_call_frame(self, func_name, bindings):
+        func = self.program.functions.get(func_name)
+        store = dict(bindings)
+        if func is not None:
+            for decl in func.locals:
+                if decl.name in store:
+                    continue
+                if not (decl.type.is_struct() or decl.type.is_array()):
+                    store[decl.name] = self.enc.const(0)
+        self.frames.append((func_name, store))
+
+    def _scalar_slot(self, func_name, name):
+        """Which store holds ``name`` in the current frame discipline;
+        mirrors PathSimulator._lookup_var's scoping."""
+        if self.frames:
+            frame_func, store = self.frames[-1]
+            func = self.program.functions.get(frame_func)
+            if func is not None and func.lookup_var(name) is not None:
+                return store
+        return self.globals
+
+    def read_var(self, func_name, name):
+        store = self._scalar_slot(func_name, name)
+        value = store.get(name)
+        if value is None:
+            # Out-of-model location (array/struct variable, stale name):
+            # unconstrained, which only weakens the path.
+            value = self.enc.fresh()
+            store[name] = value
+        return value
+
+    def write_var(self, func_name, name, value):
+        self._scalar_slot(func_name, name)[name] = value
+
+    def havoc_scalars(self):
+        """Forget every scalar (a write through memory may alias any of
+        them); fresh values keep refutations sound."""
+        for store in [self.globals] + [store for _, store in self.frames]:
+            for name in store:
+                store[name] = self.enc.fresh()
+
+    def record_extern(self, bits):
+        self.externs.append(bits)
+
+    # -- expressions -------------------------------------------------------
+
+    def truthy(self, bits):
+        return self.enc.nonzero(bits)
+
+    def _eval(self, expr, func_name=None, program=False):
+        enc = self.enc
+        if isinstance(expr, C.IntLit):
+            return enc.const(expr.value)
+        if isinstance(expr, C.Unknown):
+            bits = enc.fresh()
+            self.record_extern(bits)
+            return bits
+        if isinstance(expr, C.Id):
+            if program:
+                return enc.const(0) if expr.name not in self.globals else (
+                    self.globals[expr.name]
+                )
+            return self.read_var(func_name, expr.name)
+        if isinstance(expr, (C.Deref, C.Index, C.FieldAccess, C.AddrOf)):
+            return enc.fresh()  # memory: unconstrained (weaker only)
+        if isinstance(expr, C.Cast):
+            return self._eval(expr.operand, func_name, program)
+        if isinstance(expr, C.Cond):
+            cond = self.truthy(self._eval(expr.cond, func_name, program))
+            then_value = self._eval(expr.then_expr, func_name, program)
+            else_value = self._eval(expr.else_expr, func_name, program)
+            return enc.ite(cond, then_value, else_value)
+        if isinstance(expr, C.UnOp):
+            operand = self._eval(expr.operand, func_name, program)
+            if expr.op == "!":
+                return enc.from_bool(enc.is_zero(operand))
+            if expr.op == "-":
+                return enc.neg(operand)
+            if expr.op == "+":
+                return operand
+            if expr.op == "~":
+                return enc.not_(operand)
+            raise AssertionError(expr.op)
+        if isinstance(expr, C.BinOp):
+            return self._eval_binop(expr, func_name, program)
+        raise BmcUnsupported(
+            "unsupported path expression %s" % type(expr).__name__
+        )
+
+    def _eval_binop(self, expr, func_name, program):
+        enc = self.enc
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self.truthy(self._eval(expr.left, func_name, program))
+            right = self.truthy(self._eval(expr.right, func_name, program))
+            # No reach refinement here: a straight-line path encoder has no
+            # branching store, and an extra recorded extern value at worst
+            # pads the replay queue.
+            if op == "&&":
+                return enc.from_bool(enc.lit_and(left, right))
+            return enc.from_bool(enc.lit_or(left, right))
+        left = self._eval(expr.left, func_name, program)
+        right = self._eval(expr.right, func_name, program)
+        if op == "==":
+            return enc.from_bool(enc.eq(left, right))
+        if op == "!=":
+            return enc.from_bool(enc.ne(left, right))
+        if op == "<":
+            return enc.from_bool(enc.slt(left, right))
+        if op == "<=":
+            return enc.from_bool(enc.sle(left, right))
+        if op == ">":
+            return enc.from_bool(enc.slt(right, left))
+        if op == ">=":
+            return enc.from_bool(enc.sle(right, left))
+        if op == "+":
+            return enc.add(left, right)
+        if op == "-":
+            return enc.sub(left, right)
+        if op == "*":
+            return enc.mul(left, right)
+        if op == "/":
+            return enc.divmod_c(left, right)[0]
+        if op == "%":
+            return enc.divmod_c(left, right)[1]
+        if op == "&":
+            return enc.and_(left, right)
+        if op == "|":
+            return enc.or_(left, right)
+        if op == "^":
+            return enc.xor(left, right)
+        if op == "<<":
+            return enc.shl(left, right)
+        if op == ">>":
+            return enc.ashr(left, right)
+        raise BmcUnsupported("unsupported path operator %r" % op)
+
+
+def confirm_path(program, steps, width=16, max_steps=200_000):
+    """Re-check one Newton-feasible path bit-precisely; returns a
+    :class:`ConfirmOutcome`.  Raises :class:`BmcUnsupported` when the path
+    leaves the encodable fragment."""
+    outcome = ConfirmOutcome()
+    if not steps:
+        return outcome
+    encoder = BitEncoder(width=width)
+    state = _PathEncoder(program, encoder)
+    entry = steps[0].func_name
+    state.push_entry_frame(entry)
+    last = len(steps) - 1
+    for index, step in enumerate(steps):
+        _encode_step(state, step, is_last=index == last)
+    result = encoder.solver.solve()
+    outcome.checked = True
+    if not result.sat:
+        outcome.refuted = True
+        return outcome
+    witness = Witness(
+        {
+            name: encoder.decode(bits, result.model)
+            for name, bits in state.params.items()
+        },
+        [encoder.decode(bits, result.model) for bits in state.externs],
+        {},
+        list(state.param_shape),
+    )
+    outcome.replay = replay_witness(
+        program, entry, witness, width, max_steps=max_steps
+    )
+    if outcome.replay == REPLAY_ASSERT_FAILED:
+        outcome.witness = witness
+    return outcome
+
+
+def _encode_step(state, step, is_last):
+    enc = state.enc
+    stmt = step.stmt
+    func_name = step.func_name
+    if step.kind == "branch":
+        cond = state.truthy(state._eval(stmt.cond, func_name))
+        enc.assert_lit(cond if step.outcome else enc.lit_not(cond))
+        return
+    if step.kind == "return":
+        callee_name, store = state.frames.pop()
+        callee = state.program.functions.get(callee_name)
+        if (
+            isinstance(stmt, C.CallStmt)
+            and stmt.lhs is not None
+            and callee is not None
+            and callee.return_var is not None
+        ):
+            value = store.get(callee.return_var, enc.const(0))
+            _assign(state, stmt.lhs, value, func_name)
+        return
+    if isinstance(stmt, (C.Skip, C.Goto, C.If, C.While, C.Return)):
+        return
+    if isinstance(stmt, (C.Assume, C.Assert)):
+        cond = state.truthy(state._eval(stmt.cond, func_name))
+        if isinstance(stmt, C.Assert) and is_last:
+            # The counterexample claims this assert fails.
+            enc.assert_lit(enc.lit_not(cond))
+        else:
+            enc.assert_lit(cond)
+        return
+    if isinstance(stmt, C.Assign):
+        value = state._eval(stmt.rhs, func_name)
+        _assign(state, stmt.lhs, value, func_name)
+        return
+    if isinstance(stmt, C.CallStmt):
+        callee = state.program.functions.get(stmt.name)
+        if callee is not None and callee.is_defined:
+            if step.kind == "call":
+                bindings = {}
+                for param, arg in zip(callee.params, stmt.args):
+                    bindings[param.name] = state._eval(arg, func_name)
+                state.push_call_frame(stmt.name, bindings)
+            return
+        # Extern call: the result is a free environment input; pointer
+        # arguments may let the callee write anything.
+        bits = enc.fresh()
+        state.record_extern(bits)
+        if stmt.lhs is not None:
+            _assign(state, stmt.lhs, bits, func_name)
+        for arg in stmt.args:
+            arg_type = getattr(arg, "type", None)
+            if arg_type is not None and arg_type.is_pointer():
+                state.havoc_scalars()
+                break
+        return
+    raise BmcUnsupported(
+        "cannot encode path statement %s" % type(stmt).__name__
+    )
+
+
+def _assign(state, lhs, value, func_name):
+    if isinstance(lhs, C.Id):
+        state.write_var(func_name, lhs.name, value)
+        return
+    if isinstance(lhs, C.Cast):
+        _assign(state, lhs.operand, value, func_name)
+        return
+    # A store through memory may alias any scalar.
+    state.havoc_scalars()

@@ -1,0 +1,662 @@
+"""CFG unrolling into an SSA-form bit-level transition formula.
+
+The unroller symbolically executes the :mod:`repro.cfront` control-flow
+graphs to a bounded depth, producing one acyclic circuit over
+:class:`repro.bmc.bits.BitEncoder`:
+
+- **Layered unrolling.**  Each function instance's CFG nodes are ordered
+  by reverse postorder; edges that go forward in that order stay in the
+  current layer, edges that go backward (loop back edges, backward gotos)
+  cross into the next layer.  ``depth`` layers bound the total number of
+  back-edge traversals per function instance; a back edge out of the last
+  layer is *cut* and its guard recorded as an unwinding condition — if any
+  cut guard is satisfiable, the bound was exhausted and a ``safe`` answer
+  weakens to ``safe-up-to-k``.  This handles arbitrary gotos (including
+  irreducible flow) without structural loop recovery.
+- **Phi merging.**  Every unrolled node carries a reachability literal
+  (the OR of its incoming edge guards) and a scalar store snapshot; at
+  join points the per-predecessor values are merged by
+  :func:`_merge_values` (guarded ite chains — the guards are mutually
+  exclusive because the unrolled graph is a DAG of simple paths).
+- **Calls.**  Defined callees are inlined at the call site with a fresh
+  activation; recursion is bounded by ``depth`` occurrences of the callee
+  on the inline stack (deeper re-entries are cut like back edges).
+  Undefined (extern) calls and ``*`` expressions become free inputs.
+- **Memory.**  The logical model of the paper, made bit-precise: scalars
+  live in a per-path store; pointers are bit vectors holding small
+  address ids (0 is NULL) over the address-taken scalars, with stores
+  through pointers lowered to per-location ites; arrays are guarded
+  write histories over an unbounded index domain (matching the concrete
+  interpreter's lazily-created element cells), with entry array
+  parameters as free input arrays under read-consistency constraints.
+  Structs and heap allocation are outside the supported fragment and
+  raise :class:`BmcUnsupported`.
+
+Free inputs (entry parameters, ``*`` reads, extern-call results, input
+array cells) are recorded in encode order, which — because the layered
+DAG is processed topologically and callees are encoded at their call
+sites — coincides with execution order along every path.  A SAT model
+therefore yields a concrete input trace by decoding the records whose
+reachability literal the model sets.
+"""
+
+from repro.cfront import cast as C
+from repro.cfront.cfg import BRANCH, ENTRY, EXIT, build_program_cfgs
+
+
+class BmcUnsupported(Exception):
+    """The program uses a construct outside the bit-precise fragment
+    (structs, heap allocation, pointer-valued entry parameters, ...)."""
+
+
+class InputRecord:
+    """One free input of the unrolled formula, in encode (= execution)
+    order.  ``kind`` is ``param`` / ``unknown`` / ``extern`` / ``array``;
+    array records also carry the index vector of the base read."""
+
+    __slots__ = ("kind", "label", "bits", "reach", "index_bits")
+
+    def __init__(self, kind, label, bits, reach, index_bits=None):
+        self.kind = kind
+        self.label = label
+        self.bits = bits
+        self.reach = reach
+        self.index_bits = index_bits
+
+
+class ErrorSite:
+    """A possibly-failing assert: the literal is true exactly on the
+    executions that reach the assert with a false condition."""
+
+    __slots__ = ("lit", "func_name", "stmt")
+
+    def __init__(self, lit, func_name, stmt):
+        self.lit = lit
+        self.func_name = func_name
+        self.stmt = stmt
+
+
+class ArrayState:
+    """One array object: a guarded write history over a base content
+    function (all-zero for declared arrays, free inputs with
+    read-consistency for entry array parameters)."""
+
+    __slots__ = ("name", "kind", "writes", "base_reads")
+
+    def __init__(self, name, kind):
+        self.name = name
+        self.kind = kind  # "zero" | "input"
+        self.writes = []  # (guard_lit, index_bits, value_bits), oldest first
+        self.base_reads = []  # (index_bits, value_bits) for "input" arrays
+
+
+def _merge_values(encoder, entries):
+    """Phi-merge per-predecessor values under mutually exclusive guards.
+
+    ``entries`` is a non-empty list of ``(guard_lit, bit_vector)`` pairs;
+    exactly one guard is true in any execution that reaches the join, so
+    a guarded ite chain reconstructs the incoming value.  (This function
+    is the injection point of the encoder-fault meta-test.)
+    """
+    _, value = entries[0]
+    for guard, other in entries[1:]:
+        value = encoder.ite(guard, other, value)
+    return value
+
+
+def _merge_stores(encoder, entries):
+    """Merge scalar store snapshots at a join node.  Keys missing from
+    some snapshots belong to finished callee activations (dead); they are
+    merged over the snapshots that have them."""
+    keys = set()
+    for _, store in entries:
+        keys.update(store)
+    merged = {}
+    for key in keys:
+        present = [(g, s[key]) for g, s in entries if key in s]
+        first = present[0][1]
+        if all(value == first for _, value in present[1:]):
+            merged[key] = first
+        else:
+            merged[key] = _merge_values(encoder, present)
+    return merged
+
+
+class UnrollResult:
+    """The unrolled formula's observable surface."""
+
+    __slots__ = ("errors", "incomplete", "inputs", "entry_params")
+
+    def __init__(self, errors, incomplete, inputs, entry_params):
+        self.errors = errors  # [ErrorSite]
+        self.incomplete = incomplete  # [lit]: true -> bound exhausted
+        self.inputs = inputs  # [InputRecord]
+        self.entry_params = entry_params  # [(name, "int" | "array")]
+
+
+class Unroller:
+    """Symbolically executes one program into ``encoder``'s circuit."""
+
+    def __init__(self, program, encoder, depth):
+        self.program = program
+        self.enc = encoder
+        self.depth = max(int(depth), 1)
+        self.cfgs = build_program_cfgs(program)
+        self.errors = []
+        self.incomplete = []
+        self.inputs = []
+        self.entry_params = []
+        self._store = {}  # loc key -> bit vector (scalars and pointers)
+        self.arrays = {}  # loc key -> ArrayState
+        self._addr_ids = {}  # loc key -> small nonzero address id
+        self._addressed = []  # [(loc, id)] in creation order
+        self._next_act = 0
+        self._rpo_cache = {}
+
+    # -- setup --------------------------------------------------------------
+
+    def run(self, entry):
+        func = self.program.functions.get(entry)
+        if func is None or not func.is_defined:
+            raise BmcUnsupported("entry function %r is not defined" % entry)
+        self._init_globals()
+        exit_reach, _ = self._call(func, None, True, ())
+        if exit_reach is False and not self.errors and not self.incomplete:
+            # Every execution was cut silently — cannot happen with the
+            # cut bookkeeping above, but guard the invariant.
+            raise AssertionError("unrolling lost all executions")
+        return UnrollResult(
+            self.errors, self.incomplete, self.inputs, self.entry_params
+        )
+
+    def _init_globals(self):
+        enc = self.enc
+        for decl in self.program.globals:
+            loc = ("g", decl.name)
+            if decl.type.is_struct():
+                raise BmcUnsupported("struct global %r" % decl.name)
+            if decl.type.is_array():
+                if decl.init is not None:
+                    raise BmcUnsupported(
+                        "initialized array global %r" % decl.name
+                    )
+                self.arrays[loc] = ArrayState(decl.name, "zero")
+            else:
+                self._store[loc] = enc.const(0)
+        env = {}
+        for decl in self.program.globals:
+            if decl.init is not None:
+                self._store[("g", decl.name)] = self._eval(
+                    decl.init, env, None, True
+                )
+
+    # -- activations --------------------------------------------------------
+
+    def _call(self, func, args, reach_in, call_stack):
+        """Inline one activation of ``func``; returns (exit_reach, retval)."""
+        enc = self.enc
+        act = self._next_act
+        self._next_act += 1
+        env = {}
+        is_entry = not call_stack
+        if args is None:
+            args = []
+            for param in func.params:
+                if param.type.is_struct():
+                    raise BmcUnsupported("struct entry parameter %r" % param.name)
+                if param.type.is_array() or param.type.is_pointer():
+                    # Array parameters decay to pointers; model any
+                    # pointer-typed entry parameter as a free input array
+                    # (scalar dereferences of it then fall outside the
+                    # fragment and raise BmcUnsupported).
+                    args.append(ArrayState(param.name, "input"))
+                    if is_entry:
+                        self.entry_params.append((param.name, "array"))
+                else:
+                    bits = enc.fresh()
+                    self.inputs.append(
+                        InputRecord("param", param.name, bits, reach_in)
+                    )
+                    args.append(bits)
+                    if is_entry:
+                        self.entry_params.append((param.name, "int"))
+        for param, value in zip(func.params, args):
+            loc = ("l", act, param.name)
+            env[param.name] = loc
+            if isinstance(value, ArrayState):
+                self.arrays[loc] = value
+            else:
+                self._store[loc] = value
+        for decl in func.locals:
+            loc = ("l", act, decl.name)
+            env[decl.name] = loc
+            if decl.type.is_struct():
+                raise BmcUnsupported(
+                    "struct local %r in %s" % (decl.name, func.name)
+                )
+            if decl.type.is_array():
+                self.arrays[loc] = ArrayState(decl.name, "zero")
+            else:
+                self._store[loc] = enc.const(0)
+        ret_loc = ("ret", act)
+        self._store[ret_loc] = enc.const(0)
+        self._register_addresses(func, env)
+        return self._run_cfg(func, env, act, reach_in, call_stack)
+
+    def _register_addresses(self, func, env):
+        """Assign address ids for every ``&x`` the function can evaluate,
+        before any store through a pointer is encoded (a store only needs
+        the ids that can already have flowed into its pointer)."""
+        for expr in self._function_exprs(func):
+            for node in _walk(expr):
+                if isinstance(node, C.AddrOf) and isinstance(node.operand, C.Id):
+                    name = node.operand.name
+                    loc = env.get(name, ("g", name))
+                    if loc in self.arrays:
+                        raise BmcUnsupported("address of array %r" % name)
+                    if loc not in self._store:
+                        continue  # unresolved name; surfaces on evaluation
+                    self._addr_id(loc)
+                elif isinstance(node, C.AddrOf):
+                    raise BmcUnsupported(
+                        "address of non-variable in %s" % func.name
+                    )
+
+    def _function_exprs(self, func):
+        cfg = self.cfgs[func.name]
+        for node in cfg.nodes:
+            if node.cond is not None:
+                yield node.cond
+            stmt = node.stmt
+            if isinstance(stmt, C.Assign):
+                yield stmt.lhs
+                yield stmt.rhs
+            elif isinstance(stmt, C.CallStmt):
+                if stmt.lhs is not None:
+                    yield stmt.lhs
+                for arg in stmt.args:
+                    yield arg
+            elif isinstance(stmt, (C.Assert, C.Assume)):
+                yield stmt.cond
+            elif isinstance(stmt, C.Return) and stmt.value is not None:
+                yield stmt.value
+
+    def _addr_id(self, loc):
+        addr = self._addr_ids.get(loc)
+        if addr is None:
+            addr = len(self._addr_ids) + 1  # 0 stays NULL
+            self._addr_ids[loc] = addr
+            self._addressed.append((loc, addr))
+        return addr
+
+    # -- the layered walk ---------------------------------------------------
+
+    def _rpo(self, name):
+        order = self._rpo_cache.get(name)
+        if order is None:
+            cfg = self.cfgs[name]
+            post = []
+            seen = set()
+            stack = [(cfg.entry, iter(cfg.entry.edges))]
+            seen.add(cfg.entry.uid)
+            while stack:
+                node, edges = stack[-1]
+                advanced = False
+                for edge in edges:
+                    target = edge.target
+                    if target.uid not in seen:
+                        seen.add(target.uid)
+                        stack.append((target, iter(target.edges)))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(node)
+                    stack.pop()
+            order = list(reversed(post))
+            self._rpo_cache[name] = order
+        return order
+
+    def _run_cfg(self, func, env, act, reach_in, call_stack):
+        enc = self.enc
+        order = self._rpo(func.name)
+        pos = {node.uid: index for index, node in enumerate(order)}
+        layers = self.depth + 1
+        incoming = {}
+        entry_uid = self.cfgs[func.name].entry.uid
+        incoming[(0, entry_uid)] = [(reach_in, dict(self._store))]
+        exit_states = []
+        saved_store = self._store
+        for layer in range(layers):
+            for node in order:
+                entries = incoming.pop((layer, node.uid), None)
+                if not entries:
+                    continue
+                if len(entries) == 1:
+                    reach, store = entries[0]
+                else:
+                    reach = enc.or_many(guard for guard, _ in entries)
+                    store = _merge_stores(enc, entries)
+                if reach is False:
+                    continue
+                self._store = store
+                if node.kind == EXIT:
+                    exit_states.append((reach, store))
+                    continue
+                out_guards = self._exec_node(
+                    node, env, act, reach, call_stack, func.name
+                )
+                for edge, guard in out_guards:
+                    if guard is False:
+                        continue
+                    target = edge.target
+                    if pos[target.uid] > pos[node.uid]:
+                        target_layer = layer
+                    else:
+                        target_layer = layer + 1
+                    if target_layer >= layers:
+                        self.incomplete.append(guard)
+                        continue
+                    incoming.setdefault((target_layer, target.uid), []).append(
+                        (guard, dict(self._store))
+                    )
+        if not exit_states:
+            self._store = saved_store
+            return False, enc.const(0)
+        if len(exit_states) == 1:
+            exit_reach, store = exit_states[0]
+        else:
+            exit_reach = enc.or_many(guard for guard, _ in exit_states)
+            store = _merge_stores(enc, exit_states)
+        self._store = store
+        return exit_reach, store.get(("ret", act), enc.const(0))
+
+    def _exec_node(self, node, env, act, reach, call_stack, func_name):
+        """Execute one unrolled node; returns [(edge, guard)] pairs."""
+        enc = self.enc
+        if node.kind == ENTRY:
+            return [(edge, reach) for edge in node.edges]
+        if node.kind == BRANCH:
+            cond = self._truthy(self._eval(node.cond, env, act, reach))
+            guards = []
+            for edge in node.edges:
+                if edge.assume is True:
+                    guards.append((edge, enc.lit_and(reach, cond)))
+                elif edge.assume is False:
+                    guards.append((edge, enc.lit_and(reach, enc.lit_not(cond))))
+                else:
+                    guards.append((edge, reach))
+            return guards
+        stmt = node.stmt
+        out_reach = reach
+        if isinstance(stmt, (C.Skip, C.Goto)):
+            pass
+        elif isinstance(stmt, C.Assign):
+            value = self._eval(stmt.rhs, env, act, reach)
+            self._assign(stmt.lhs, value, env, act, reach)
+        elif isinstance(stmt, C.Return):
+            if stmt.value is not None:
+                self._store[("ret", act)] = self._eval(
+                    stmt.value, env, act, reach
+                )
+        elif isinstance(stmt, C.Assert):
+            cond = self._truthy(self._eval(stmt.cond, env, act, reach))
+            failing = enc.lit_and(reach, enc.lit_not(cond))
+            if failing is not False:
+                self.errors.append(ErrorSite(failing, func_name, stmt))
+            # Execution stops at a failing assert: downstream reach (and
+            # therefore downstream input records) require the condition.
+            out_reach = enc.lit_and(reach, cond)
+        elif isinstance(stmt, C.Assume):
+            cond = self._truthy(self._eval(stmt.cond, env, act, reach))
+            out_reach = enc.lit_and(reach, cond)
+        elif isinstance(stmt, C.CallStmt):
+            out_reach = self._exec_call(stmt, env, act, reach, call_stack)
+        else:
+            raise BmcUnsupported(
+                "unsupported statement %s" % type(stmt).__name__
+            )
+        return [(edge, out_reach) for edge in node.edges]
+
+    def _exec_call(self, stmt, env, act, reach, call_stack):
+        enc = self.enc
+        callee = self.program.functions.get(stmt.name)
+        if callee is None or not callee.is_defined:
+            result = enc.fresh()
+            self.inputs.append(InputRecord("extern", stmt.name, result, reach))
+            if stmt.lhs is not None:
+                self._assign(stmt.lhs, result, env, act, reach)
+            return reach
+        if call_stack.count(stmt.name) >= self.depth:
+            # Recursion deeper than the bound: cut, like a back edge.
+            self.incomplete.append(reach)
+            return False
+        args = []
+        for arg in stmt.args:
+            args.append(self._eval(arg, env, act, reach, allow_array=True))
+        exit_reach, retval = self._call(
+            callee, args, reach, call_stack + (stmt.name,)
+        )
+        if stmt.lhs is not None:
+            self._assign(stmt.lhs, retval, env, act, exit_reach)
+        return exit_reach
+
+    # -- lvalues ------------------------------------------------------------
+
+    def _assign(self, lhs, value, env, act, reach):
+        enc = self.enc
+        if isinstance(value, ArrayState):
+            raise BmcUnsupported("array-valued assignment")
+        if isinstance(lhs, C.Id):
+            loc = env.get(lhs.name, ("g", lhs.name))
+            if loc in self.arrays:
+                raise BmcUnsupported("assignment to array %r" % lhs.name)
+            if loc not in self._store:
+                raise BmcUnsupported("unbound variable %r" % lhs.name)
+            self._store[loc] = value
+            return
+        if isinstance(lhs, C.Deref):
+            pointer = self._eval(lhs.pointer, env, act, reach)
+            for loc, addr in self._addressed:
+                current = self._store.get(loc)
+                if current is None:
+                    continue
+                selected = enc.eq(pointer, enc.const(addr))
+                self._store[loc] = enc.ite(selected, value, current)
+            return
+        if isinstance(lhs, C.Index):
+            array = self._array_of(lhs.base, env)
+            index = self._eval(lhs.index, env, act, reach)
+            if reach is not False:
+                array.writes.append((reach, index, value))
+            return
+        if isinstance(lhs, C.Cast):
+            self._assign(lhs.operand, value, env, act, reach)
+            return
+        raise BmcUnsupported("unsupported lvalue %s" % type(lhs).__name__)
+
+    def _array_of(self, base, env):
+        if isinstance(base, C.Cast):
+            return self._array_of(base.operand, env)
+        if isinstance(base, C.Id):
+            loc = env.get(base.name, ("g", base.name))
+            array = self.arrays.get(loc)
+            if array is not None:
+                return array
+        raise BmcUnsupported("indexing a non-array expression")
+
+    def _array_read(self, array, index, reach):
+        enc = self.enc
+        if array.kind == "zero":
+            value = enc.const(0)
+        else:
+            value = enc.fresh()
+            for prior_index, prior_value in array.base_reads:
+                # Read consistency: equal indices see equal base content.
+                same = enc.eq(index, prior_index)
+                enc.assert_lit(
+                    enc.lit_or(enc.lit_not(same), enc.eq(value, prior_value))
+                )
+            array.base_reads.append((index, value))
+            self.inputs.append(
+                InputRecord("array", array.name, value, reach, index_bits=index)
+            )
+        for guard, written_index, written_value in array.writes:
+            hit = enc.lit_and(guard, enc.eq(index, written_index))
+            value = enc.ite(hit, written_value, value)
+        return value
+
+    # -- expressions --------------------------------------------------------
+
+    def _truthy(self, value):
+        if isinstance(value, ArrayState):
+            return True  # arrays decay to non-null pointers
+        return self.enc.nonzero(value)
+
+    def _eval(self, expr, env, act, reach, allow_array=False):
+        enc = self.enc
+        if isinstance(expr, C.IntLit):
+            return enc.const(expr.value)
+        if isinstance(expr, C.Unknown):
+            bits = enc.fresh()
+            self.inputs.append(InputRecord("unknown", "*", bits, reach))
+            return bits
+        if isinstance(expr, C.Id):
+            loc = env.get(expr.name, ("g", expr.name))
+            array = self.arrays.get(loc)
+            if array is not None:
+                if allow_array:
+                    return array
+                raise BmcUnsupported(
+                    "array %r used as a scalar" % expr.name
+                )
+            value = self._store.get(loc)
+            if value is None:
+                raise BmcUnsupported("unbound variable %r" % expr.name)
+            return value
+        if isinstance(expr, C.AddrOf):
+            if isinstance(expr.operand, C.Id):
+                loc = env.get(expr.operand.name, ("g", expr.operand.name))
+                if loc in self._store:
+                    return enc.const(self._addr_id(loc))
+            raise BmcUnsupported("unsupported address-of")
+        if isinstance(expr, C.Deref):
+            pointer = self._eval(expr.pointer, env, act, reach)
+            value = enc.const(0)
+            for loc, addr in self._addressed:
+                current = self._store.get(loc)
+                if current is None:
+                    continue
+                value = enc.ite(enc.eq(pointer, enc.const(addr)), current, value)
+            return value
+        if isinstance(expr, C.Index):
+            array = self._array_of(expr.base, env)
+            index = self._eval(expr.index, env, act, reach)
+            return self._array_read(array, index, reach)
+        if isinstance(expr, C.Cast):
+            return self._eval(expr.operand, env, act, reach, allow_array)
+        if isinstance(expr, C.FieldAccess):
+            raise BmcUnsupported("struct field access")
+        if isinstance(expr, C.Call):
+            raise BmcUnsupported("call in expression position")
+        if isinstance(expr, C.Cond):
+            cond = self._truthy(self._eval(expr.cond, env, act, reach))
+            then_value = self._eval(
+                expr.then_expr, env, act, enc.lit_and(reach, cond)
+            )
+            else_value = self._eval(
+                expr.else_expr, env, act, enc.lit_and(reach, enc.lit_not(cond))
+            )
+            return enc.ite(cond, then_value, else_value)
+        if isinstance(expr, C.UnOp):
+            if expr.op == "!":
+                operand = self._eval(expr.operand, env, act, reach)
+                return enc.from_bool(enc.is_zero(operand))
+            operand = self._eval(expr.operand, env, act, reach)
+            if expr.op == "-":
+                return enc.neg(operand)
+            if expr.op == "+":
+                return operand
+            if expr.op == "~":
+                return enc.not_(operand)
+            raise AssertionError(expr.op)
+        if isinstance(expr, C.BinOp):
+            return self._eval_binop(expr, env, act, reach)
+        raise BmcUnsupported("unsupported expression %s" % type(expr).__name__)
+
+    def _eval_binop(self, expr, env, act, reach):
+        enc = self.enc
+        op = expr.op
+        if op == "&&":
+            left = self._truthy(self._eval(expr.left, env, act, reach))
+            # Short-circuit for input accounting: the right operand is
+            # only *read* (consumes an oracle value) when the left holds.
+            right = self._truthy(
+                self._eval(expr.right, env, act, enc.lit_and(reach, left))
+            )
+            return enc.from_bool(enc.lit_and(left, right))
+        if op == "||":
+            left = self._truthy(self._eval(expr.left, env, act, reach))
+            right = self._truthy(
+                self._eval(
+                    expr.right, env, act, enc.lit_and(reach, enc.lit_not(left))
+                )
+            )
+            return enc.from_bool(enc.lit_or(left, right))
+        left = self._eval(expr.left, env, act, reach)
+        right = self._eval(expr.right, env, act, reach)
+        if op == "==":
+            return enc.from_bool(enc.eq(left, right))
+        if op == "!=":
+            return enc.from_bool(enc.ne(left, right))
+        if op == "<":
+            return enc.from_bool(enc.slt(left, right))
+        if op == "<=":
+            return enc.from_bool(enc.sle(left, right))
+        if op == ">":
+            return enc.from_bool(enc.slt(right, left))
+        if op == ">=":
+            return enc.from_bool(enc.sle(right, left))
+        if op in ("+", "-") and self._pointer_side(expr) is not None:
+            # Logical memory model: pointer arithmetic stays on the object.
+            return left if self._pointer_side(expr) == "left" else right
+        if op == "+":
+            return enc.add(left, right)
+        if op == "-":
+            return enc.sub(left, right)
+        if op == "*":
+            return enc.mul(left, right)
+        if op == "/":
+            return enc.divmod_c(left, right)[0]
+        if op == "%":
+            return enc.divmod_c(left, right)[1]
+        if op == "&":
+            return enc.and_(left, right)
+        if op == "|":
+            return enc.or_(left, right)
+        if op == "^":
+            return enc.xor(left, right)
+        if op == "<<":
+            return enc.shl(left, right)
+        if op == ">>":
+            return enc.ashr(left, right)
+        raise BmcUnsupported("unsupported operator %r" % op)
+
+    @staticmethod
+    def _pointer_side(expr):
+        left_type = getattr(expr.left, "type", None)
+        right_type = getattr(expr.right, "type", None)
+        if left_type is not None and (
+            left_type.is_pointer() or left_type.is_array()
+        ):
+            return "left"
+        if right_type is not None and (
+            right_type.is_pointer() or right_type.is_array()
+        ):
+            return "right"
+        return None
+
+
+def _walk(expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)

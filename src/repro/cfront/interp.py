@@ -114,10 +114,22 @@ def truthy(value):
 class Interpreter:
     """Executes one call into a lowered program."""
 
-    def __init__(self, program, extern_oracle=None, max_steps=100_000, observer=None):
+    def __init__(
+        self,
+        program,
+        extern_oracle=None,
+        max_steps=100_000,
+        observer=None,
+        wrap_width=None,
+    ):
         self.program = program
         self.cfgs = build_program_cfgs(program)
         self.max_steps = max_steps
+        # When set, integers behave as ``wrap_width``-bit two's-complement
+        # values (every arithmetic result, literal, oracle value, and call
+        # argument wraps) — the semantics the bounded model checker encodes.
+        # The default ``None`` keeps the paper's mathematical integers.
+        self.wrap_width = wrap_width
         # extern_oracle(name, args) supplies results for undefined functions
         # and for Unknown expressions (called with name "*").
         self.extern_oracle = extern_oracle or (lambda name, args: 0)
@@ -135,6 +147,17 @@ class Interpreter:
                 self.globals[decl.name].value = self.eval_expr(decl.init, {})
 
     # -- storage ------------------------------------------------------------
+
+    def _wrap(self, value):
+        """Truncate an integer to ``wrap_width`` bits (two's complement);
+        the identity on pointers/objects and in unbounded mode."""
+        if self.wrap_width is None or not isinstance(value, int):
+            return value
+        width = self.wrap_width
+        value &= (1 << width) - 1
+        if value >= 1 << (width - 1):
+            value -= 1 << width
+        return value
 
     def _fresh_cell(self, ctype, name):
         if ctype.is_struct():
@@ -215,9 +238,9 @@ class Interpreter:
 
     def eval_expr(self, expr, env):
         if isinstance(expr, C.IntLit):
-            return expr.value
+            return self._wrap(expr.value)
         if isinstance(expr, C.Unknown):
-            return self.extern_oracle("*", [])
+            return self._wrap(self.extern_oracle("*", []))
         if isinstance(expr, C.Id):
             cell = self.lvalue_cell(expr, env)
             # Arrays decay to a pointer to the array object.
@@ -240,11 +263,11 @@ class Interpreter:
             if not isinstance(value, int):
                 raise InterpError("arithmetic on a pointer at %s" % (expr.pos,))
             if expr.op == "-":
-                return -value
+                return self._wrap(-value)
             if expr.op == "+":
                 return value
             if expr.op == "~":
-                return ~value
+                return self._wrap(~value)
             raise AssertionError(expr.op)
         if isinstance(expr, C.BinOp):
             return self._eval_binop(expr, env)
@@ -280,20 +303,20 @@ class Interpreter:
         if isinstance(left, Cell) or isinstance(right, Cell):
             raise InterpError("unsupported pointer operation %r at %s" % (op, expr.pos))
         if op == "+":
-            return left + right
+            return self._wrap(left + right)
         if op == "-":
-            return left - right
+            return self._wrap(left - right)
         if op == "*":
-            return left * right
+            return self._wrap(left * right)
         if op == "/":
             if right == 0:
                 raise InterpError("division by zero at %s" % (expr.pos,))
             q = abs(left) // abs(right)
-            return q if (left >= 0) == (right >= 0) else -q
+            return self._wrap(q if (left >= 0) == (right >= 0) else -q)
         if op == "%":
             if right == 0:
                 raise InterpError("modulo by zero at %s" % (expr.pos,))
-            return left - self._c_div(left, right) * right
+            return self._wrap(left - self._c_div(left, right) * right)
         if op == "<":
             return 1 if left < right else 0
         if op == "<=":
@@ -302,10 +325,8 @@ class Interpreter:
             return 1 if left > right else 0
         if op == ">=":
             return 1 if left >= right else 0
-        if op == "<<":
-            return left << right
-        if op == ">>":
-            return left >> right
+        if op in ("<<", ">>"):
+            return self._shift(op, left, right, expr.pos)
         if op == "&":
             return left & right
         if op == "|":
@@ -313,6 +334,21 @@ class Interpreter:
         if op == "^":
             return left ^ right
         raise AssertionError(op)
+
+    def _shift(self, op, left, right, pos):
+        if self.wrap_width is not None:
+            # The shift amount is read as an unsigned wrap_width-bit value
+            # (the bit-blasted semantics): amounts at or beyond the width
+            # shift everything out — zero for <<, the sign fill for >>.
+            amount = right & ((1 << self.wrap_width) - 1)
+            if amount >= self.wrap_width:
+                return -1 if (op == ">>" and left < 0) else 0
+            if op == "<<":
+                return self._wrap(left << amount)
+            return self._wrap(left >> amount)
+        if right < 0:
+            raise InterpError("negative shift amount at %s" % (pos,))
+        return left << right if op == "<<" else left >> right
 
     @staticmethod
     def _c_div(a, b):
@@ -324,11 +360,11 @@ class Interpreter:
     def call_function(self, name, args):
         func = self.program.functions.get(name)
         if func is None or not func.is_defined:
-            return self.extern_oracle(name, args)
+            return self._wrap(self.extern_oracle(name, args))
         cfg = self.cfgs[name]
         env = {}
         for param, arg in zip(func.params, args):
-            env[param.name] = Cell(arg, param.name)
+            env[param.name] = Cell(self._wrap(arg), param.name)
         for decl in func.locals:
             env[decl.name] = self._fresh_cell(decl.type, decl.name)
         if self.observer is not None:

@@ -168,6 +168,32 @@ def _add_option_flags(parser):
         metavar="N",
         help="LRU byte cap for the persistent cache (default: uncapped)",
     )
+    parser.add_argument(
+        "--bmc-confirm",
+        action="store_true",
+        help="bit-precisely confirm Newton's feasible counterexample paths "
+        "(concrete witness on SAT, flagged disagreement on UNSAT)",
+    )
+    parser.add_argument(
+        "--no-bmc-fallback",
+        action="store_true",
+        help="return a bare 'unknown' when CEGAR diverges instead of "
+        "falling back to a bounded BMC verdict",
+    )
+    parser.add_argument(
+        "--bmc-depth",
+        type=int,
+        default=16,
+        metavar="K",
+        help="unwinding depth for pipeline-internal BMC runs (default 16)",
+    )
+    parser.add_argument(
+        "--bmc-width",
+        type=int,
+        default=16,
+        metavar="W",
+        help="bit width for pipeline-internal BMC runs (default 16)",
+    )
     _add_bebop_flags(parser)
 
 
@@ -212,6 +238,10 @@ def _options_from(args):
         persistent_cache=not args.no_persistent_cache,
         cache_max_bytes=args.cache_max_bytes,
         validate_output=args.validate_bp,
+        bmc_confirm=args.bmc_confirm,
+        bmc_fallback=not args.no_bmc_fallback,
+        bmc_depth=args.bmc_depth,
+        bmc_width=args.bmc_width,
     )
 
 
@@ -294,6 +324,56 @@ def run_check(
     return 0
 
 
+def run_bmc_cmd(
+    context, source, out, name="<input>", entry="main", depth=16, width=32
+):
+    """Bounded model checking as a standalone verdict: unroll to ``depth``,
+    bit-blast at ``width``, report the verdict and any concrete witness."""
+    from repro.bmc import (
+        VERDICT_UNSAFE,
+        VERDICT_UNSUPPORTED,
+        replay_witness,
+        run_bmc,
+    )
+
+    program = parse_c_program(source, name=name)
+    result = run_bmc(
+        program, entry=entry, depth=depth, width=width, context=context
+    )
+    out.write(
+        "verdict: %s (depth %d, width %d)\n"
+        % (result.verdict, result.depth, result.width)
+    )
+    out.write(
+        "formula: %d vars, %d gates, %d clauses, %d assert site(s), "
+        "%d unwinding cut(s)\n"
+        % (result.vars, result.gates, result.clauses, result.errors, result.cuts)
+    )
+    out.write(
+        "time: %.3fs encode, %.3fs solve\n"
+        % (result.encode_seconds, result.solve_seconds)
+    )
+    if result.verdict == VERDICT_UNSUPPORTED:
+        out.write("unsupported: %s\n" % result.reason)
+        return 2
+    if result.verdict == VERDICT_UNSAFE:
+        witness = result.witness
+        site = witness.site
+        if site is not None:
+            out.write(
+                "failing assert in %s at %s\n" % (site.func_name, site.stmt.pos)
+            )
+        out.write("witness args: %r\n" % (witness.entry_args(),))
+        if witness.externs:
+            out.write("witness extern/* values: %r\n" % (witness.externs,))
+        out.write(
+            "witness replay: %s\n"
+            % replay_witness(program, entry, witness, width)
+        )
+        return 1
+    return 0
+
+
 def run_slam(context, source, spec, out, entry="main", max_iterations=10):
     result = check_property(
         source, spec, entry=entry, max_iterations=max_iterations, context=context
@@ -302,6 +382,11 @@ def run_slam(context, source, spec, out, entry="main", max_iterations=10):
         "verdict: %s (after %d iteration(s), %d predicates)\n"
         % (result.verdict, result.iterations, len(result.predicates))
     )
+    if getattr(result.cegar, "bounded_verdict", None) is not None:
+        out.write(
+            "bounded verdict: %s (bmc depth %d)\n"
+            % (result.cegar.bounded_verdict, result.cegar.bmc_depth)
+        )
     for record in result.cegar.iteration_stats:
         out.write(
             "  iteration %d: %d predicates, %d prover calls"
@@ -474,6 +559,16 @@ def _bebop(args, out):
     return 0
 
 
+def _bmc(args, out):
+    with EngineContext(options=_options_from(args)) as context:
+        code = run_bmc_cmd(
+            context, _read(args.program), out, name=args.program,
+            entry=args.entry, depth=args.depth, width=args.width,
+        )
+        _write_instrumentation(args, context)
+    return code
+
+
 def _fuzz(args, out):
     from repro.fuzz import FuzzSession, SoundnessOracle
 
@@ -483,6 +578,7 @@ def _fuzz(args, out):
         jobs_stride=args.jobs_stride,
         shrink=args.shrink,
         corpus_dir=args.corpus_dir,
+        bit_weight=args.bit_weight,
         max_shrink_attempts=args.max_shrink_attempts,
         progress=(
             (lambda case, report: out.write(
@@ -621,9 +717,42 @@ def build_parser():
         help="oracle evaluations the shrinker may spend per failure",
     )
     p_fuzz.add_argument(
+        "--bit-weight",
+        action="store_true",
+        help="generator also emits bitwise expressions (& | <<) and "
+        "near-INT16_MAX constants, exercising the bmc-divergence oracle's "
+        "overflow scenarios",
+    )
+    p_fuzz.add_argument(
         "--verbose", action="store_true", help="print a line per case"
     )
     p_fuzz.set_defaults(func=_fuzz)
+
+    p_bmc = sub.add_parser(
+        "bmc",
+        help="bounded model checking: bit-precise SAT check of every "
+        "assert to an unwinding depth (an independent second verdict)",
+    )
+    p_bmc.add_argument("program", help="C source file")
+    p_bmc.add_argument("--entry", default="main")
+    p_bmc.add_argument(
+        "--depth",
+        type=int,
+        default=16,
+        metavar="K",
+        help="unwinding bound on back-edge traversals and recursive "
+        "re-entries per function instance (default 16)",
+    )
+    p_bmc.add_argument(
+        "--width",
+        type=int,
+        default=32,
+        metavar="W",
+        help="bit width of the two's-complement integers (default 32)",
+    )
+    _add_option_flags(p_bmc)
+    _add_instrument_flags(p_bmc)
+    p_bmc.set_defaults(func=_bmc)
 
     p_serve = sub.add_parser(
         "serve",

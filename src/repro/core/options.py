@@ -147,5 +147,27 @@ class C2bpOptions:
     #: enables this.
     validate_output: bool = False
 
+    #: Bit-precisely confirm Newton's feasible counterexample paths
+    #: (:mod:`repro.bmc.confirm`): extract a concrete input witness when
+    #: the straight-line path is SAT at ``bmc_width`` bits, and flag the
+    #: disagreement (``bmc_refuted``) when it is UNSAT.  Off by default —
+    #: feasibility verdicts themselves never change.
+    bmc_confirm: bool = False
+
+    #: When CEGAR stalls (no new predicates, interval fallback exhausted),
+    #: run the bounded model checker instead of giving a bare "unknown":
+    #: a replay-validated counterexample upgrades the verdict to
+    #: ``unsafe``; otherwise the result records a ``safe-up-to-k``
+    #: bounded verdict (``--no-bmc-fallback`` restores the bare unknown).
+    bmc_fallback: bool = True
+
+    #: Unwinding depth for BMC runs launched from inside the pipeline
+    #: (confirm and CEGAR fallback): the bound on back-edge traversals
+    #: and recursive re-entries per function instance.
+    bmc_depth: int = 16
+
+    #: Bit width of the two's-complement integers in those BMC runs.
+    bmc_width: int = 16
+
     def copy(self, **overrides):
         return dataclasses.replace(self, **overrides)

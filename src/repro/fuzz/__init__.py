@@ -28,6 +28,7 @@ from repro.fuzz.corpus import (
 from repro.fuzz.gen import FuzzCase, ProgramGenerator
 from repro.fuzz.oracle import (
     KIND_ABSTRACTION,
+    KIND_BMC,
     KIND_ENGINE,
     KIND_GENERATOR,
     KIND_INTERP,
@@ -63,6 +64,7 @@ class FuzzResult:
         self.assert_trips = 0
         self.explicit_checked = 0
         self.jobs_checked = 0
+        self.bmc_checked = 0
         self.prover_calls = 0
         self.failures = []  # CaseReport
         self.shrunk = []  # (ShrinkResult, corpus path or None)
@@ -78,6 +80,7 @@ class FuzzResult:
         self.assert_trips += report.assert_trips
         self.explicit_checked += 1 if report.explicit_checked else 0
         self.jobs_checked += 1 if report.jobs_checked else 0
+        self.bmc_checked += 1 if report.bmc_checked else 0
         self.prover_calls += report.prover_calls
         for piece in case.fingerprint():
             self._digest.update(repr(piece).encode())
@@ -95,7 +98,13 @@ class FuzzResult:
             "fuzz: %d case(s), %d replay(s), %d assert-ended trace(s)"
             % (self.cases, self.replays, self.assert_trips),
             "fuzz: %d explicit-engine check(s), %d --jobs differential(s), "
-            "%d prover call(s)" % (self.explicit_checked, self.jobs_checked, self.prover_calls),
+            "%d BMC differential(s), %d prover call(s)"
+            % (
+                self.explicit_checked,
+                self.jobs_checked,
+                self.bmc_checked,
+                self.prover_calls,
+            ),
             "fuzz: digest %s" % self.digest(),
         ]
         for report in self.failures:
@@ -129,8 +138,9 @@ class FuzzSession:
         corpus_dir=None,
         max_shrink_attempts=600,
         progress=None,
+        bit_weight=False,
     ):
-        self.generator = ProgramGenerator(seed)
+        self.generator = ProgramGenerator(seed, bit_weight=bit_weight)
         self.oracle = oracle or SoundnessOracle()
         self.jobs_stride = jobs_stride
         self.shrink = shrink

@@ -256,12 +256,17 @@ class ProgramGenerator:
     yields a byte-identical case.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, bit_weight=False):
         self.seed = seed
+        # Also emit bitwise expressions (& | <<) and near-INT16_MAX
+        # constants — the scenario family only the bit-precise BMC oracle
+        # can judge.  Off by default: the flag must not perturb the
+        # default RNG stream, so every draw it adds is gated on it.
+        self.bit_weight = bit_weight
 
     def generate(self, index):
         rng = random.Random("fuzz:%s:%d" % (self.seed, index))
-        builder = _CaseBuilder(rng)
+        builder = _CaseBuilder(rng, bit_weight=self.bit_weight)
         gprog = builder.build()
         nargs = len(gprog.main_params)
         args_list = [
@@ -281,9 +286,16 @@ class ProgramGenerator:
             yield self.generate(index)
 
 
+#: Constants next to the 16-bit extremes: one arithmetic step away from
+#: wrapping, so they separate mathematical-integer semantics from the
+#: fixed-width semantics the BMC oracle checks.
+NEAR_INT16_MAX = ("32767", "32766", "32765", "-32768", "-32767", "16384")
+
+
 class _CaseBuilder:
-    def __init__(self, rng):
+    def __init__(self, rng, bit_weight=False):
         self.rng = rng
+        self.bit_weight = bit_weight
         self.use_global = rng.random() < 0.6
         self.use_helper = rng.random() < 0.6
         self.use_pointer = rng.random() < 0.4
@@ -315,6 +327,10 @@ class _CaseBuilder:
 
     def expr(self, scope, depth=0):
         rng = self.rng
+        # The bit_weight check comes before any RNG draw so the default
+        # generator stream is byte-identical with the flag off.
+        if self.bit_weight and depth < 2 and rng.random() < 0.25:
+            return self._bit_expr(scope, depth)
         choice = rng.randint(0, 3 if depth < 2 else 1)
         if choice == 0:
             return str(rng.randint(-3, 3))
@@ -322,6 +338,20 @@ class _CaseBuilder:
             return rng.choice(self._scope_vars(scope))
         op = rng.choice(["+", "-", "*"])
         return "(%s %s %s)" % (self.expr(scope, depth + 1), op, self.expr(scope, depth + 1))
+
+    def _bit_expr(self, scope, depth):
+        rng = self.rng
+        choice = rng.randint(0, 3)
+        if choice == 0:
+            return rng.choice(NEAR_INT16_MAX)
+        if choice == 1:
+            # Constant shift counts only: variable amounts could go
+            # negative, which the unbounded interpreter rejects.
+            return "(%s << %d)" % (self.expr(scope, depth + 1), rng.randint(1, 4))
+        op = "&" if choice == 2 else "|"
+        return "(%s %s %s)" % (
+            self.expr(scope, depth + 1), op, self.expr(scope, depth + 1)
+        )
 
     def cond(self, scope):
         rng = self.rng

@@ -21,7 +21,16 @@ For one :class:`repro.fuzz.gen.FuzzCase` the oracle checks, in order:
    agree on the reachable-failure *verdict* (budget-capped: recursion-free
    generated programs explore quickly, but the check is skipped rather
    than failed when the state budget runs out);
-4. **Theorem 1** — every concrete trace (over the case's argument tuples
+4. **BMC agreement** — the bit-precise bounded model checker
+   (:func:`repro.bmc.run_bmc`) is a fully independent verdict engine: an
+   ``unsafe`` verdict must come with a witness that concretely trips an
+   assert under wrapping semantics, a witness that also fails under
+   unbounded arithmetic must be matched by an unsafe pipeline verdict
+   (pipeline *safe* plus a real counterexample is a soundness bug), and
+   a complete ``safe`` proof must not be contradicted by any concrete
+   wrapped execution.  ``safe-up-to-k`` and ``unsupported`` runs carry
+   no conclusion and are skipped;
+5. **Theorem 1** — every concrete trace (over the case's argument tuples
    and extern-oracle seeds) must replay cleanly inside ``BP(P, E)`` via
    :class:`repro.core.replay.TraceReplayer`: no blocked ``assume``, no
    predicate/boolean-variable mismatch.  A concretely failing ``assert``
@@ -41,6 +50,7 @@ from repro.cfront import parse_c_program
 from repro.cfront.errors import CFrontError
 from repro.cfront.interp import (
     AssertionFailure,
+    AssumeViolated,
     InterpError,
     Interpreter,
 )
@@ -52,6 +62,7 @@ from repro.engine import EngineContext
 #: Failure kinds, from most to least interesting.
 KIND_SOUNDNESS = "soundness"          # Theorem-1 replay violation
 KIND_ENGINE = "engine-divergence"     # fast / legacy / explicit disagree
+KIND_BMC = "bmc-divergence"           # bit-precise BMC / pipeline disagree
 KIND_ANALYSIS = "analysis-divergence"  # analysis on/off disagree
 KIND_ABSTRACTION = "abstraction-divergence"  # incremental / jobs text differs
 KIND_STRENGTHEN = "strengthen-divergence"  # allsat / cubes strategies differ
@@ -74,6 +85,7 @@ class CaseReport:
         "explicit_checked",
         "jobs_checked",
         "cache_checked",
+        "bmc_checked",
         "prover_calls",
     )
 
@@ -86,6 +98,7 @@ class CaseReport:
         self.explicit_checked = False
         self.jobs_checked = False
         self.cache_checked = False
+        self.bmc_checked = False
         self.prover_calls = 0
 
     @property
@@ -111,10 +124,17 @@ class SoundnessOracle:
         explicit_budget=60_000,
         max_steps=50_000,
         make_options=None,
+        bmc_depth=16,
+        bmc_width=16,
     ):
         self.check_jobs = check_jobs
         self.explicit_budget = explicit_budget
         self.max_steps = max_steps
+        # Bound and bit width for the BMC differential (oracle 4).  Width
+        # 16 keeps the bit-blasted formulas small while still exposing
+        # overflow behavior on the generator's near-INT16_MAX constants.
+        self.bmc_depth = bmc_depth
+        self.bmc_width = bmc_width
         # Hook for bug-injection tests: build the C2bpOptions for a config.
         self.make_options = make_options or (lambda **kw: C2bpOptions(**kw))
 
@@ -218,11 +238,16 @@ class SoundnessOracle:
             return analysis_failure
 
         # 3. Model-checking engines.
-        engine_failure = self._check_engines(case, boolean_program, report)
+        engine_failure, fast_run = self._check_engines(case, boolean_program, report)
         if engine_failure is not None:
             return engine_failure
 
-        # 4. Theorem-1 trace inclusion.
+        # 4. Bit-precise BMC as an independent verdict engine.
+        bmc_failure = self._check_bmc(case, program, fast_run, report)
+        if bmc_failure is not None:
+            return bmc_failure
+
+        # 5. Theorem-1 trace inclusion.
         return self._check_replay(case, program, predicates, tool, boolean_program, report)
 
     def _abstract(self, program, predicates, options):
@@ -340,12 +365,14 @@ class SoundnessOracle:
         return None
 
     def _check_engines(self, case, boolean_program, report):
+        """Returns ``(failure, fast_run)`` — the fast Bebop run is reused
+        by the BMC differential for the pipeline verdict."""
         fast = Bebop(boolean_program, main=case.entry).run()
         legacy = Bebop(boolean_program, main=case.entry, legacy=True).run()
         if fast.all_invariants() != legacy.all_invariants():
             return report.fail(
                 KIND_ENGINE, "fast and legacy Bebop invariants differ"
-            )
+            ), fast
         fast_sites = {(p, n.uid) for p, n, _ in fast.assertion_failures}
         legacy_sites = {(p, n.uid) for p, n, _ in legacy.assertion_failures}
         if fast_sites != legacy_sites:
@@ -353,22 +380,105 @@ class SoundnessOracle:
                 KIND_ENGINE,
                 "fast and legacy Bebop assertion sites differ: %r vs %r"
                 % (sorted(fast_sites), sorted(legacy_sites)),
-            )
+            ), fast
         explicit = ExplicitEngine(
             boolean_program, main=case.entry, max_configs=self.explicit_budget
         )
         try:
             explicit_failure = explicit.find_assertion_failure() is not None
         except RuntimeError:
-            return None  # budget exhausted: skip, do not fail
+            return None, fast  # budget exhausted: skip, do not fail
         report.explicit_checked = True
         if explicit_failure != fast.error_reached:
             return report.fail(
                 KIND_ENGINE,
                 "explicit engine verdict %r but symbolic verdict %r"
                 % (explicit_failure, fast.error_reached),
+            ), fast
+        return None, fast
+
+    def _check_bmc(self, case, program, fast_run, report):
+        """The bit-precise BMC differential (oracle 4).
+
+        The abstraction pipeline reasons over unbounded integers while
+        BMC reasons over fixed-width two's-complement, so the engines
+        are only required to agree where the semantics coincide:
+
+        - BMC ``unsafe`` ships a witness; replayed under ``wrap_width``
+          it must trip an assert (anything else is an encoder bug);
+        - if the witness *also* fails under unbounded arithmetic, the
+          failure exists in the pipeline's model too, so a *safe*
+          pipeline verdict is a soundness divergence (pipeline-unsafe
+          with BMC-safe-up-to-k is fine: the error may live beyond the
+          bound or exploit unbounded integers);
+        - BMC ``safe`` is a complete proof at the bounded width, so no
+          concrete wrapped execution may trip an assert.
+        """
+        from repro.bmc import (
+            VERDICT_SAFE,
+            VERDICT_UNSAFE,
+            replay_witness,
+            run_bmc,
+        )
+        from repro.bmc.driver import REPLAY_ASSERT_FAILED, REPLAY_COMPLETED
+
+        bmc = run_bmc(
+            program, entry=case.entry, depth=self.bmc_depth, width=self.bmc_width
+        )
+        if bmc.verdict == VERDICT_UNSAFE:
+            report.bmc_checked = True
+            wrapped = replay_witness(
+                program,
+                case.entry,
+                bmc.witness,
+                width=self.bmc_width,
+                max_steps=self.max_steps,
             )
-        return None
+            if wrapped == REPLAY_COMPLETED:
+                return report.fail(
+                    KIND_BMC,
+                    "BMC witness %r completes without tripping an assert"
+                    % (bmc.witness.to_dict(),),
+                )
+            if wrapped != REPLAY_ASSERT_FAILED:
+                return None  # assume-violated / trapped: no conclusion
+            unwrapped = replay_witness(
+                program,
+                case.entry,
+                bmc.witness,
+                width=None,
+                max_steps=self.max_steps,
+            )
+            if unwrapped == REPLAY_ASSERT_FAILED and not fast_run.error_reached:
+                return report.fail(
+                    KIND_BMC,
+                    "BMC witness %r fails an assert under unbounded "
+                    "arithmetic but the pipeline verdict is safe"
+                    % (bmc.witness.to_dict(),),
+                )
+            return None
+        if bmc.verdict == VERDICT_SAFE:
+            report.bmc_checked = True
+            for args in case.args_list:
+                for seed in case.oracle_seeds:
+                    interp = Interpreter(
+                        program,
+                        extern_oracle=_extern_oracle(seed),
+                        max_steps=self.max_steps,
+                        wrap_width=self.bmc_width,
+                    )
+                    try:
+                        interp.run(case.entry, list(args))
+                    except AssertionFailure:
+                        return report.fail(
+                            KIND_BMC,
+                            "BMC proved safe at width %d but args %r seed %r "
+                            "trips an assert" % (self.bmc_width, args, seed),
+                        )
+                    except (AssumeViolated, InterpError):
+                        continue  # traps carry no verdict information
+            return None
+        return None  # safe-up-to-k / unsupported: no conclusion
 
     def _check_replay(self, case, program, predicates, tool, boolean_program, report):
         for args in case.args_list:

@@ -121,6 +121,12 @@ class CegarResult:
         self.iteration_stats = []
         self.total_prover_calls = 0
         self.seconds = 0.0
+        # Filled when the divergence fallback ran the bounded model
+        # checker: the BMC verdict ("unsafe" / "safe" / "safe-up-to-k")
+        # and the unwinding depth it used.  A replay-validated "unsafe"
+        # also upgrades ``verdict`` itself.
+        self.bounded_verdict = None
+        self.bmc_depth = None
 
     @property
     def is_safe(self):
@@ -162,6 +168,50 @@ def _interval_fallback_predicates(program, tool, predicates):
             existing.add((scope, expr))
             found.append(predicate)
     return found
+
+
+def _bounded_fallback(program, main, predicates, ctx, iteration, boolean_program):
+    """CEGAR diverged (no new predicates, interval fallback exhausted):
+    run the bounded model checker for an independent verdict.  A witness
+    that concretely fails an assert under the *unbounded* interpreter
+    upgrades the verdict to "unsafe"; anything else stays "unknown" but
+    records the bounded verdict (``safe-up-to-k`` / ``safe`` at the
+    checked width) so callers see how far the program was explored."""
+    result = CegarResult(
+        "unknown", iteration, predicates, boolean_program=boolean_program
+    )
+    if not getattr(ctx.options, "bmc_fallback", True):
+        return result
+    from repro.bmc import (
+        VERDICT_UNSAFE,
+        VERDICT_UNSUPPORTED,
+        replay_witness,
+        run_bmc,
+    )
+    from repro.bmc.driver import REPLAY_ASSERT_FAILED
+
+    depth = getattr(ctx.options, "bmc_depth", 16)
+    width = getattr(ctx.options, "bmc_width", 16)
+    with ctx.phase("bmc-fallback"):
+        bmc = run_bmc(program, entry=main, depth=depth, width=width, context=ctx)
+    if bmc.verdict == VERDICT_UNSUPPORTED:
+        return result
+    if bmc.verdict == VERDICT_UNSAFE and bmc.witness is not None:
+        # Only a concrete failure under the paper's mathematical-integer
+        # semantics may override the pipeline (a wrap-only overflow
+        # failure is not an error the logical model recognizes).
+        replay = replay_witness(program, main, bmc.witness, width=None)
+        if replay == REPLAY_ASSERT_FAILED:
+            result = CegarResult(
+                "unsafe", iteration, predicates,
+                boolean_program=boolean_program,
+            )
+    result.bounded_verdict = bmc.verdict
+    result.bmc_depth = depth
+    ctx.events.emit(
+        "cegar.bmc_fallback", verdict=bmc.verdict, depth=depth, width=width
+    )
+    return result
 
 
 def cegar_loop(
@@ -282,8 +332,13 @@ def _cegar_loop(program, initial_predicates, main, max_iterations, ctx):
                         for predicate in fallback:
                             predicates.add(predicate)
                     else:
-                        result = CegarResult("unknown", iteration, predicates,
-                                             boolean_program=boolean_program)
+                        # Diverged for good: take a bounded verdict from
+                        # the bit-precise model checker instead of
+                        # returning a bare unknown.
+                        result = _bounded_fallback(
+                            program, main, predicates, ctx, iteration,
+                            boolean_program,
+                        )
                 else:
                     for predicate in newton.new_predicates:
                         predicates.add(predicate)
@@ -333,6 +388,8 @@ def _cegar_loop(program, initial_predicates, main, max_iterations, ctx):
             "predicates": len(result.predicates),
             "total_prover_calls": result.total_prover_calls,
             "seconds": round(result.seconds, 6),
+            "bounded_verdict": result.bounded_verdict,
+            "bmc_depth": result.bmc_depth,
         },
     )
     return result

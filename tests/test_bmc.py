@@ -1,0 +1,574 @@
+"""Bit-precise bounded model checking: the encoder against the concrete
+interpreter, the unwinding discipline, the four pipeline integrations
+(CLI verdicts, Newton confirmation, CEGAR fallback, fuzz oracle), and
+the meta-test that the ``bmc-divergence`` oracle catches an injected
+encoder fault.
+
+The differential backbone: :func:`repro.bmc.run_bmc` and
+``Interpreter(wrap_width=16)`` implement the *same* fixed-width
+two's-complement semantics by independent constructions (bit-blasted SAT
+circuit vs. direct evaluation), so a BMC counterexample must replay
+concretely and a complete BMC proof must never be contradicted by an
+enumerated concrete run.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.bmc.unroll as unroll_module
+from repro.bmc import (
+    VERDICT_SAFE,
+    VERDICT_SAFE_UP_TO_K,
+    VERDICT_UNSAFE,
+    VERDICT_UNSUPPORTED,
+    confirm_path,
+    replay_witness,
+    run_bmc,
+)
+from repro.bmc.driver import REPLAY_ASSERT_FAILED, REPLAY_COMPLETED
+from repro.cfront import parse_c_program
+from repro.cfront.interp import AssertionFailure, InterpError, Interpreter
+from repro.core import PredicateSet
+from repro.core.options import C2bpOptions
+from repro.engine import EngineContext
+from repro.fuzz import KIND_BMC, FuzzSession, ProgramGenerator, SoundnessOracle
+from repro.newton import CPathStep, analyze_path
+from repro.slam.cegar import _bounded_fallback
+
+pytestmark = pytest.mark.bmc
+
+
+def bmc(source, entry="main", depth=16, width=16):
+    return run_bmc(parse_c_program(source), entry=entry, depth=depth, width=width)
+
+
+def replay(source, result, entry="main", width=16):
+    return replay_witness(parse_c_program(source), entry, result.witness, width=width)
+
+
+# -- width semantics ----------------------------------------------------------------
+
+
+def test_overflow_is_unsafe_at_the_bounded_width():
+    source = "void main(int n) { assert(n + 1 > n); }"
+    result = bmc(source, width=16)
+    assert result.verdict == VERDICT_UNSAFE
+    # Only INT16_MAX wraps to INT16_MIN under + 1.
+    assert result.witness.entry_args() == [32767]
+    assert replay(source, result, width=16) == REPLAY_ASSERT_FAILED
+
+
+def test_wrap_constant_is_width_dependent():
+    source = "void main(void) { assert(32767 + 1 == -32768); }"
+    assert bmc(source, width=16).verdict == VERDICT_SAFE
+    assert bmc(source, width=32).verdict == VERDICT_UNSAFE
+
+
+def test_division_truncates_toward_zero():
+    source = """
+    void main(void) {
+        assert((-7) / 2 == -3);
+        assert((-7) % 2 == -1);
+        assert(7 / -2 == -3);
+    }
+    """
+    assert bmc(source).verdict == VERDICT_SAFE
+
+
+def test_shift_semantics():
+    source = """
+    void main(void) {
+        assert((1 << 15) == -32768);
+        assert((-4) >> 1 == -2);
+        assert((-32768) >> 15 == -1);
+    }
+    """
+    assert bmc(source, width=16).verdict == VERDICT_SAFE
+
+
+def test_bitwise_witness():
+    source = "void main(int n) { assert((n | 1) != 4097); }"
+    result = bmc(source)
+    assert result.verdict == VERDICT_UNSAFE
+    assert result.witness.entry_args()[0] in (4096, 4097)
+    assert replay(source, result) == REPLAY_ASSERT_FAILED
+
+
+# -- unwinding ----------------------------------------------------------------------
+
+LOOP = """
+void main(void) {
+    int i;
+    i = 0;
+    while (i < 3) {
+        i = i + 1;
+    }
+    assert(i == 3);
+}
+"""
+
+
+def test_loop_complete_at_sufficient_depth():
+    result = bmc(LOOP, depth=3)
+    assert result.verdict == VERDICT_SAFE
+    assert result.complete
+    assert result.cuts == 0
+
+
+def test_loop_bounded_below_trip_count():
+    result = bmc(LOOP, depth=2)
+    assert result.verdict == VERDICT_SAFE_UP_TO_K
+    assert not result.complete
+    assert result.cuts > 0
+
+
+def test_input_bounded_loop_is_never_complete():
+    source = """
+    void main(int n) {
+        int i;
+        i = 0;
+        while (i < n) {
+            i = i + 1;
+        }
+        assert(i >= 0);
+    }
+    """
+    assert bmc(source, depth=8).verdict == VERDICT_SAFE_UP_TO_K
+
+
+def test_goto_loop_counts_against_the_bound():
+    source = """
+    void main(void) {
+        int i;
+        i = 0;
+      again:
+        i = i + 1;
+        if (i < 4) { goto again; }
+        assert(i == 4);
+    }
+    """
+    assert bmc(source, depth=4).verdict == VERDICT_SAFE
+    assert bmc(source, depth=2).verdict == VERDICT_SAFE_UP_TO_K
+
+
+def test_recursion_is_cut_at_depth():
+    source = """
+    int down(int n) {
+        if (n <= 0) { return 0; }
+        return down(n - 1);
+    }
+    void main(void) {
+        assert(down(5) == 0);
+    }
+    """
+    assert bmc(source, depth=6).verdict == VERDICT_SAFE
+    assert bmc(source, depth=2).verdict == VERDICT_SAFE_UP_TO_K
+
+
+# -- witnesses ----------------------------------------------------------------------
+
+
+def test_witness_param_value():
+    source = "void main(int n) { assert(n != 5); }"
+    result = bmc(source)
+    assert result.verdict == VERDICT_UNSAFE
+    assert result.witness.entry_args() == [5]
+    assert result.witness.site is not None
+    assert replay(source, result) == REPLAY_ASSERT_FAILED
+
+
+def test_witness_extern_consumption_order():
+    source = """
+    void main(void) {
+        int x, y;
+        x = *;
+        y = *;
+        assert(x - y != 7);
+    }
+    """
+    result = bmc(source)
+    assert result.verdict == VERDICT_UNSAFE
+    x, y = result.witness.externs
+    assert (x - y) & 0xFFFF == 7
+    assert replay(source, result) == REPLAY_ASSERT_FAILED
+
+
+def test_witness_input_array():
+    source = """
+    void main(int a[], int n) {
+        if (n == 2) {
+            assert(a[0] + a[1] != 9);
+        }
+    }
+    """
+    result = bmc(source)
+    assert result.verdict == VERDICT_UNSAFE
+    cells, n = result.witness.entry_args()
+    assert n == 2
+    assert (cells.get(0, 0) + cells.get(1, 0)) & 0xFFFF == 9
+    assert replay(source, result) == REPLAY_ASSERT_FAILED
+
+
+def test_pointer_and_call_program():
+    source = """
+    int g;
+    void bump(int *p, int by) { *p = *p + by; }
+    void main(int n) {
+        g = 1;
+        bump(&g, n);
+        assert(g != 42);
+    }
+    """
+    result = bmc(source)
+    assert result.verdict == VERDICT_UNSAFE
+    assert result.witness.entry_args() == [41]
+    assert replay(source, result) == REPLAY_ASSERT_FAILED
+
+
+def test_global_array_writes():
+    source = """
+    int buffer[4];
+    void main(int n) {
+        if (n >= 0) {
+            if (n < 4) {
+                buffer[n] = 1;
+                assert(buffer[n] == 1);
+            }
+        }
+    }
+    """
+    assert bmc(source).verdict == VERDICT_SAFE
+
+
+# -- the supported fragment ---------------------------------------------------------
+
+
+def test_structs_are_unsupported():
+    source = """
+    struct pair { int a; int b; };
+    void main(void) {
+        struct pair p;
+        p.a = 1;
+        assert(p.a == 1);
+    }
+    """
+    result = bmc(source)
+    assert result.verdict == VERDICT_UNSUPPORTED
+    assert result.reason
+
+
+def test_scalar_deref_of_entry_pointer_is_unsupported():
+    result = bmc("void main(int *p) { assert(*p == 0); }")
+    assert result.verdict == VERDICT_UNSUPPORTED
+
+
+# -- differential against the wrapping interpreter ----------------------------------
+
+_NAMES = st.sampled_from(("n", "m"))
+_CONSTS = st.integers(-8, 8).map(str) | st.sampled_from(("32767", "-32768"))
+_EXPRS = st.recursive(
+    _NAMES | _CONSTS,
+    lambda children: st.tuples(
+        st.sampled_from(("+", "-", "*", "&", "|", "^")), children, children
+    ).map(lambda t: "(%s %s %s)" % (t[1], t[0], t[2])),
+    max_leaves=5,
+)
+
+_TEMPLATE = """
+void main(int n, int m) {
+    int s, i;
+    s = %(init)s;
+    i = 0;
+    while (i < %(trips)d) {
+        s = (s + %(step)s);
+        i = (i + 1);
+    }
+    if (%(cond)s) {
+        s = (s - m);
+    }
+    assert(s != %(target)d);
+}
+"""
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    init=_EXPRS,
+    step=_EXPRS,
+    trips=st.integers(0, 3),
+    cond=st.sampled_from(("(n < m)", "(s > 0)", "((n & 1) == 1)")),
+    target=st.integers(-3, 3),
+)
+def test_bmc_agrees_with_wrapping_interpreter(init, step, trips, cond, target):
+    """Both directions of the differential: a BMC counterexample must
+    replay to the same failing assert, and a complete BMC proof must not
+    be contradicted by any enumerated concrete input."""
+    source = _TEMPLATE % {
+        "init": init,
+        "step": step,
+        "trips": trips,
+        "cond": cond,
+        "target": target,
+    }
+    program = parse_c_program(source)
+    result = run_bmc(program, depth=6, width=16)
+    # The loop bound is a constant <= 3, so depth 6 always completes.
+    assert result.complete, result.verdict
+    if result.verdict == VERDICT_UNSAFE:
+        assert (
+            replay_witness(program, "main", result.witness, width=16)
+            == REPLAY_ASSERT_FAILED
+        )
+    concrete_failures = 0
+    for n in range(-3, 4):
+        for m in range(-3, 4):
+            interp = Interpreter(program, max_steps=10_000, wrap_width=16)
+            try:
+                interp.run("main", [n, m])
+            except AssertionFailure:
+                concrete_failures += 1
+    if concrete_failures:
+        assert result.verdict == VERDICT_UNSAFE
+
+
+# -- Newton confirmation ------------------------------------------------------------
+
+
+def _branch_then_assert(source):
+    program = parse_c_program(source)
+    branch = program.functions["main"].body[0]
+    return program, [
+        CPathStep("main", branch, "branch", True),
+        CPathStep("main", branch.then_body[0], "stmt"),
+    ]
+
+
+def test_newton_confirm_attaches_concrete_witness():
+    program, steps = _branch_then_assert(
+        "void main(int n) { if (n > 5) { assert(0); } }"
+    )
+    with EngineContext(options=C2bpOptions(bmc_confirm=True, bmc_width=16)) as ctx:
+        result = analyze_path(program, steps, context=ctx)
+    assert result.feasible
+    assert result.bmc_checked
+    assert not result.bmc_refuted
+    assert result.witness.args_by_name["n"] > 5
+
+
+def test_newton_confirm_flags_width_refutation():
+    # Feasible over mathematical integers, impossible in 16 bits: the
+    # verdict stands (never refute a real error) but the disagreement
+    # is flagged for the user.
+    program, steps = _branch_then_assert(
+        "void main(int n) { if (n > 32767) { assert(0); } }"
+    )
+    with EngineContext(options=C2bpOptions(bmc_confirm=True, bmc_width=16)) as ctx:
+        result = analyze_path(program, steps, context=ctx)
+    assert result.feasible
+    assert result.bmc_checked
+    assert result.bmc_refuted
+    assert result.witness is None
+
+
+def test_newton_confirm_is_off_by_default():
+    program, steps = _branch_then_assert(
+        "void main(int n) { if (n > 5) { assert(0); } }"
+    )
+    with EngineContext(options=C2bpOptions()) as ctx:
+        result = analyze_path(program, steps, context=ctx)
+    assert result.feasible
+    assert not result.bmc_checked
+
+
+def test_confirm_path_refutes_unsatisfiable_prefix():
+    source = "void main(int n) { if (n > 32767) { assert(0); } }"
+    program, steps = _branch_then_assert(source)
+    outcome = confirm_path(program, steps, width=16)
+    assert outcome.checked
+    assert outcome.refuted
+    assert not outcome.confirmed
+
+
+def test_confirm_path_validates_witness_by_replay():
+    source = "void main(int n) { if (n == 100) { assert(0); } }"
+    program, steps = _branch_then_assert(source)
+    outcome = confirm_path(program, steps, width=16)
+    assert outcome.checked
+    assert outcome.confirmed
+    assert outcome.witness.args_by_name["n"] == 100
+    assert outcome.replay == REPLAY_ASSERT_FAILED
+
+
+# -- CEGAR bounded fallback ---------------------------------------------------------
+
+
+def test_cegar_fallback_upgrades_on_real_failure():
+    program = parse_c_program("void main(int n) { assert(n != 5); }")
+    with EngineContext(options=C2bpOptions()) as ctx:
+        result = _bounded_fallback(program, "main", PredicateSet(), ctx, 3, None)
+    assert result.verdict == "unsafe"
+    assert result.bounded_verdict == VERDICT_UNSAFE
+    assert result.bmc_depth == 16
+
+
+def test_cegar_fallback_keeps_wrap_only_failures_unknown():
+    # BMC finds the 16-bit overflow, but the unbounded model the pipeline
+    # reasons in has no such failure: the verdict must stay unknown.
+    program = parse_c_program("void main(int n) { assert(n + 1 > n); }")
+    with EngineContext(options=C2bpOptions()) as ctx:
+        result = _bounded_fallback(program, "main", PredicateSet(), ctx, 3, None)
+    assert result.verdict == "unknown"
+    assert result.bounded_verdict == VERDICT_UNSAFE
+
+
+def test_cegar_fallback_respects_opt_out():
+    program = parse_c_program("void main(int n) { assert(n != 5); }")
+    with EngineContext(options=C2bpOptions(bmc_fallback=False)) as ctx:
+        result = _bounded_fallback(program, "main", PredicateSet(), ctx, 3, None)
+    assert result.verdict == "unknown"
+    assert result.bounded_verdict is None
+
+
+# -- the CLI ------------------------------------------------------------------------
+
+
+def _run_cli(argv):
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_cli_bmc_unsafe_exit_code(tmp_path):
+    path = tmp_path / "unsafe.c"
+    path.write_text("void main(int n) { assert(n != 5); }\n")
+    code, text = _run_cli(["bmc", str(path), "--width", "16"])
+    assert code == 1
+    assert "verdict: unsafe" in text
+    assert "witness args: [5]" in text
+    assert "witness replay: assert-failed" in text
+
+
+def test_cli_bmc_safe_exit_code(tmp_path):
+    path = tmp_path / "safe.c"
+    path.write_text("void main(int n) { assert(n == n); }\n")
+    code, text = _run_cli(["bmc", str(path), "--width", "16"])
+    assert code == 0
+    assert "verdict: safe" in text
+
+
+def test_cli_bmc_unsupported_exit_code(tmp_path):
+    path = tmp_path / "structs.c"
+    path.write_text(
+        "struct s { int a; };\n"
+        "void main(void) { struct s v; v.a = 1; assert(v.a == 1); }\n"
+    )
+    code, text = _run_cli(["bmc", str(path)])
+    assert code == 2
+    assert "verdict: unsupported" in text
+
+
+def test_cli_bmc_depth_and_stats_json(tmp_path):
+    path = tmp_path / "loop.c"
+    path.write_text(LOOP)
+    stats_path = tmp_path / "stats.json"
+    code, text = _run_cli(
+        ["bmc", str(path), "--depth", "2", "--stats-json", str(stats_path)]
+    )
+    assert code == 0
+    assert "safe-up-to-k" in text
+    payload = json.loads(stats_path.read_text())
+    assert payload["bmc"]["runs"] == 1
+    assert payload["bmc"]["bounded"] == 1
+
+
+# -- the bmc-divergence fuzz oracle -------------------------------------------------
+
+
+def test_oracle_runs_bmc_differential():
+    case = ProgramGenerator("bmc-oracle").generate(0)
+    report = SoundnessOracle().check(case, check_jobs=False)
+    assert report.ok, report.detail
+    assert report.bmc_checked
+
+
+def test_fuzzer_finds_and_shrinks_injected_encoder_fault(monkeypatch, tmp_path):
+    """Breaking the phi-merge (keep only the first incoming edge's value
+    at every join) must surface as a ``bmc-divergence`` through the real
+    ``repro fuzz`` machinery and shrink to a checked-in-sized reproducer.
+    Seed 2, case 36 is the known loop+join program whose broken
+    encoding yields a bogus counterexample."""
+    monkeypatch.setattr(
+        unroll_module, "_merge_values", lambda encoder, entries: entries[0][1]
+    )
+    session = FuzzSession(
+        seed=2,
+        jobs_stride=0,
+        shrink=True,
+        corpus_dir=str(tmp_path),
+        max_shrink_attempts=200,
+    )
+    result = session.run(1, start=36)
+    assert not result.ok
+    (report,) = result.failures
+    assert report.kind == KIND_BMC
+    assert "completes without tripping an assert" in report.detail
+    ((shrunk, path),) = result.shrunk
+    assert path is not None
+    entry = json.loads(open(path).read())
+    assert entry["kind"] == KIND_BMC
+    # The minimized program keeps the essential shape: a loop around an
+    # input-dependent join feeding the assert.
+    assert "while" in shrunk.case.source
+    assert "assert" in shrunk.case.source
+    assert len(shrunk.case.source) <= len(session.generator.generate(36).source)
+
+
+def test_injected_fault_is_invisible_to_the_healthy_oracle():
+    """The exact case the meta-test relies on is clean without the fault
+    (so the corpus reproducer pins the fix, not a latent failure)."""
+    case = ProgramGenerator(2).generate(36)
+    report = SoundnessOracle().check(case, check_jobs=False)
+    assert report.ok, report.detail
+
+
+# -- the bit-weighted generator -----------------------------------------------------
+
+
+def test_bit_weight_off_keeps_the_default_stream():
+    plain = [ProgramGenerator("bw").generate(i).source for i in range(6)]
+    explicit = [
+        ProgramGenerator("bw", bit_weight=False).generate(i).source for i in range(6)
+    ]
+    assert plain == explicit
+
+
+def test_bit_weight_is_deterministic_and_emits_bit_constructs():
+    first = [ProgramGenerator("bw", bit_weight=True).generate(i) for i in range(12)]
+    second = [ProgramGenerator("bw", bit_weight=True).generate(i) for i in range(12)]
+    assert [c.source for c in first] == [c.source for c in second]
+    merged = "\n".join(c.source for c in first)
+    assert "<<" in merged or " & " in merged or " | " in merged
+    assert any(const in merged for const in ("32767", "-32768", "16384"))
+    for case in first:
+        parse_c_program(case.source, name=case.name)  # must stay well-formed
+
+
+@pytest.mark.fuzz_smoke
+def test_bit_weight_fuzz_smoke_is_clean():
+    result = FuzzSession(seed="bw-smoke", jobs_stride=0, bit_weight=True).run(4)
+    assert result.ok, "\n".join(result.summary_lines())
+    assert result.bmc_checked > 0
+
+
+def test_cli_fuzz_bit_weight_flag():
+    code, text = _run_cli(
+        ["fuzz", "--count", "1", "--fuzz-seed", "bw-cli", "--jobs-stride", "0",
+         "--bit-weight"]
+    )
+    assert code == 0, text
+    assert "fuzz: digest" in text

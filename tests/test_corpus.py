@@ -16,9 +16,11 @@ CORPUS = load_corpus(CORPUS_DIR)
 
 
 def test_corpus_is_seeded():
-    """The corpus ships with at least the call/global-return regression."""
+    """The corpus ships with at least the call/global-return regression
+    and the shrunk BMC phi-merge reproducer."""
     names = [case.name for case in CORPUS]
     assert "call-global-return-binding" in names
+    assert "bmc-phi-merge-first-edge" in names
 
 
 @pytest.mark.parametrize("case", CORPUS, ids=lambda case: case.name)
